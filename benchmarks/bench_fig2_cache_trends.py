@@ -1,0 +1,29 @@
+"""Figure 2 — L2 cache size trends for NVIDIA and AMD GPUs."""
+
+from conftest import banner
+
+from repro.analysis.figures import fig2_rows
+from repro.data.gpu_trends import growth_factor
+from repro.utils.tables import TextTable
+
+
+def test_fig2_l2_size_trend(benchmark):
+    rows = benchmark.pedantic(fig2_rows, rounds=1, iterations=1)
+
+    banner("Figure 2: L2 cache size trends for NVIDIA and AMD GPUs")
+    table = TextTable(["Vendor", "GPU", "Year", "L2 (MiB)"],
+                      float_format="{:.2f}")
+    for vendor, model, year, l2_mib in rows:
+        table.add_row([vendor, model, year, l2_mib])
+    print(table.render())
+    print(f"\nNVIDIA growth over the surveyed span: "
+          f"{growth_factor('NVIDIA'):.0f}x")
+    print(f"AMD growth over the surveyed span:    "
+          f"{growth_factor('AMD'):.0f}x")
+
+    # The paper's motivating claims: relentless growth, and Ampere's
+    # L2 being ~10x its predecessor generation's.
+    nvidia = [(y, l2) for v, _m, y, l2 in rows if v == "NVIDIA"]
+    assert nvidia[-1][1] >= 6 * nvidia[-2][1]
+    assert growth_factor("NVIDIA") > 10
+    assert growth_factor("AMD") > 5

@@ -1,0 +1,75 @@
+"""Figure 3 — normalized number of accesses to data memory blocks.
+
+Six applications with a steep profile (a handful of blocks absorbs a
+disproportionate number of read transactions) and the two
+counter-examples whose profiles are flat (C-BlackScholes) or gently
+ramping (P-GRAMSCHM).
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.analysis.figures import fig3_series
+from repro.utils.tables import TextTable
+
+#: The eight panels of Figure 3 in paper order.
+PANELS = (
+    "C-NN", "P-BICG", "P-GESUMMV", "A-Laplacian", "P-MVT", "A-SRAD",
+    "C-BlackScholes", "P-GRAMSCHM",
+)
+
+
+def _sparkline(curve: np.ndarray, width: int = 40) -> str:
+    """Render the sorted normalized curve as a coarse text series."""
+    if curve.size == 0:
+        return ""
+    idx = np.linspace(0, curve.size - 1, width).astype(int)
+    glyphs = " .:-=+*#%@"
+    return "".join(
+        glyphs[min(int(curve[i] * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for i in idx
+    )
+
+
+def test_fig3_access_patterns(benchmark, managers, flat_managers):
+    every = {**managers, **flat_managers}
+
+    def compute():
+        return {name: fig3_series(every[name]) for name in PANELS}
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner("Figure 3: Normalized accesses to data memory blocks "
+           "(sorted low to high)")
+    table = TextTable(
+        ["App", "Blocks", "Max/Min ratio", "Top-5% share",
+         "Profile (sorted, normalized)"],
+        float_format="{:.2f}",
+    )
+    for name in PANELS:
+        s = series[name]
+        table.add_row([
+            name,
+            s.normalized_counts.size,
+            s.max_min_ratio,
+            s.tail_share(0.05),
+            _sparkline(s.normalized_counts),
+        ])
+    print(table.render())
+
+    # (a)-(f): few blocks, very many accesses.
+    for name in PANELS[:6]:
+        assert series[name].max_min_ratio > 8, name
+    # (g): C-BlackScholes — perfectly flat.
+    assert series["C-BlackScholes"].max_min_ratio == 1.0
+    # (h): P-GRAMSCHM — a gentle ramp with no dominant block: the
+    # most-accessed block is within a small factor of the typical one
+    # and the top 5% of blocks hold no outsized share.
+    gram = series["P-GRAMSCHM"]
+    assert gram.max_min_ratio < 8
+    assert gram.tail_share(0.05) < 0.15
+    # The two application classes separate cleanly on the max/min
+    # per-block contrast (the paper's 4732x C-NN headline statistic).
+    hot_contrast = min(series[n].max_min_ratio for n in PANELS[:6])
+    flat_contrast = max(series[n].max_min_ratio for n in PANELS[6:])
+    assert hot_contrast > flat_contrast

@@ -1,0 +1,46 @@
+"""Figure 4 — percentage of active warps accessing each memory block.
+
+P-BICG and A-Laplacian: the highly accessed blocks are shared by all
+active warps.  C-NN and A-SRAD: not by all, but still by far more
+warps than the rest of the blocks (Observation II).
+"""
+
+import numpy as np
+from conftest import FIG4_APPS, banner
+
+from repro.profiling.warp_sharing import warp_sharing_curve
+from repro.utils.tables import TextTable
+
+
+def test_fig4_warp_sharing(benchmark, managers):
+    def compute():
+        return {
+            name: warp_sharing_curve(managers[name].profile)
+            for name in FIG4_APPS
+        }
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner("Figure 4: % of active warps accessing the data memory "
+           "blocks (blocks sorted by access count)")
+    table = TextTable(
+        ["App", "Top-3 blocks (% warps)", "Median block (% warps)"],
+        float_format="{:.1f}",
+    )
+    tops = {}
+    for name in FIG4_APPS:
+        curve = curves[name]
+        top = float(curve[-3:].mean())
+        median = float(np.median(curve))
+        tops[name] = top
+        table.add_row([name, top, median])
+    print(table.render())
+
+    # (a)-(b): P-BICG and A-Laplacian hot blocks shared by ~all warps.
+    assert tops["P-BICG"] > 95.0
+    assert tops["A-Laplacian"] > 95.0
+    # (c)-(d): C-NN and A-SRAD hot blocks shared by many-but-not-all.
+    for name in ("C-NN", "A-SRAD"):
+        curve = curves[name]
+        assert 10.0 < tops[name] < 95.0, name
+        assert tops[name] > 5 * np.median(curve), name

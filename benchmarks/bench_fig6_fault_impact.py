@@ -1,0 +1,69 @@
+"""Figure 6 — effect of faults in hot vs rest memory blocks.
+
+For each application: {1, 5} faulty blocks x {2, 3, 4}-bit faults,
+with blocks drawn either from the hot memory blocks or from the rest
+of memory.  SDC counts (plus crashes, which this model surfaces
+separately) out of N runs per configuration.
+"""
+
+from conftest import RUNS, SEED, banner
+
+from repro.analysis.figures import fig6_grid
+from repro.kernels.registry import APPLICATIONS
+from repro.utils.tables import TextTable
+
+
+def test_fig6_hot_vs_rest_vulnerability(benchmark, managers):
+    def compute():
+        return {
+            name: fig6_grid(managers[name], runs=RUNS, seed=SEED)
+            for name in APPLICATIONS
+        }
+
+    cells = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner(f"Figure 6: SDC outcomes, faults in hot vs rest blocks "
+           f"({RUNS} runs/config)")
+    table = TextTable(
+        ["App", "Space", "1blk 2bit", "1blk 3bit", "1blk 4bit",
+         "5blk 2bit", "5blk 3bit", "5blk 4bit"],
+    )
+    summary = {}
+    for name in APPLICATIONS:
+        for space in ("hot", "rest"):
+            row = [name, space]
+            bad_total = 0
+            for cell in cells[name]:
+                if cell.space != space:
+                    continue
+                bad = cell.sdc + cell.crash
+                bad_total += bad
+                row.append(f"{cell.sdc}+{cell.crash}c")
+            table.add_row(row)
+            summary[(name, space)] = bad_total
+    print(table.render())
+    print("\ncells are 'SDC+crashes' out of", RUNS, "runs")
+
+    # Observation III, part 1: hot-block faults hurt more for every
+    # app, and much more in aggregate.  (C-NN has the weakest
+    # per-app contrast — the paper calls out its hot blocks as less
+    # universally shared, and a fault in any single input image also
+    # counts as a misclassification.)
+    for name in APPLICATIONS:
+        hot_bad = summary[(name, "hot")]
+        rest_bad = summary[(name, "rest")]
+        assert hot_bad > rest_bad, (name, hot_bad, rest_bad)
+    total_hot = sum(summary[(n, "hot")] for n in APPLICATIONS)
+    total_rest = sum(summary[(n, "rest")] for n in APPLICATIONS)
+    assert total_hot >= 3 * max(total_rest, 1)
+
+    # Observation III, part 2: more faulty blocks and/or more bit
+    # faults => more SDCs (monotone within the hot arm, allowing
+    # statistical noise of a few runs).
+    for name in APPLICATIONS:
+        hot_cells = {
+            (c.n_blocks, c.n_bits): c.sdc + c.crash
+            for c in cells[name] if c.space == "hot"
+        }
+        slack = max(3, RUNS // 20)
+        assert hot_cells[(5, 4)] + slack >= hot_cells[(1, 2)], name

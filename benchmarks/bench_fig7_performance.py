@@ -1,0 +1,85 @@
+"""Figure 7 — performance overhead of the resilience schemes.
+
+Per application: execution time and L1-missed accesses, normalized to
+the unprotected baseline, as the number of protected data objects
+grows cumulatively (Table III importance order), for detection-only
+and detection-and-correction.
+
+Headline averages in the paper: +1.2% (detection, hot only), +3.4%
+(correction, hot only), +40.65% / +74.24% when every object is
+protected.
+"""
+
+from conftest import banner
+
+from repro.analysis.figures import fig7_sweep
+from repro.kernels.registry import APPLICATIONS
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import TextTable
+
+
+def test_fig7_performance_overhead(benchmark, managers):
+    def compute():
+        return {
+            name: fig7_sweep(managers[name]) for name in APPLICATIONS
+        }
+
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner("Figure 7: normalized execution time / L1-missed accesses "
+           "vs #objects protected")
+    table = TextTable(
+        ["App", "Scheme", "n=1", "n=2", "n=3", "n=4", "n=5"],
+    )
+    hot_time = {"detection": [], "correction": []}
+    all_time = {"detection": [], "correction": []}
+    all_missed = {"detection": [], "correction": []}
+    for name in APPLICATIONS:
+        manager = managers[name]
+        n_hot = len(manager.app.hot_object_names)
+        _baseline, rows = sweeps[name]
+        for scheme in ("detection", "correction"):
+            scheme_rows = [r for r in rows if r.scheme == scheme]
+            cells = [
+                f"{r.norm_time:.3f}/{r.norm_missed_accesses:.2f}"
+                for r in scheme_rows
+            ]
+            cells += ["-"] * (5 - len(cells))
+            table.add_row([name, scheme] + cells)
+            hot_time[scheme].append(scheme_rows[n_hot - 1].norm_time)
+            all_time[scheme].append(scheme_rows[-1].norm_time)
+            all_missed[scheme].append(
+                scheme_rows[-1].norm_missed_accesses)
+    print(table.render())
+    print("\ncells are 'normalized time / normalized L1-missed "
+          "accesses'")
+
+    det_hot = geometric_mean(hot_time["detection"])
+    cor_hot = geometric_mean(hot_time["correction"])
+    det_all = geometric_mean(all_time["detection"])
+    cor_all = geometric_mean(all_time["correction"])
+    print(f"\naverage slowdown, hot objects only: "
+          f"detection {100 * (det_hot - 1):+.1f}% (paper +1.2%), "
+          f"correction {100 * (cor_hot - 1):+.1f}% (paper +3.4%)")
+    print(f"average slowdown, all objects:      "
+          f"detection {100 * (det_all - 1):+.1f}% (paper +40.65%), "
+          f"correction {100 * (cor_all - 1):+.1f}% (paper +74.24%)")
+
+    # Shape assertions: hot-only protection is nearly free; full
+    # protection is expensive; correction costs more than detection.
+    assert det_hot < 1.10
+    assert cor_hot < 1.10
+    assert det_all > 1.15
+    assert cor_all > det_all
+    # Missed accesses scale with the replication degree when all
+    # objects are protected.
+    assert 1.4 < geometric_mean(all_missed["detection"]) < 2.2
+    assert 2.0 < geometric_mean(all_missed["correction"]) < 4.0
+    # Per-app: protecting more objects never reduces missed accesses.
+    for name in APPLICATIONS:
+        _b, rows = sweeps[name]
+        for scheme in ("detection", "correction"):
+            series = [r.norm_missed_accesses for r in rows
+                      if r.scheme == scheme]
+            assert all(b >= a - 1e-9
+                       for a, b in zip(series, series[1:])), name

@@ -1,0 +1,114 @@
+"""Figures 8/9 — silent data corruption under the resilience schemes.
+
+Faults are injected across the application memory space with
+probability proportional to each block's exposure (see DESIGN.md on
+the access-weighted substitution for Fig 8's miss weighting), for
+every {1, 5}-block x {2, 3, 4}-bit configuration.  The x-axis of
+Fig 9 — the number of cumulatively protected objects — is sampled at
+baseline (0), hot objects, and all objects.
+
+Headline: protecting only the hot objects drops SDC outcomes by
+98.97% on average in the paper.
+"""
+
+import numpy as np
+from conftest import RUNS, SEED, banner
+
+from repro.analysis.figures import FAULT_GRID, fig9_grid
+from repro.kernels.registry import APPLICATIONS
+from repro.utils.tables import TextTable
+
+
+def test_fig9_sdc_reduction(benchmark, managers):
+    def compute():
+        grids = {}
+        for name, manager in managers.items():
+            n_objects = len(manager.app.object_importance)
+            n_hot = len(manager.app.hot_object_names)
+            levels = sorted({0, n_hot, n_objects})
+            per_scheme = {}
+            for scheme in ("detection", "correction"):
+                per_scheme[scheme] = fig9_grid(
+                    manager, scheme=scheme, runs=RUNS, levels=levels,
+                    seed=SEED,
+                )
+            grids[name] = (n_hot, per_scheme)
+        return grids
+
+    grids = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner(f"Figure 9: SDC outcomes vs protected objects "
+           f"({RUNS} runs/config, grid = {{1,5}}blk x {{2,3,4}}bit)")
+    table = TextTable(
+        ["App", "Scheme", "Protected", "SDC (sum over grid)",
+         "Detected", "Corrected", "Crash"],
+    )
+    drops_sdc = []
+    drops_bad = []
+    for name in APPLICATIONS:
+        n_hot, per_scheme = grids[name]
+        for scheme in ("detection", "correction"):
+            cells = per_scheme[scheme]
+            levels = sorted({c.n_protected for c in cells})
+            sums = {}
+            for level in levels:
+                level_cells = [c for c in cells
+                               if c.n_protected == level]
+                sums[level] = (
+                    sum(c.sdc for c in level_cells),
+                    sum(c.detected for c in level_cells),
+                    sum(c.corrected for c in level_cells),
+                    sum(c.crash for c in level_cells),
+                )
+                label = (
+                    "baseline" if level == 0 else
+                    f"hot ({level})" if level == n_hot else
+                    f"all ({level})"
+                )
+                table.add_row([name, scheme, label, *sums[level]])
+            base_sdc, base_bad = sums[0][0], sums[0][0] + sums[0][3]
+            hot_sdc, hot_bad = (
+                sums[n_hot][0], sums[n_hot][0] + sums[n_hot][3])
+            if base_sdc:
+                drops_sdc.append(
+                    100.0 * (base_sdc - hot_sdc) / base_sdc)
+            if base_bad:
+                drops_bad.append(
+                    100.0 * (base_bad - hot_bad) / base_bad)
+    print(table.render())
+
+    avg_sdc = float(np.mean(drops_sdc)) if drops_sdc else 0.0
+    avg_bad = float(np.mean(drops_bad)) if drops_bad else 0.0
+    print(f"\naverage SDC drop with hot-object protection: "
+          f"{avg_sdc:.2f}% (paper: 98.97%)")
+    print(f"average bad-outcome (SDC+crash) drop:        "
+          f"{avg_bad:.2f}%  — the apples-to-apples headline in this "
+          "model, which separates crashes from SDCs")
+
+    # Shape assertions: the headline reduction holds on bad outcomes;
+    # pure SDC counts can locally rise when protection converts a
+    # baseline crash into a completed-but-deviating run.
+    assert avg_bad > 85.0
+    assert avg_sdc > 50.0
+    for name in APPLICATIONS:
+        n_hot, per_scheme = grids[name]
+        for scheme in ("detection", "correction"):
+            cells = per_scheme[scheme]
+            base = sum(c.sdc + c.crash for c in cells
+                       if c.n_protected == 0)
+            hot = sum(c.sdc + c.crash for c in cells
+                      if c.n_protected == n_hot)
+            # Protection never makes things worse; where the baseline
+            # suffers, it helps substantially.
+            assert hot <= base, (name, scheme)
+            if base >= 20:
+                assert hot <= base // 2, (name, scheme)
+        # Detection converts bad outcomes into detections, correction
+        # into corrected completions.
+        det_cells = [c for c in per_scheme["detection"]
+                     if c.n_protected == n_hot]
+        cor_cells = [c for c in per_scheme["correction"]
+                     if c.n_protected == n_hot]
+        assert sum(c.detected for c in det_cells) > 0, name
+        assert sum(c.corrected for c in cor_cells) > 0, name
+        assert sum(c.detected for c in cor_cells) == 0, name

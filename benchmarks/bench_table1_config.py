@@ -1,0 +1,26 @@
+"""Table I — key configuration parameters of the simulated GPU."""
+
+from conftest import banner
+
+from repro.analysis.figures import table1_rows
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.utils.tables import TextTable
+
+
+def test_table1_configuration(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+
+    banner("Table I: Key configuration parameters of the simulated GPU")
+    table = TextTable(["Category", "Configuration"])
+    for category, description in rows:
+        table.add_row([category, description])
+    print(table.render())
+
+    row_map = dict(rows)
+    assert "1400MHz core clock" in row_map["Core Features"]
+    assert "SIMT width = 32" in row_map["Core Features"]
+    assert "15 SMs" in row_map["Resources / Core"]
+    assert "1536 KB in total" in row_map["L2 Caches"]
+    assert "6 GDDR5 Memory Controllers" in row_map["Memory Model"]
+    assert "924 MHz memory clock" in row_map["Memory Model"]
+    assert PAPER_CONFIG == GpuConfig()

@@ -1,0 +1,25 @@
+"""Table II — output error metrics for the evaluated applications."""
+
+from conftest import banner
+
+from repro.analysis.figures import table2_rows
+from repro.utils.tables import TextTable
+
+
+def test_table2_error_metrics(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+
+    banner("Table II: Output error metrics for applications")
+    table = TextTable(["Application", "Output Format", "Error Metric"])
+    for row in rows:
+        table.add_row(list(row))
+    print(table.render())
+
+    by_app = {r[0]: r for r in rows}
+    assert len(rows) == 8
+    assert "mis-classifications" in by_app["C-NN"][2].lower()
+    for app in ("P-BICG", "P-GESUMMV", "P-MVT"):
+        assert by_app[app][1] == "Result Vector"
+        assert "vector elements" in by_app[app][2]
+    for app in ("A-Laplacian", "A-Meanfilter", "A-Sobel", "A-SRAD"):
+        assert "Root Mean Square" in by_app[app][2]

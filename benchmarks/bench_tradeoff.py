@@ -1,0 +1,61 @@
+"""Section V-C — the reliability/performance tradeoff.
+
+Sweeping the number of cumulatively protected objects trades SDC
+reduction against slowdown; the paper's point is that the knee sits
+exactly at "protect the hot objects".
+"""
+
+from conftest import RUNS, SEED, banner
+
+from repro.analysis.tradeoff import knee_point, tradeoff_curve
+from repro.utils.tables import TextTable
+
+APPS = ("P-BICG", "A-Laplacian", "C-NN")
+
+
+def test_tradeoff_curves(benchmark, managers):
+    def compute():
+        return {
+            name: tradeoff_curve(
+                managers[name], scheme="correction",
+                runs=max(RUNS // 2, 20), n_bits=3, seed=SEED,
+            )
+            for name in APPS
+        }
+
+    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    banner("Section V-C: reliability vs performance tradeoff "
+           "(correction scheme, 3-bit faults)")
+    table = TextTable(
+        ["App", "Protected", "Objects", "Slowdown", "SDC",
+         "Corrected"],
+        float_format="{:.3f}",
+    )
+    for name in APPS:
+        for p in curves[name]:
+            table.add_row([
+                name, p.n_protected,
+                ",".join(p.protected_names) or "-",
+                p.slowdown, p.sdc_count, p.corrected_count,
+            ])
+    print(table.render())
+
+    for name in APPS:
+        manager = managers[name]
+        points = curves[name]
+        n_hot = len(manager.app.hot_object_names)
+        knee = knee_point(points)
+        hot_point = points[n_hot]
+        full_point = points[-1]
+        print(f"{name}: knee at {knee.n_protected} object(s), "
+              f"hot point {100 * (hot_point.slowdown - 1):+.1f}% time "
+              f"vs full {100 * (full_point.slowdown - 1):+.1f}%")
+        # SDCs shrink (weakly) along the sweep...
+        assert hot_point.sdc_count <= points[0].sdc_count
+        # ...and the hot point is dramatically cheaper than full
+        # protection for C-NN/P-BICG (whose non-hot objects are large).
+        if name != "A-Laplacian":
+            assert hot_point.slowdown < full_point.slowdown
+        # The knee never pays full-protection prices.
+        assert knee.slowdown <= full_point.slowdown + 1e-9

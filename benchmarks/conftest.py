@@ -1,0 +1,58 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures: it
+computes the same rows/series the exhibit reports, prints them (run
+pytest with ``-s`` to see the output), and asserts the paper's
+qualitative shape.
+
+Environment knobs:
+
+* ``REPRO_RUNS``  — fault-injection runs per configuration
+  (default 100; the paper uses 1000 for its +/-3% margins).
+* ``REPRO_SCALE`` — application scale, ``default`` or ``small``.
+* ``REPRO_SEED``  — campaign seed (default the paper's 20210621).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.manager import ReliabilityManager
+from repro.kernels.registry import (
+    APPLICATIONS,
+    FLAT_APPLICATIONS,
+    create_app,
+)
+
+RUNS = int(os.environ.get("REPRO_RUNS", "100"))
+SCALE = os.environ.get("REPRO_SCALE", "default")
+SEED = int(os.environ.get("REPRO_SEED", "20210621"))
+
+#: The four applications Figure 4 plots.
+FIG4_APPS = ("P-BICG", "A-Laplacian", "C-NN", "A-SRAD")
+
+
+@pytest.fixture(scope="session")
+def managers() -> dict[str, ReliabilityManager]:
+    """One warmed ReliabilityManager per resilience-study app."""
+    return {
+        name: ReliabilityManager(create_app(name, scale=SCALE))
+        for name in APPLICATIONS
+    }
+
+
+@pytest.fixture(scope="session")
+def flat_managers() -> dict[str, ReliabilityManager]:
+    return {
+        name: ReliabilityManager(create_app(name, scale=SCALE))
+        for name in FLAT_APPLICATIONS
+    }
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The Section V-C reliability/performance tradeoff, end to end.
+
+Sweeps the number of protected objects for one application under both
+schemes and prints the curve a deployment engineer would use to pick
+an operating point.
+
+Run:  python examples/tradeoff_sweep.py [APP]
+"""
+
+import sys
+
+from repro import ReliabilityManager, create_app
+from repro.analysis.tradeoff import knee_point, tradeoff_curve
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "A-Laplacian"
+    manager = ReliabilityManager(create_app(app_name, scale="small"))
+
+    for scheme in ("detection", "correction"):
+        points = tradeoff_curve(
+            manager, scheme=scheme, runs=80, n_bits=3,
+            selection="hot",
+        )
+        print(f"\n=== {app_name}, {scheme} scheme ===")
+        table = TextTable(
+            ["protected", "objects", "norm time", "norm missed",
+             "SDC", "detected", "corrected"],
+            float_format="{:.3f}",
+        )
+        for p in points:
+            table.add_row([
+                p.n_protected,
+                ",".join(p.protected_names) or "-",
+                p.slowdown,
+                p.missed_accesses_ratio,
+                p.sdc_count,
+                p.detected_count,
+                p.corrected_count,
+            ])
+        print(table.render())
+        knee = knee_point(points)
+        print(f"sweet spot: {knee.n_protected} object(s) at "
+              f"{100 * (knee.slowdown - 1):+.1f}% time, "
+              f"{knee.sdc_count} SDC / {knee.runs} runs")
+
+
+if __name__ == "__main__":
+    main()

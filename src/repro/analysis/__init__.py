@@ -1,0 +1,21 @@
+"""Result analysis: statistics, reports, tradeoffs, figure data.
+
+The :mod:`figures` module produces, for every table and figure of the
+paper, the rows/series the benchmark harness prints; :mod:`tradeoff`
+implements the Section V-C reliability/performance sweep.
+"""
+
+from repro.analysis.report import (
+    campaign_table,
+    performance_table,
+    sdc_drop_percent,
+)
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_curve
+
+__all__ = [
+    "campaign_table",
+    "performance_table",
+    "sdc_drop_percent",
+    "TradeoffPoint",
+    "tradeoff_curve",
+]

@@ -1,0 +1,166 @@
+"""CSV export of figure/table data.
+
+Writes the same rows the benchmark harness prints into plain CSV
+files, one per exhibit, so the figures can be re-plotted with any
+tool (the repository deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis.figures import (
+    fig2_rows,
+    fig3_series,
+    fig4_series,
+    fig6_grid,
+    fig7_sweep,
+    fig9_grid,
+    table1_rows,
+    table2_rows,
+)
+from repro.core.manager import ReliabilityManager
+
+
+def _write(path: Path, header: list[str], rows) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_table1(out_dir: Path) -> Path:
+    """Table I rows -> table1_config.csv."""
+    return _write(
+        Path(out_dir) / "table1_config.csv",
+        ["category", "configuration"],
+        table1_rows(),
+    )
+
+
+def export_fig2(out_dir: Path) -> Path:
+    """Figure 2 L2-trend rows -> fig2_l2_trend.csv."""
+    return _write(
+        Path(out_dir) / "fig2_l2_trend.csv",
+        ["vendor", "model", "year", "l2_mib"],
+        fig2_rows(),
+    )
+
+
+def export_table2(out_dir: Path) -> Path:
+    """Table II metric rows -> table2_metrics.csv."""
+    return _write(
+        Path(out_dir) / "table2_metrics.csv",
+        ["application", "output_format", "error_metric"],
+        table2_rows(),
+    )
+
+
+def export_fig3(manager: ReliabilityManager, out_dir: Path) -> Path:
+    """Figure 3 sorted normalized access curve for one app."""
+    series = fig3_series(manager)
+    rows = [
+        (i, float(v)) for i, v in enumerate(series.normalized_counts)
+    ]
+    return _write(
+        Path(out_dir) / f"fig3_{_slug(manager)}.csv",
+        ["block_rank", "normalized_reads"],
+        rows,
+    )
+
+
+def export_fig4(manager: ReliabilityManager, out_dir: Path) -> Path:
+    """Figure 4 warp-sharing curve for one app."""
+    series = fig4_series(manager)
+    rows = [
+        (i, float(v)) for i, v in enumerate(series.warp_share_percent)
+    ]
+    return _write(
+        Path(out_dir) / f"fig4_{_slug(manager)}.csv",
+        ["block_rank", "warp_share_percent"],
+        rows,
+    )
+
+
+def export_fig6(
+    manager: ReliabilityManager, out_dir: Path, runs: int,
+    seed: int = 20210621,
+) -> Path:
+    """Figure 6 hot-vs-rest fault grid for one app."""
+    cells = fig6_grid(manager, runs=runs, seed=seed)
+    rows = [
+        (c.space, c.n_blocks, c.n_bits, c.sdc, c.crash, c.masked,
+         c.runs)
+        for c in cells
+    ]
+    return _write(
+        Path(out_dir) / f"fig6_{_slug(manager)}.csv",
+        ["space", "n_blocks", "n_bits", "sdc", "crash", "masked",
+         "runs"],
+        rows,
+    )
+
+
+def export_fig7(manager: ReliabilityManager, out_dir: Path) -> Path:
+    """Figure 7 normalized performance sweep for one app."""
+    _baseline, sweep = fig7_sweep(manager)
+    rows = [
+        (r.scheme, r.n_protected, r.norm_time,
+         r.norm_missed_accesses, r.replica_transactions)
+        for r in sweep
+    ]
+    return _write(
+        Path(out_dir) / f"fig7_{_slug(manager)}.csv",
+        ["scheme", "n_protected", "norm_time", "norm_missed",
+         "replica_transactions"],
+        rows,
+    )
+
+
+def export_fig9(
+    manager: ReliabilityManager, out_dir: Path, runs: int,
+    seed: int = 20210621,
+) -> Path:
+    """Figure 9 protection-level fault grid for one app."""
+    rows = []
+    n_hot = len(manager.app.hot_object_names)
+    n_all = len(manager.app.object_importance)
+    levels = sorted({0, n_hot, n_all})
+    for scheme in ("detection", "correction"):
+        for cell in fig9_grid(manager, scheme=scheme, runs=runs,
+                              levels=levels, seed=seed):
+            rows.append((
+                cell.scheme, cell.n_protected, cell.n_blocks,
+                cell.n_bits, cell.sdc, cell.detected, cell.corrected,
+                cell.crash, cell.runs,
+            ))
+    return _write(
+        Path(out_dir) / f"fig9_{_slug(manager)}.csv",
+        ["scheme", "n_protected", "n_blocks", "n_bits", "sdc",
+         "detected", "corrected", "crash", "runs"],
+        rows,
+    )
+
+
+def export_all(
+    manager: ReliabilityManager, out_dir: Path, runs: int = 100,
+) -> list[Path]:
+    """Export every per-application exhibit plus the static tables."""
+    out_dir = Path(out_dir)
+    return [
+        export_table1(out_dir),
+        export_fig2(out_dir),
+        export_table2(out_dir),
+        export_fig3(manager, out_dir),
+        export_fig4(manager, out_dir),
+        export_fig6(manager, out_dir, runs=runs),
+        export_fig7(manager, out_dir),
+        export_fig9(manager, out_dir, runs=runs),
+    ]
+
+
+def _slug(manager: ReliabilityManager) -> str:
+    return manager.app.name.lower().replace("-", "_")

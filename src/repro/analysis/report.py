@@ -1,0 +1,81 @@
+"""Plain-text reporting of campaign and simulation results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.campaign import CampaignResult
+from repro.faults.outcomes import Outcome
+from repro.sim.metrics import SimReport
+from repro.utils.tables import TextTable
+
+
+def sdc_drop_percent(
+    baseline: CampaignResult, protected: CampaignResult
+) -> float:
+    """Percentage drop in SDC outcomes relative to the baseline (the
+    paper's headline 98.97% statistic).
+
+    A baseline with zero SDCs yields 0.0 (nothing to drop) rather than
+    a division error, so averages over many configurations stay sane.
+    """
+    if baseline.sdc_count == 0:
+        return 0.0
+    drop = baseline.sdc_count - protected.sdc_count
+    return 100.0 * drop / baseline.sdc_count
+
+
+def campaign_table(results: Sequence[CampaignResult]) -> TextTable:
+    """One row per campaign: configuration and outcome counts."""
+    table = TextTable(
+        [
+            "app", "scheme", "selection", "blocks", "bits", "runs",
+            "masked", "sdc", "detected", "corrected", "crash", "sdc%",
+        ],
+        float_format="{:.2f}",
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.app_name,
+                r.scheme_name,
+                r.selection_name,
+                r.config.n_blocks,
+                r.config.n_bits,
+                r.n_runs,
+                r.count(Outcome.MASKED),
+                r.count(Outcome.SDC),
+                r.count(Outcome.DETECTED),
+                r.count(Outcome.CORRECTED),
+                r.count(Outcome.CRASH),
+                100.0 * r.sdc_rate,
+            ]
+        )
+    return table
+
+
+def performance_table(
+    reports: Sequence[SimReport], baseline: SimReport
+) -> TextTable:
+    """One row per timing run, normalized to the baseline (Fig 7)."""
+    table = TextTable(
+        [
+            "app", "scheme", "protected", "cycles", "norm-time",
+            "L1-missed", "norm-missed", "replicas",
+        ],
+        float_format="{:.3f}",
+    )
+    for r in reports:
+        table.add_row(
+            [
+                r.app_name,
+                r.scheme_name,
+                len(r.protected_names),
+                r.cycles,
+                r.slowdown_vs(baseline),
+                r.l1_missed_accesses,
+                r.missed_accesses_vs(baseline),
+                r.replica_transactions,
+            ]
+        )
+    return table

@@ -1,0 +1,87 @@
+"""Reliability/performance tradeoff sweep (the paper's Section V-C).
+
+For each cumulative protection level (0..N objects, Figs 7/9 x-axis)
+run one timing simulation and one fault campaign, yielding the curve
+from which a user picks their operating point: protecting exactly the
+hot objects buys nearly the whole SDC reduction at a sliver of the
+full-replication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.manager import ReliabilityManager
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One protection level of the sweep."""
+
+    n_protected: int
+    protected_names: tuple[str, ...]
+    slowdown: float
+    missed_accesses_ratio: float
+    sdc_count: int
+    detected_count: int
+    corrected_count: int
+    runs: int
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.sdc_count / self.runs if self.runs else 0.0
+
+
+def tradeoff_curve(
+    manager: ReliabilityManager,
+    scheme: str = "correction",
+    runs: int = 200,
+    n_blocks: int = 1,
+    n_bits: int = 2,
+    selection: str = "access-weighted",
+    seed: int = 20210621,
+) -> list[TradeoffPoint]:
+    """Sweep protection from 0 to all input objects."""
+    from repro.faults.outcomes import Outcome
+
+    baseline_sim = manager.simulate_performance("baseline", "none")
+    points = []
+    n_objects = len(manager.app.object_importance)
+    for level in range(n_objects + 1):
+        names = manager.protected_names(level)
+        if level == 0:
+            sim = baseline_sim
+        else:
+            sim = manager.simulate_performance(scheme, level)
+        campaign = manager.evaluate(
+            scheme=scheme if level else "baseline",
+            protect=level,
+            runs=runs,
+            n_blocks=n_blocks,
+            n_bits=n_bits,
+            selection=selection,
+            seed=seed,
+        )
+        points.append(
+            TradeoffPoint(
+                n_protected=level,
+                protected_names=names,
+                slowdown=sim.slowdown_vs(baseline_sim),
+                missed_accesses_ratio=sim.missed_accesses_vs(baseline_sim),
+                sdc_count=campaign.sdc_count,
+                detected_count=campaign.count(Outcome.DETECTED),
+                corrected_count=campaign.count(Outcome.CORRECTED),
+                runs=campaign.n_runs,
+            )
+        )
+    return points
+
+
+def knee_point(points: list[TradeoffPoint]) -> TradeoffPoint:
+    """The sweet spot: the cheapest level achieving (nearly) the best
+    reliability — lowest SDC count, ties broken by lowest slowdown."""
+    if not points:
+        raise ValueError("empty tradeoff curve")
+    best_sdc = min(p.sdc_count for p in points)
+    candidates = [p for p in points if p.sdc_count <= best_sdc]
+    return min(candidates, key=lambda p: (p.slowdown, p.n_protected))

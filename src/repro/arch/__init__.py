@@ -1,0 +1,38 @@
+"""GPU architecture substrate: device memory, caches, DRAM, ECC.
+
+These are the hardware models underneath the paper's contribution.
+Timing behaviour (who stalls, for how long) lives in :mod:`repro.sim`;
+this package provides the stateful components the simulator drives and
+the functional device memory that fault injection mutates.
+"""
+
+from repro.arch.address_space import (
+    BLOCK_BYTES,
+    DataObject,
+    DeviceMemory,
+    StuckAtOverlay,
+)
+from repro.arch.cache import Cache, CacheConfig
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.arch.dram import DramChannel, DramTimings
+from repro.arch.ecc import DecodeStatus, SecdedCodec, classify_true_outcome
+from repro.arch.interconnect import Link
+from repro.arch.mshr import MshrFile
+
+__all__ = [
+    "BLOCK_BYTES",
+    "DataObject",
+    "DeviceMemory",
+    "StuckAtOverlay",
+    "Cache",
+    "CacheConfig",
+    "GpuConfig",
+    "PAPER_CONFIG",
+    "DramChannel",
+    "DramTimings",
+    "DecodeStatus",
+    "SecdedCodec",
+    "classify_true_outcome",
+    "Link",
+    "MshrFile",
+]

@@ -1,0 +1,124 @@
+"""GDDR5 DRAM channel model: banks, row buffers, data-bus occupancy.
+
+Each memory partition owns one channel with ``n_banks`` banks.  A
+request to an open row pays the row-hit latency; switching rows pays
+the row-miss (precharge + activate + CAS) latency.  Banks serve one
+request at a time and the channel data bus serializes line transfers —
+together these approximate FR-FCFS service: requests to an open row
+that arrive while the bank is busy complete back-to-back, while row
+conflicts queue behind the precharge.
+
+All times are in core cycles (the memory-clock ratio from Table I is
+folded into the configured latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    row_hit_cycles: int = 60
+    row_miss_cycles: int = 130
+    bus_cycles_per_line: int = 12
+
+    def __post_init__(self) -> None:
+        if min(
+            self.row_hit_cycles,
+            self.row_miss_cycles,
+            self.bus_cycles_per_line,
+        ) <= 0:
+            raise ValueError("DRAM timings must be positive")
+        if self.row_miss_cycles < self.row_hit_cycles:
+            raise ValueError("row miss cannot be faster than row hit")
+
+
+@dataclass
+class DramStats:
+    requests: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bank_queue_cycles: int = 0
+
+
+class _Bank:
+    __slots__ = ("open_row", "next_free")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.next_free = 0
+
+
+class DramChannel:
+    """One memory controller + its banks."""
+
+    def __init__(
+        self,
+        n_banks: int,
+        row_bytes: int,
+        line_bytes: int,
+        timings: DramTimings,
+        name: str = "dram",
+    ):
+        if n_banks <= 0:
+            raise ValueError("n_banks must be positive")
+        if row_bytes % line_bytes:
+            raise ValueError("row size must be a multiple of the line size")
+        self.n_banks = n_banks
+        self.row_bytes = row_bytes
+        self.line_bytes = line_bytes
+        self.timings = timings
+        self.name = name
+        self.stats = DramStats()
+        self._banks = [_Bank() for _ in range(n_banks)]
+        self._bus_next_free = 0
+
+    def _map(self, addr: int) -> tuple[int, int]:
+        """Address -> (bank, row).
+
+        Lines interleave across banks, with the bank index XOR-hashed
+        by higher address bits (the standard GPU memory-controller
+        trick) so that large power-of-two-ish strides — e.g. the
+        column-major accesses of the Polybench kernels — still spread
+        over all banks instead of aliasing onto a few.
+        """
+        line = addr // self.line_bytes
+        row = addr // (self.row_bytes * self.n_banks)
+        bank = (line ^ (line // self.n_banks) ^ (line // (self.n_banks ** 2))) \
+            % self.n_banks
+        return bank, row
+
+    def access(self, now: int, addr: int) -> int:
+        """Service a line read arriving at ``now``; return completion time."""
+        bank_idx, row = self._map(addr)
+        bank = self._banks[bank_idx]
+        start = max(now, bank.next_free)
+        self.stats.requests += 1
+        self.stats.bank_queue_cycles += start - now
+        if bank.open_row == row:
+            latency = self.timings.row_hit_cycles
+            self.stats.row_hits += 1
+        else:
+            latency = self.timings.row_miss_cycles
+            self.stats.row_misses += 1
+            bank.open_row = row
+        data_ready = start + latency
+        bus_start = max(data_ready, self._bus_next_free)
+        self._bus_next_free = bus_start + self.timings.bus_cycles_per_line
+        bank.next_free = data_ready
+        return bus_start + self.timings.bus_cycles_per_line
+
+    @property
+    def row_hit_rate(self) -> float:
+        if not self.stats.requests:
+            return 0.0
+        return self.stats.row_hits / self.stats.requests
+
+    def reset(self) -> None:
+        """Close all rows, clear timing state and counters."""
+        self.stats = DramStats()
+        for bank in self._banks:
+            bank.open_row = None
+            bank.next_free = 0
+        self._bus_next_free = 0

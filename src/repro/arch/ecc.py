@@ -1,0 +1,187 @@
+"""Hamming (72,64) SECDED codec — the baseline protection in the paper.
+
+The paper assumes caches and DRAM are SECDED-protected and focuses on
+multi-bit faults that this code cannot correct.  This module makes the
+premise concrete:
+
+* 1-bit errors are corrected,
+* 2-bit errors are detected but uncorrectable,
+* 3-bit errors typically *miscorrect* (the decoder flips a third,
+  innocent bit while claiming success),
+* 4-bit errors can escape silently or alias to "detected".
+
+Construction: extended Hamming code.  Codeword positions are numbered
+1..71 with check bits at the power-of-two positions (1, 2, 4, 8, 16,
+32, 64) and an overall-parity bit stored separately (position 0 of the
+72-bit word).  The syndrome of a single flipped position equals that
+position's number, which is what makes correction a table-free
+operation in hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+DATA_BITS = 64
+CHECK_BITS = 7  # plus 1 overall parity bit
+CODEWORD_BITS = 72
+
+_CHECK_POSITIONS = tuple(1 << i for i in range(CHECK_BITS))  # 1,2,...,64
+_DATA_POSITIONS = tuple(
+    p for p in range(1, CODEWORD_BITS) if p not in _CHECK_POSITIONS
+)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(enum.Enum):
+    """What the decoder *believes* happened (hardware's view)."""
+
+    NO_ERROR = "no_error"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+class TrueOutcome(enum.Enum):
+    """Ground-truth classification of a decode against the original word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED = "detected"
+    MISCORRECTED = "miscorrected"  # decoder claimed success, data wrong
+    SILENT_ESCAPE = "silent_escape"  # decoder saw no error, data wrong
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    status: DecodeStatus
+    data: int
+    corrected_position: int | None = None
+
+
+class SecdedCodec:
+    """Encoder/decoder for the (72,64) extended Hamming code."""
+
+    def encode(self, data: int) -> int:
+        """Encode a 64-bit data word into a 72-bit codeword."""
+        if not 0 <= data < (1 << DATA_BITS):
+            raise ValueError("data must be a 64-bit unsigned integer")
+        word = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (data >> i) & 1:
+                word |= 1 << pos
+        for i, check_pos in enumerate(_CHECK_POSITIONS):
+            parity = 0
+            for pos in range(1, CODEWORD_BITS):
+                if pos & check_pos and (word >> pos) & 1:
+                    parity ^= 1
+            if parity:
+                word |= 1 << check_pos
+        overall = bin(word).count("1") & 1
+        if overall:
+            word |= 1  # position 0 holds the overall parity bit
+        return word
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode a possibly corrupted codeword."""
+        if not 0 <= codeword < (1 << CODEWORD_BITS):
+            raise ValueError("codeword must be a 72-bit unsigned integer")
+        syndrome = 0
+        for i, check_pos in enumerate(_CHECK_POSITIONS):
+            parity = 0
+            for pos in range(1, CODEWORD_BITS):
+                if pos & check_pos and (codeword >> pos) & 1:
+                    parity ^= 1
+            if parity:
+                syndrome |= check_pos
+        overall = bin(codeword).count("1") & 1
+
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(DecodeStatus.NO_ERROR, self._extract(codeword))
+        if overall == 1:
+            # Odd number of flipped bits; the decoder assumes exactly one.
+            if syndrome == 0:
+                # The overall-parity bit itself flipped; data is intact.
+                return DecodeResult(
+                    DecodeStatus.CORRECTED, self._extract(codeword), 0
+                )
+            if syndrome < CODEWORD_BITS:
+                fixed = codeword ^ (1 << syndrome)
+                return DecodeResult(
+                    DecodeStatus.CORRECTED, self._extract(fixed), syndrome
+                )
+            # Syndrome points outside the codeword: provably multi-bit.
+            return DecodeResult(
+                DecodeStatus.DETECTED_UNCORRECTABLE, self._extract(codeword)
+            )
+        # Even parity with non-zero syndrome: classic double-bit signature.
+        return DecodeResult(
+            DecodeStatus.DETECTED_UNCORRECTABLE, self._extract(codeword)
+        )
+
+    @staticmethod
+    def _extract(codeword: int) -> int:
+        data = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (codeword >> pos) & 1:
+                data |= 1 << i
+        return data
+
+
+def data_bit_position(data_bit: int) -> int:
+    """Codeword position of data bit ``data_bit`` (0..63).
+
+    Exposed for fault filtering: a stuck cell in the data array flips
+    this codeword position.
+    """
+    if not 0 <= data_bit < DATA_BITS:
+        raise ValueError(f"data bit {data_bit} outside [0, {DATA_BITS})")
+    return _DATA_POSITIONS[data_bit]
+
+
+def classify_true_outcome(
+    codec: SecdedCodec, original_data: int, corrupted_codeword: int
+) -> TrueOutcome:
+    """Classify a decode against ground truth (the testbench's view)."""
+    result = codec.decode(corrupted_codeword)
+    clean = result.data == original_data
+    if result.status is DecodeStatus.NO_ERROR:
+        return TrueOutcome.CLEAN if clean else TrueOutcome.SILENT_ESCAPE
+    if result.status is DecodeStatus.CORRECTED:
+        return TrueOutcome.CORRECTED if clean else TrueOutcome.MISCORRECTED
+    return TrueOutcome.DETECTED
+
+
+def inject_and_decode(
+    codec: SecdedCodec, data: int, bit_positions: list[int]
+) -> TrueOutcome:
+    """Encode ``data``, flip the given codeword bits, and classify."""
+    codeword = codec.encode(data)
+    for pos in bit_positions:
+        codeword ^= 1 << pos
+    return classify_true_outcome(codec, data, codeword)
+
+
+def escape_rates(
+    codec: SecdedCodec,
+    n_bits: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> dict[TrueOutcome, float]:
+    """Monte-Carlo outcome distribution for random ``n_bits``-bit errors.
+
+    Used by the ECC ablation bench to quantify how often multi-bit
+    faults defeat SECDED — the quantitative version of the paper's
+    motivation.
+    """
+    counts: dict[TrueOutcome, int] = {o: 0 for o in TrueOutcome}
+    for _ in range(trials):
+        data = int(rng.integers(0, 1 << 63, dtype=np.int64)) * 2 + int(
+            rng.integers(0, 2)
+        )
+        positions = rng.choice(CODEWORD_BITS, size=n_bits, replace=False)
+        outcome = inject_and_decode(codec, data, [int(p) for p in positions])
+        counts[outcome] += 1
+    return {o: c / trials for o, c in counts.items()}

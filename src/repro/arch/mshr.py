@@ -1,0 +1,89 @@
+"""Miss Status Holding Registers for the L1 data cache.
+
+MSHRs bound the number of outstanding misses per SM and merge repeated
+misses to the same cache line into one downstream request — both
+first-order effects for GPU memory-level parallelism.  When the file is
+full (or a line's merge capacity is exhausted) the LD/ST unit stalls,
+which is one of the structural hazards the timing simulator models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+    merge_stalls: int = 0
+
+
+class MshrFile:
+    """Tracks outstanding misses keyed by cache-line address."""
+
+    def __init__(self, n_entries: int, max_merged: int):
+        if n_entries <= 0 or max_merged <= 0:
+            raise ValueError("MSHR sizes must be positive")
+        self.n_entries = n_entries
+        self.max_merged = max_merged
+        self._entries: dict[int, int] = {}  # line addr -> merged count
+        self.stats = MshrStats()
+
+    def probe(self, line_addr: int) -> str:
+        """What would happen if a miss to ``line_addr`` arrived now?
+
+        Returns ``"allocate"`` (new entry available), ``"merge"``
+        (existing entry has room), or ``"stall"``.
+        """
+        count = self._entries.get(line_addr)
+        if count is not None:
+            return "merge" if count < self.max_merged else "stall"
+        return "allocate" if len(self._entries) < self.n_entries else "stall"
+
+    def add(self, line_addr: int) -> bool:
+        """Register a miss.  Returns True if a *new* downstream request
+        must be sent, False if it merged into an existing one.
+
+        Raises ``RuntimeError`` if called while ``probe`` says stall —
+        callers must check first.
+        """
+        outcome = self.probe(line_addr)
+        if outcome == "stall":
+            if line_addr in self._entries:
+                self.stats.merge_stalls += 1
+            else:
+                self.stats.full_stalls += 1
+            raise RuntimeError("MSHR add() while full; probe() first")
+        if outcome == "merge":
+            self._entries[line_addr] += 1
+            self.stats.merges += 1
+            return False
+        self._entries[line_addr] = 1
+        self.stats.allocations += 1
+        return True
+
+    def record_stall(self, line_addr: int) -> None:
+        """Account a stall observed by the LD/ST unit."""
+        if line_addr in self._entries:
+            self.stats.merge_stalls += 1
+        else:
+            self.stats.full_stalls += 1
+
+    def release(self, line_addr: int) -> int:
+        """Retire the entry when the fill returns; yields merged count."""
+        try:
+            return self._entries.pop(line_addr)
+        except KeyError:
+            raise KeyError(
+                f"MSHR release for line {line_addr:#x} with no entry"
+            ) from None
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``profile``  — access-pattern analysis of one application (Fig 3/4,
+  Table III statistics, automated hot-object discovery).
+* ``campaign`` — a fault-injection campaign under a chosen scheme and
+  protection level (Figs 6/9 cells).
+* ``perf``     — timing simulation of a protection configuration
+  (Fig 7 bars).
+* ``tradeoff`` — the Section V-C sweep across protection levels.
+* ``export``   — write every exhibit's data for one application to
+  CSV files (re-plottable with any tool).
+* ``apps``     — list the available applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import campaign_table, performance_table
+from repro.core.manager import ReliabilityManager
+from repro.kernels.registry import (
+    APPLICATIONS,
+    FLAT_APPLICATIONS,
+    create_app,
+)
+from repro.utils.tables import TextTable
+
+
+def _manager(args) -> ReliabilityManager:
+    app = create_app(args.app, scale=args.scale, seed=args.seed)
+    return ReliabilityManager(app)
+
+
+def _cmd_apps(_args) -> int:
+    print("Resilience-study applications (Table II):")
+    for name in APPLICATIONS:
+        print(f"  {name}")
+    print("Flat-profile applications (Fig 3(g)-(h)):")
+    for name in FLAT_APPLICATIONS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    manager = _manager(args)
+    profile = manager.profile
+    t3 = manager.table3()
+    discovery = manager.discover_hot_objects()
+    print(f"{manager.app.name}: {profile.total_reads} read transactions "
+          f"over {profile.n_blocks} blocks")
+    print(f"  max/min per-block access ratio: "
+          f"{profile.max_min_ratio():.1f}x")
+    print(f"  hot blocks: {len(manager.hot_blocks.hot_addrs)}")
+    print(f"  hot objects (declared): {t3.hot_objects}")
+    print(f"  hot objects (discovered): {discovery.hot_objects}")
+    print(f"  hot footprint: {t3.hot_footprint_pct:.3f}% of app memory")
+    print(f"  hot accesses:  {t3.hot_access_pct:.2f}% of all reads")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    manager = _manager(args)
+    result = manager.evaluate(
+        scheme=args.scheme,
+        protect=args.protect if args.protect in ("none", "hot", "all")
+        else int(args.protect),
+        runs=args.runs,
+        n_blocks=args.blocks,
+        n_bits=args.bits,
+        selection=args.selection,
+    )
+    print(campaign_table([result]).render())
+    print()
+    print(f"SDC rate: {result.sdc_interval()}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    manager = _manager(args)
+    baseline = manager.simulate_performance("baseline", "none")
+    reports = [baseline]
+    if args.scheme != "baseline":
+        protect = (
+            args.protect if args.protect in ("none", "hot", "all")
+            else int(args.protect)
+        )
+        reports.append(manager.simulate_performance(args.scheme, protect))
+    print(performance_table(reports, baseline).render())
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.analysis.tradeoff import knee_point, tradeoff_curve
+
+    manager = _manager(args)
+    points = tradeoff_curve(
+        manager, scheme=args.scheme, runs=args.runs,
+        n_blocks=args.blocks, n_bits=args.bits,
+    )
+    table = TextTable(
+        ["protected", "objects", "norm-time", "norm-missed", "SDC",
+         "detected", "corrected"],
+        float_format="{:.3f}",
+    )
+    for p in points:
+        table.add_row([
+            p.n_protected, ",".join(p.protected_names) or "-",
+            p.slowdown, p.missed_accesses_ratio, p.sdc_count,
+            p.detected_count, p.corrected_count,
+        ])
+    print(table.render())
+    knee = knee_point(points)
+    print(f"\nsweet spot: protect {knee.n_protected} object(s) "
+          f"({','.join(knee.protected_names) or 'none'}) -> "
+          f"{knee.sdc_count} SDCs at {100 * (knee.slowdown - 1):+.1f}% "
+          "time")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import export_all
+
+    manager = _manager(args)
+    paths = export_all(manager, args.out, runs=args.runs)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="application name, e.g. P-BICG")
+    parser.add_argument("--scale", default="default",
+                        choices=("default", "small"))
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-centric GPU reliability management (DSN'21) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list applications").set_defaults(
+        func=_cmd_apps)
+
+    p = sub.add_parser("profile", help="access-pattern analysis")
+    _add_common(p)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("campaign", help="fault-injection campaign")
+    _add_common(p)
+    p.add_argument("--scheme", default="baseline",
+                   choices=("baseline", "detection", "correction"))
+    p.add_argument("--protect", default="hot",
+                   help="none | hot | all | <N objects>")
+    p.add_argument("--runs", type=int, default=200)
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--bits", type=int, default=2)
+    p.add_argument("--selection", default="access-weighted",
+                   choices=("access-weighted", "miss-weighted",
+                            "uniform", "hot", "rest"))
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("perf", help="timing simulation")
+    _add_common(p)
+    p.add_argument("--scheme", default="detection",
+                   choices=("baseline", "detection", "correction"))
+    p.add_argument("--protect", default="hot")
+    p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser("tradeoff", help="Section V-C sweep")
+    _add_common(p)
+    p.add_argument("--scheme", default="correction",
+                   choices=("detection", "correction"))
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--bits", type=int, default=2)
+    p.set_defaults(func=_cmd_tradeoff)
+
+    p = sub.add_parser("export", help="write exhibit data to CSV")
+    _add_common(p)
+    p.add_argument("--out", default="results",
+                   help="output directory (default: results/)")
+    p.add_argument("--runs", type=int, default=100)
+    p.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

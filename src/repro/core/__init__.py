@@ -1,0 +1,35 @@
+"""The paper's contribution: data-centric partial-replication schemes.
+
+* :mod:`replication` — replica allocation of protected data objects at
+  distinct DRAM addresses.
+* :mod:`hardware` — the Section IV-C hardware budget: start-address
+  table, load-instruction table, comparator, pending-compare queue.
+* :mod:`schemes` — :class:`BaselineScheme` (no protection),
+  :class:`DetectionScheme` (duplication + lazy bitwise compare +
+  terminate-on-mismatch) and :class:`CorrectionScheme` (triplication +
+  per-bit majority vote).
+* :mod:`manager` — :class:`ReliabilityManager`, the end-to-end API
+  tying profiling, protection, fault campaigns and the timing
+  simulator together.
+"""
+
+from repro.core.hardware import HardwareBudget
+from repro.core.manager import ReliabilityManager
+from repro.core.replication import ReplicaSet, create_replicas
+from repro.core.schemes import (
+    BaselineScheme,
+    CorrectionScheme,
+    DetectionScheme,
+    make_scheme,
+)
+
+__all__ = [
+    "HardwareBudget",
+    "ReliabilityManager",
+    "ReplicaSet",
+    "create_replicas",
+    "BaselineScheme",
+    "CorrectionScheme",
+    "DetectionScheme",
+    "make_scheme",
+]

@@ -1,0 +1,156 @@
+"""Comparison baselines from the paper's related work (Section VI).
+
+Two classic software fault-tolerance approaches the paper positions
+itself against:
+
+* **Redundant execution (DMR)** — run the kernel twice and compare
+  the outputs (compiler-managed redundant multithreading, Wadden et
+  al. / Gupta et al.).  Its blind spot for *memory* faults is
+  structural: both executions read the same (corrupted) data from the
+  same addresses, compute the same wrong answer, and agree — a
+  permanent stuck-at fault in DRAM is invisible to computation
+  redundancy.  The timing cost, meanwhile, is roughly the whole
+  kernel again.
+* **Checkpoint/restart** — periodically snapshot writable state so a
+  detected fault rolls back instead of rerunning from scratch (Garg
+  et al.'s CRUM, Nukada et al.'s NVCR).  The paper cites its overhead
+  as prohibitive for GPU working sets [29]; the analytical model here
+  (and :mod:`repro.analysis.recovery`) quantifies when that is true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.errors import ConfigError, FaultDetected, KernelCrash
+from repro.faults.outcomes import Outcome, RunResult
+from repro.kernels.base import GpuApplication, PlainReader
+
+
+@dataclass(frozen=True)
+class DmrOutcome:
+    """Result of one dual-modular-redundant execution."""
+
+    outcome: Outcome
+    runs_agreed: bool
+    error: float
+
+
+def run_dmr(
+    app: GpuApplication, memory: DeviceMemory
+) -> tuple[np.ndarray, bool]:
+    """Execute the application twice on the same device memory and
+    compare the outputs bit-for-bit.
+
+    Returns (first output, agreed).  With deterministic kernels and
+    *permanent* data faults the two executions always agree — both
+    read the same corrupted bits — which is precisely why the paper
+    replicates data instead of computation.
+    """
+    first_mem = memory.clone_with_faults()
+    second_mem = memory.clone_with_faults()
+    first = app.execute(first_mem, PlainReader(first_mem))
+    second = app.execute(second_mem, PlainReader(second_mem))
+    agreed = np.array_equal(
+        np.asarray(first), np.asarray(second), equal_nan=True)
+    return first, agreed
+
+
+def dmr_slowdown(baseline_cycles: int, compare_cycles: int = 0) -> float:
+    """Timing model of DMR: the kernel runs twice (redundant threads
+    contend for the same resources) plus the output comparison."""
+    if baseline_cycles <= 0:
+        raise ConfigError("baseline cycles must be positive")
+    return (2 * baseline_cycles + compare_cycles) / baseline_cycles
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Analytical checkpoint/restart cost model.
+
+    A checkpoint copies every writable byte of application state to a
+    safe region through the memory system; ``effective_bw_bytes_per_
+    cycle`` aggregates the paper GPU's channel bandwidth.  The
+    *overhead* is paid every interval whether or not faults occur; the
+    *benefit* only materializes on recovery (see
+    :func:`repro.analysis.recovery.expected_runtime`).
+    """
+
+    writable_bytes: int
+    checkpoint_interval_cycles: int
+    #: Aggregate write bandwidth during a checkpoint (6 channels x
+    #: 32B/cycle in the Table I configuration).
+    effective_bw_bytes_per_cycle: int = 192
+
+    def __post_init__(self) -> None:
+        if self.writable_bytes <= 0:
+            raise ConfigError("writable_bytes must be positive")
+        if self.checkpoint_interval_cycles <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+        if self.effective_bw_bytes_per_cycle <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    @property
+    def checkpoint_cost_cycles(self) -> int:
+        """Cycles to write one snapshot."""
+        return -(-self.writable_bytes
+                 // self.effective_bw_bytes_per_cycle)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Steady-state slowdown from checkpointing alone."""
+        return self.checkpoint_cost_cycles \
+            / self.checkpoint_interval_cycles
+
+    @classmethod
+    def for_app(
+        cls,
+        memory: DeviceMemory,
+        total_cycles: int,
+        n_checkpoints: int = 10,
+        config: GpuConfig = PAPER_CONFIG,
+        full_memory: bool = True,
+    ) -> "CheckpointModel":
+        """Model checkpointing an application ``n_checkpoints`` times.
+
+        Transparent GPU checkpointing frameworks (CRUM, NVCR) snapshot
+        the *entire device allocation* — they cannot know which bytes
+        a kernel dirtied — which is the "large amounts of data" cost
+        the paper calls prohibitive.  Pass ``full_memory=False`` for
+        an idealized dirty-state-only checkpointer.
+        """
+        if full_memory:
+            snapshot_bytes = memory.bytes_allocated
+        else:
+            snapshot_bytes = sum(
+                obj.nbytes for obj in memory.objects
+                if not obj.read_only
+            )
+        if snapshot_bytes == 0:
+            raise ConfigError("application has no state to checkpoint")
+        interval = max(total_cycles // max(n_checkpoints, 1), 1)
+        bandwidth = (config.n_mem_channels
+                     * config.interconnect_bytes_per_cycle)
+        return cls(snapshot_bytes, interval, bandwidth)
+
+
+def classify_dmr_run(
+    app: GpuApplication, memory: DeviceMemory, golden: np.ndarray
+) -> DmrOutcome:
+    """Outcome of a DMR-protected, fault-injected run."""
+    try:
+        with np.errstate(all="ignore"):
+            output, agreed = run_dmr(app, memory)
+    except KernelCrash:
+        return DmrOutcome(Outcome.CRASH, True, 0.0)
+    except FaultDetected:  # pragma: no cover - DMR has no scheme
+        return DmrOutcome(Outcome.DETECTED, False, 0.0)
+    if not agreed:
+        return DmrOutcome(Outcome.DETECTED, False, 0.0)
+    metric = app.error_metric.compare(golden, output)
+    outcome = Outcome.SDC if metric.is_sdc else Outcome.MASKED
+    return DmrOutcome(outcome, True, metric.error)

@@ -1,0 +1,226 @@
+"""End-to-end reliability management API.
+
+:class:`ReliabilityManager` wires the whole pipeline together for one
+application: trace generation, access profiling, hot-block/hot-object
+identification, fault-injection campaigns (reliability, Figs 6/9) and
+timing simulation (performance, Fig 7).
+
+All profiling artifacts are computed lazily and cached — the paper's
+"one-time offline analysis".
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.core.hardware import HardwareBudget
+from repro.errors import ConfigError
+from repro.faults.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.faults.selection import (
+    BlockSelection,
+    access_weighted_selection,
+    hot_selection,
+    miss_weighted_selection,
+    rest_selection,
+    uniform_selection,
+)
+from repro.kernels.base import GpuApplication
+from repro.kernels.trace import AppTrace
+from repro.profiling.access_profile import AccessProfile, profile_trace
+from repro.profiling.hot_blocks import (
+    HotBlockClassification,
+    classify_hot_blocks,
+)
+from repro.profiling.hot_objects import Table3Row, table3_row
+from repro.profiling.instrument import DiscoveryResult, discover
+from repro.profiling.miss_profile import l1_miss_profile
+
+
+class ReliabilityManager:
+    """Profile an application and run the paper's experiments on it."""
+
+    def __init__(
+        self,
+        app: GpuApplication,
+        config: GpuConfig = PAPER_CONFIG,
+        hot_factor: float = 8.0,
+    ):
+        app.validate_declarations()
+        self.app = app
+        self.config = config
+        self.hot_factor = hot_factor
+        self.budget = HardwareBudget.from_config(config)
+
+    # ------------------------------------------------------------------
+    # Cached offline analyses
+    # ------------------------------------------------------------------
+    @cached_property
+    def memory(self) -> DeviceMemory:
+        """Pristine device memory with the app's allocations."""
+        return self.app.fresh_memory()
+
+    @cached_property
+    def trace(self) -> AppTrace:
+        trace = self.app.build_trace(self.memory)
+        trace.validate()
+        return trace
+
+    @cached_property
+    def profile(self) -> AccessProfile:
+        return profile_trace(self.trace, self.memory)
+
+    @cached_property
+    def hot_blocks(self) -> HotBlockClassification:
+        return classify_hot_blocks(self.profile, hot_factor=self.hot_factor)
+
+    @cached_property
+    def miss_counts(self) -> dict[int, int]:
+        return l1_miss_profile(self.trace, self.config)
+
+    def table3(self) -> Table3Row:
+        """This app's Table III statistics."""
+        return table3_row(self.app, self.profile, self.memory)
+
+    def discover_hot_objects(self) -> DiscoveryResult:
+        """Instrumentation-style discovery (ignores declared answers)."""
+        return discover(self.app, self.memory, hot_factor=self.hot_factor)
+
+    # ------------------------------------------------------------------
+    # Protection levels
+    # ------------------------------------------------------------------
+    def protected_names(self, protect: int | str) -> tuple[str, ...]:
+        """Resolve a protection level to object names.
+
+        ``protect`` is an integer (cumulatively protect the first N
+        objects of the importance order — the x-axis of Figs 7/9) or
+        one of ``"none"``, ``"hot"``, ``"all"``.
+        """
+        order = self.app.object_importance
+        if protect == "none":
+            return ()
+        if protect == "hot":
+            return tuple(
+                n for n in order if n in self.app.hot_object_names
+            )
+        if protect == "all":
+            return tuple(order)
+        if isinstance(protect, int):
+            if not 0 <= protect <= len(order):
+                raise ConfigError(
+                    f"protect={protect} outside [0, {len(order)}]"
+                )
+            return tuple(order[:protect])
+        raise ConfigError(f"bad protection level {protect!r}")
+
+    # ------------------------------------------------------------------
+    # Block selections
+    # ------------------------------------------------------------------
+    def selection(self, kind: str) -> BlockSelection:
+        """Build a block-selection policy.
+
+        ``"hot"``/``"rest"`` — uniform over the (non-)hot blocks, the
+        Fig 5/6 motivation experiment.  ``"access-weighted"`` — the
+        Fig 8/9 evaluation policy at this repo's scale (see
+        selection.py).  ``"miss-weighted"`` — the literal Fig 8 policy
+        using the simulated L1.  ``"uniform"`` — uniform over every
+        accessed block.
+        """
+        if kind in ("hot", "rest"):
+            # Fig 5/6 splits at the object granularity the schemes
+            # protect: the hot arm is the blocks of the hot data
+            # objects (which the access profile ranks on top and which
+            # are also warp-shared, Observation II); everything else
+            # accessed is the rest arm.
+            hot_addrs = {
+                addr
+                for obj in self.app.hot_objects(self.memory)
+                for addr in obj.block_addrs()
+            }
+            if kind == "hot":
+                if not hot_addrs:
+                    raise ConfigError(
+                        f"{self.app.name} has no hot objects to select from"
+                    )
+                return hot_selection(sorted(hot_addrs))
+            rest = set(self.profile.block_reads) - hot_addrs
+            return rest_selection(sorted(rest))
+        if kind == "miss-weighted":
+            return miss_weighted_selection(self.miss_counts)
+        if kind == "access-weighted":
+            return access_weighted_selection(self.profile.block_reads)
+        if kind == "uniform":
+            return uniform_selection(sorted(self.profile.block_reads))
+        raise ConfigError(f"unknown selection kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Experiments
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        scheme: str = "correction",
+        protect: int | str = "hot",
+        runs: int = 1000,
+        n_blocks: int = 1,
+        n_bits: int = 2,
+        selection: str = "access-weighted",
+        seed: int = 20210621,
+        keep_runs: bool = False,
+    ) -> CampaignResult:
+        """The reliability evaluation (one Fig 9 configuration)."""
+        names = self.protected_names(protect)
+        campaign = Campaign(
+            self.app,
+            self.selection(selection),
+            scheme_name=scheme,
+            protected_names=names,
+            config=CampaignConfig(
+                runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
+            ),
+            keep_runs=keep_runs,
+        )
+        return campaign.run()
+
+    def motivation(
+        self,
+        space: str,
+        runs: int = 1000,
+        n_blocks: int = 1,
+        n_bits: int = 2,
+        seed: int = 20210621,
+    ) -> CampaignResult:
+        """The Fig 6 motivation experiment: unprotected app, faults in
+        ``space`` in {"hot", "rest"}."""
+        if space not in ("hot", "rest"):
+            raise ConfigError("motivation space must be 'hot' or 'rest'")
+        campaign = Campaign(
+            self.app,
+            self.selection(space),
+            scheme_name="baseline",
+            config=CampaignConfig(
+                runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
+            ),
+        )
+        return campaign.run()
+
+    def simulate_performance(
+        self, scheme: str = "baseline", protect: int | str = "none"
+    ):
+        """One timing run (a Fig 7 bar): returns a SimReport.
+
+        Imported lazily to keep the functional pipeline import-light.
+        """
+        from repro.sim.simulator import simulate_app
+
+        names = self.protected_names(protect)
+        return simulate_app(
+            self.app,
+            trace=self.trace,
+            memory=self.memory,
+            config=self.config,
+            scheme_name=scheme if names else "baseline",
+            protected_names=names,
+            budget=self.budget,
+        )

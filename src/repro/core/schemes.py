@@ -1,0 +1,188 @@
+"""The detection and detection-and-correction resilience schemes.
+
+Functionally (this module), a scheme is a *reader*: kernel code pulls
+its inputs through ``scheme.read(obj)``.  Reads of unprotected objects
+pass straight through to device memory; reads of protected objects
+fan out to every replica copy and either
+
+* **detect** — bit-compare the two copies and raise
+  :class:`~repro.errors.FaultDetected` on any mismatch (the paper's
+  *terminate* signal; the user reruns the application), or
+* **correct** — take a per-bit majority over the three copies and
+  return the voted data.
+
+Timing behaviour (lazy comparison, stall-for-all-copies, replica
+bandwidth) lives in :mod:`repro.sim.ldst`; both layers share the
+scheme descriptors defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.address_space import (
+    BLOCK_BYTES,
+    DataObject,
+    DeviceMemory,
+)
+from repro.core.hardware import HardwareBudget
+from repro.core.replication import (
+    ReplicaSet,
+    create_replicas,
+    majority_vote,
+)
+from repro.errors import ConfigError, FaultDetected
+
+
+@dataclass
+class SchemeStats:
+    """Counters a scheme accumulates over one application run."""
+
+    protected_reads: int = 0
+    unprotected_reads: int = 0
+    comparisons: int = 0
+    corrected_bytes: int = 0
+    corrected_reads: int = 0
+
+
+class BaselineScheme:
+    """No protection: every read passes straight to memory."""
+
+    scheme_name = "baseline"
+    extra_copies = 0
+
+    def __init__(self, memory: DeviceMemory):
+        self.memory = memory
+        self.protected_names: frozenset[str] = frozenset()
+        self.stats = SchemeStats()
+
+    def read(self, obj: DataObject) -> np.ndarray:
+        """Plain device-memory read (faults included, unchecked)."""
+        self.stats.unprotected_reads += 1
+        return self.memory.read_object(obj)
+
+
+class _ReplicatedScheme:
+    """Shared machinery of the two replication schemes."""
+
+    scheme_name = ""
+    extra_copies = 0
+
+    def __init__(
+        self,
+        memory: DeviceMemory,
+        protected_objects: list[DataObject],
+        budget: HardwareBudget | None = None,
+    ):
+        if not protected_objects:
+            raise ConfigError(
+                f"{self.scheme_name}: protect at least one object "
+                "(use BaselineScheme for none)"
+            )
+        self.memory = memory
+        budget = budget or HardwareBudget()
+        budget.check(
+            n_protected_objects=len(protected_objects),
+            n_protected_loads=len(protected_objects),  # >=1 PC per object
+            extra_copies=self.extra_copies,
+        )
+        self.budget = budget
+        self.replica_sets: dict[str, ReplicaSet] = create_replicas(
+            memory, protected_objects, self.extra_copies
+        )
+        self.protected_names = frozenset(self.replica_sets)
+        self.stats = SchemeStats()
+
+    def read(self, obj: DataObject) -> np.ndarray:
+        if obj.name not in self.protected_names:
+            self.stats.unprotected_reads += 1
+            return self.memory.read_object(obj)
+        self.stats.protected_reads += 1
+        return self._read_protected(self.replica_sets[obj.name])
+
+    def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
+        raise NotImplementedError
+
+
+class DetectionScheme(_ReplicatedScheme):
+    """Duplication + bitwise comparison + terminate on mismatch.
+
+    The comparison is *lazy* in the timing model (execution proceeds on
+    the first copy's arrival); functionally the mismatch check is
+    evaluated before the data is consumed, which is equivalent because
+    a detected mismatch terminates the run either way.
+    """
+
+    scheme_name = "detection"
+    extra_copies = 1
+
+    def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
+        primary_obj = replica_set.primary
+        primary = self.memory.read_object(primary_obj)
+        replica = self.memory.read_object(replica_set.replicas[0])
+        self.stats.comparisons += 1
+        a = primary.view(np.uint8).reshape(-1)
+        b = replica.view(np.uint8).reshape(-1)
+        mismatch = np.nonzero(a != b)[0]
+        if mismatch.size:
+            block = int(mismatch[0]) // BLOCK_BYTES
+            raise FaultDetected(primary_obj.name, block)
+        return primary
+
+
+class CorrectionScheme(_ReplicatedScheme):
+    """Triplication + per-bit majority vote.
+
+    Execution stalls (in the timing model) until all three copies
+    arrive; the voted value is what the computation consumes, so any
+    fault confined to a single copy is transparently corrected.
+    """
+
+    scheme_name = "correction"
+    extra_copies = 2
+
+    def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
+        primary_obj = replica_set.primary
+        copies = [
+            self.memory.read_object(c).view(np.uint8).reshape(-1)
+            for c in replica_set.all_copies()
+        ]
+        self.stats.comparisons += 1
+        voted, corrected = majority_vote(copies)
+        if corrected:
+            self.stats.corrected_bytes += corrected
+            self.stats.corrected_reads += 1
+        return (
+            voted.view(primary_obj.dtype)
+            .reshape(primary_obj.shape)
+            .copy()
+        )
+
+
+SCHEME_NAMES = ("baseline", "detection", "correction")
+
+
+def make_scheme(
+    name: str,
+    memory: DeviceMemory,
+    protected_objects: list[DataObject],
+    budget: HardwareBudget | None = None,
+):
+    """Factory: build a scheme by name.
+
+    ``protected_objects`` may be empty only for ``baseline`` (and a
+    non-baseline scheme with an empty list silently degrades to the
+    baseline, which is how the Fig 7/9 sweeps express their leftmost
+    "0 objects protected" point).
+    """
+    if name not in SCHEME_NAMES:
+        raise ConfigError(
+            f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}"
+        )
+    if name == "baseline" or not protected_objects:
+        return BaselineScheme(memory)
+    if name == "detection":
+        return DetectionScheme(memory, protected_objects, budget)
+    return CorrectionScheme(memory, protected_objects, budget)

@@ -1,0 +1,5 @@
+"""Static datasets used by the motivation figures."""
+
+from repro.data.gpu_trends import GpuGeneration, L2_SIZE_TREND
+
+__all__ = ["GpuGeneration", "L2_SIZE_TREND"]

@@ -1,0 +1,58 @@
+"""L2-cache size trend across GPU generations (the paper's Figure 2).
+
+A small survey dataset of NVIDIA and AMD flagship GPUs, compiled from
+the vendors' architecture whitepapers.  The figure's point: last-level
+cache capacity grows relentlessly (the Ampere A100's L2 is ~10x its
+predecessor's), which is exactly the structure that low-voltage
+operation — and hence multi-bit faults — targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class GpuGeneration:
+    vendor: str
+    model: str
+    year: int
+    l2_kib: int
+
+    @property
+    def l2_mib(self) -> float:
+        return self.l2_kib / 1024.0
+
+
+#: Chronological survey of flagship L2 capacities.
+L2_SIZE_TREND: tuple[GpuGeneration, ...] = (
+    GpuGeneration("NVIDIA", "GTX 480 (Fermi)", 2010, 768),
+    GpuGeneration("NVIDIA", "GTX 680 (Kepler)", 2012, 512),
+    GpuGeneration("AMD", "HD 7970 (GCN1)", 2012, 768),
+    GpuGeneration("NVIDIA", "Tesla K40 (Kepler)", 2013, 1536),
+    GpuGeneration("AMD", "R9 290X (GCN2)", 2013, 1024),
+    GpuGeneration("NVIDIA", "GTX 980 (Maxwell)", 2014, 2048),
+    GpuGeneration("AMD", "Fury X (GCN3)", 2015, 2048),
+    GpuGeneration("NVIDIA", "Tesla P100 (Pascal)", 2016, 4096),
+    GpuGeneration("NVIDIA", "Tesla V100 (Volta)", 2017, 6144),
+    GpuGeneration("AMD", "Vega 64 (GCN5)", 2017, 4096),
+    GpuGeneration("NVIDIA", "RTX 2080 Ti (Turing)", 2018, 5632),
+    GpuGeneration("AMD", "MI60 (Vega 20)", 2018, 4096),
+    GpuGeneration("NVIDIA", "A100 (Ampere)", 2020, 40960),
+    GpuGeneration("AMD", "MI100 (CDNA)", 2020, 8192),
+)
+
+
+def trend_for(vendor: str) -> list[GpuGeneration]:
+    """Chronological entries for one vendor."""
+    return [g for g in L2_SIZE_TREND if g.vendor == vendor]
+
+
+def growth_factor(vendor: str) -> float:
+    """Last/first L2 capacity ratio for a vendor's surveyed span."""
+    entries = trend_for(vendor)
+    if len(entries) < 2:
+        raise ValueError(f"not enough {vendor} entries for a trend")
+    return entries[-1].l2_kib / entries[0].l2_kib

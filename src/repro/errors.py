@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming mistakes (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AllocationError(ReproError):
+    """Device-memory allocation failed (out of space or bad request)."""
+
+
+class AddressError(ReproError):
+    """An address fell outside any live allocation."""
+
+
+class ConfigError(ReproError):
+    """An architecture or workload configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A kernel trace is malformed or inconsistent."""
+
+
+class FaultDetected(ReproError):
+    """Raised by the detection-only scheme when replica copies mismatch.
+
+    This models the *terminate* signal of the paper's detection scheme:
+    the application exits early and notifies the user, who is expected
+    to rerun it.  A run ending with this exception is classified as
+    outcome ``DETECTED`` (never SDC).
+    """
+
+    def __init__(self, object_name: str, block_index: int, message: str = ""):
+        self.object_name = object_name
+        self.block_index = block_index
+        detail = message or (
+            f"replica mismatch in object {object_name!r}, "
+            f"block {block_index}"
+        )
+        super().__init__(detail)
+
+
+class UncorrectableFault(ReproError):
+    """Majority vote failed: two or more copies agree on faulty bits."""
+
+
+class KernelCrash(ReproError):
+    """The functional execution of a kernel crashed.
+
+    Faults in data used for indexing or control flow can push the
+    simulated application outside its valid address space or produce
+    non-finite intermediate state that a real GPU program would trap
+    on.  The fault-injection campaign classifies such runs as CRASH.
+    """

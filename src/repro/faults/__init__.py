@@ -1,0 +1,41 @@
+"""Multi-bit fault injection (the paper's Section II-C framework).
+
+Faults are *permanent stuck-at* faults: within each selected 128-byte
+data memory block one 32-bit word is targeted at random, and 2, 3, or
+4 distinct bits of that word are stuck at 0 or 1 with equal
+probability.  Campaigns run many statistically independent
+experiments (1000 in the paper, for 95% confidence with ~3% margins)
+and classify each run's outcome against the fault-free baseline.
+"""
+
+from repro.faults.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.faults.injector import apply_faults
+from repro.faults.model import FaultSpec, sample_word_fault
+from repro.faults.outcomes import Outcome, RunResult
+from repro.faults.selection import (
+    BlockSelection,
+    hot_selection,
+    miss_weighted_selection,
+    rest_selection,
+    uniform_selection,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "apply_faults",
+    "FaultSpec",
+    "sample_word_fault",
+    "Outcome",
+    "RunResult",
+    "BlockSelection",
+    "hot_selection",
+    "miss_weighted_selection",
+    "rest_selection",
+    "uniform_selection",
+]

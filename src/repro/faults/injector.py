@@ -1,0 +1,17 @@
+"""Applies fault specifications to device memory."""
+
+from __future__ import annotations
+
+from repro.arch.address_space import DeviceMemory
+from repro.faults.model import FaultSpec
+
+
+def apply_faults(memory: DeviceMemory, faults: list[FaultSpec]) -> int:
+    """Install the stuck-at overlays for every fault; returns the number
+    of stuck bits injected."""
+    injected = 0
+    for fault in faults:
+        for byte_addr, bit, value in fault.byte_level_faults():
+            memory.inject_stuck_at(byte_addr, bit, value)
+            injected += 1
+    return injected

@@ -1,0 +1,108 @@
+"""The fault model: permanent multi-bit stuck-at faults in a word.
+
+Following the paper (after Luo et al.): within a selected 128-byte
+block a 32-bit word is chosen uniformly at random, and ``n_bits``
+distinct bit positions of that word are made permanently stuck, each
+at logic 0 or 1 with equal probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.address_space import BLOCK_BYTES
+from repro.utils.rng import RngStream
+
+WORD_BYTES = 4
+WORD_BITS = 32
+WORDS_PER_BLOCK = BLOCK_BYTES // WORD_BYTES
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One permanent stuck-at fault cluster within a single word.
+
+    ``bit_positions`` are bit indices within the 32-bit word (little
+    endian); ``stuck_values`` are the matching stuck levels.
+    """
+
+    block_addr: int
+    word_index: int  # which 32-bit word within the block (0..31)
+    bit_positions: tuple[int, ...]
+    stuck_values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.block_addr % BLOCK_BYTES:
+            raise ValueError(
+                f"block_addr {self.block_addr:#x} is not block aligned"
+            )
+        if not 0 <= self.word_index < WORDS_PER_BLOCK:
+            raise ValueError(f"word_index {self.word_index} out of block")
+        if len(self.bit_positions) != len(self.stuck_values):
+            raise ValueError("bit_positions/stuck_values length mismatch")
+        if len(set(self.bit_positions)) != len(self.bit_positions):
+            raise ValueError("bit positions must be distinct")
+        for pos in self.bit_positions:
+            if not 0 <= pos < WORD_BITS:
+                raise ValueError(f"bit position {pos} outside 32-bit word")
+        for val in self.stuck_values:
+            if val not in (0, 1):
+                raise ValueError(f"stuck value {val} must be 0 or 1")
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.bit_positions)
+
+    @property
+    def word_addr(self) -> int:
+        return self.block_addr + self.word_index * WORD_BYTES
+
+    def byte_level_faults(self) -> list[tuple[int, int, int]]:
+        """Expand to (byte address, bit-in-byte, stuck value) triples."""
+        out = []
+        for pos, val in zip(self.bit_positions, self.stuck_values):
+            out.append((self.word_addr + pos // 8, pos % 8, val))
+        return out
+
+
+def live_words(obj, block_addr: int) -> list[int]:
+    """Word indices of ``block_addr`` that hold live data of ``obj``.
+
+    Allocations are block-aligned, so the last block of a small object
+    is mostly padding; the paper targets "a word within the selected
+    data memory block" of *application data*, so the campaign samples
+    among the words the object actually occupies.
+    """
+    start = max(obj.base_addr, block_addr)
+    end = min(obj.end_addr, block_addr + BLOCK_BYTES)
+    if start >= end:
+        raise ValueError(
+            f"block {block_addr:#x} holds no data of {obj.name!r}"
+        )
+    first = (start - block_addr) // WORD_BYTES
+    last = (end - 1 - block_addr) // WORD_BYTES
+    return list(range(first, last + 1))
+
+
+def sample_word_fault(
+    rng: RngStream,
+    block_addr: int,
+    n_bits: int,
+    word_candidates: list[int] | None = None,
+) -> FaultSpec:
+    """Draw a random ``n_bits``-bit stuck-at fault in the given block.
+
+    ``word_candidates`` restricts the target word (see
+    :func:`live_words`); by default any of the 32 words may be hit.
+    """
+    if not 1 <= n_bits <= WORD_BITS:
+        raise ValueError(f"n_bits {n_bits} outside [1, {WORD_BITS}]")
+    if word_candidates is None:
+        word_index = rng.choice_index(WORDS_PER_BLOCK)
+    else:
+        if not word_candidates:
+            raise ValueError("word_candidates must not be empty")
+        word_index = word_candidates[rng.choice_index(len(word_candidates))]
+    positions = tuple(sorted(rng.bit_positions(WORD_BITS, n_bits)))
+    values = tuple(rng.coin() for _ in positions)
+    return FaultSpec(block_addr, word_index, positions, values)

@@ -1,0 +1,136 @@
+"""SECDED-in-the-loop fault filtering.
+
+The paper assumes caches and DRAM carry SECDED ECC and focuses on the
+multi-bit faults that defeat it.  This module makes that baseline
+explicit: every injected stuck-at fault cluster is pushed through a
+real (72,64) Hamming decode of the ECC word it lands in, and only
+what *survives* the code reaches the application:
+
+* the stuck levels match the stored bits       -> nothing happens;
+* a single flipped bit                         -> corrected, dropped;
+* a provably-uncorrectable pattern             -> DUE: the hardware
+  raises a detected-uncorrectable-error, surfaced as a loud
+  (non-silent) run outcome;
+* an aliasing multi-bit pattern                -> the decoder delivers
+  *miscorrected* data — the silently-wrong value is installed in
+  place of the raw faulty one;
+* a syndrome-zero escape                       -> the raw faulty value
+  passes through untouched.
+
+This is the quantitative version of the paper's premise (Section
+II-B): with SECDED in the loop, 1-bit faults vanish and 2-bit faults
+turn loud, but from 3 bits upward the delivered data is silently
+wrong — exactly the gap the data-centric schemes close.
+
+Approximation note: the delivered-diff is installed as a permanent
+read overlay, which is exact for read-only data (the paper's hot
+objects) and a stable-diff approximation for blocks that are
+rewritten mid-run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.ecc import (
+    DecodeStatus,
+    SecdedCodec,
+    data_bit_position,
+)
+from repro.faults.model import FaultSpec
+
+ECC_WORD_BYTES = 8  # one (72,64) codeword protects 64 data bits
+
+
+class EccVerdict(enum.Enum):
+    """What SECDED made of one injected fault cluster."""
+
+    CLEAN = "clean"  # stuck levels equal stored bits
+    CORRECTED = "corrected"  # single-bit: repaired transparently
+    DUE = "due"  # detected uncorrectable error (loud)
+    MISCORRECTED = "miscorrected"  # silently delivers wrong data
+    ESCAPED = "escaped"  # syndrome zero: raw fault passes through
+
+
+@dataclass(frozen=True)
+class FilteredFault:
+    """The post-ECC effect of one fault cluster."""
+
+    verdict: EccVerdict
+    #: (byte address, bit in byte, stuck value) triples describing the
+    #: data the application will observe (empty unless the verdict is
+    #: MISCORRECTED or ESCAPED).
+    delivered_bits: tuple[tuple[int, int, int], ...] = ()
+
+
+def filter_fault(
+    memory: DeviceMemory, fault: FaultSpec, codec: SecdedCodec
+) -> FilteredFault:
+    """Push one stuck-at cluster through the SECDED decode."""
+    word_addr = fault.word_addr
+    ecc_base = word_addr - (word_addr % ECC_WORD_BYTES)
+    raw = memory.read_block(ecc_base, ECC_WORD_BYTES)
+    original = int.from_bytes(raw.tobytes(), "little")
+
+    # Positions of the stuck bits within the 64-bit data word.
+    offset_bits = (word_addr - ecc_base) * 8
+    faulty = original
+    for pos, value in zip(fault.bit_positions, fault.stuck_values):
+        bit64 = offset_bits + pos
+        if value:
+            faulty |= 1 << bit64
+        else:
+            faulty &= ~(1 << bit64)
+    if faulty == original:
+        return FilteredFault(EccVerdict.CLEAN)
+
+    codeword = codec.encode(original)
+    diff = original ^ faulty
+    for bit64 in range(64):
+        if (diff >> bit64) & 1:
+            codeword ^= 1 << data_bit_position(bit64)
+    result = codec.decode(codeword)
+
+    if result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+        return FilteredFault(EccVerdict.DUE)
+    if result.data == original:
+        return FilteredFault(EccVerdict.CORRECTED)
+
+    delivered_diff = result.data ^ original
+    bits = []
+    for bit64 in range(64):
+        if (delivered_diff >> bit64) & 1:
+            byte_addr = ecc_base + bit64 // 8
+            stuck_value = (result.data >> bit64) & 1
+            bits.append((byte_addr, bit64 % 8, stuck_value))
+    verdict = (
+        EccVerdict.ESCAPED
+        if result.status is DecodeStatus.NO_ERROR
+        else EccVerdict.MISCORRECTED
+    )
+    return FilteredFault(verdict, tuple(bits))
+
+
+def apply_filtered_faults(
+    memory: DeviceMemory,
+    faults: list[FaultSpec],
+    codec: SecdedCodec | None = None,
+) -> tuple[list[EccVerdict], bool]:
+    """Filter every fault through SECDED and install the survivors.
+
+    Returns (per-fault verdicts, any_due): when ``any_due`` is true the
+    run terminates loudly before the application consumes anything.
+    """
+    codec = codec or SecdedCodec()
+    verdicts = []
+    any_due = False
+    for fault in faults:
+        filtered = filter_fault(memory, fault, codec)
+        verdicts.append(filtered.verdict)
+        if filtered.verdict is EccVerdict.DUE:
+            any_due = True
+        for byte_addr, bit, value in filtered.delivered_bits:
+            memory.inject_stuck_at(byte_addr, bit, value)
+    return verdicts, any_due

@@ -1,0 +1,207 @@
+"""Application base class, plain memory reader, and trace builder."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.address_space import DataObject, DeviceMemory
+from repro.errors import ConfigError, TraceError
+from repro.kernels import coalesce
+from repro.kernels.trace import (
+    AppTrace,
+    Compute,
+    Load,
+    Store,
+    WarpTrace,
+)
+from repro.metrics.base import OutputMetric
+
+
+class PlainReader:
+    """Reads kernel inputs straight from device memory (no protection).
+
+    The reliability schemes in :mod:`repro.core` implement the same
+    one-method protocol and are passed to ``execute`` in place of this
+    class, which is the entire integration surface between workloads
+    and the paper's contribution.
+    """
+
+    def __init__(self, memory: DeviceMemory):
+        self.memory = memory
+
+    def read(self, obj: DataObject) -> np.ndarray:
+        """Read an input object (injected faults included)."""
+        return self.memory.read_object(obj)
+
+
+class GpuApplication(abc.ABC):
+    """A GPGPU workload with functional execution and a memory trace.
+
+    Subclasses define, in the spirit of the paper's Tables II and III:
+
+    * ``name``/``suite`` — e.g. ``"P-BICG"`` / ``"polybench"``.
+    * ``error_metric`` — the Table II output metric instance.
+    * ``object_importance`` — kernel input objects sorted from most to
+      least accessed (the x-axis order of Figs 7 and 9).
+    * ``hot_object_names`` — the emboldened (hot) subset of Table III.
+    """
+
+    name: str = ""
+    suite: str = ""
+
+    def __init__(self, seed: int = 1234):
+        self.seed = seed
+        self.error_metric = self._make_metric()
+        self._golden: np.ndarray | None = None
+
+    # -- subclass contract -------------------------------------------------
+    @abc.abstractmethod
+    def _make_metric(self) -> OutputMetric:
+        """The Table II metric for this application."""
+
+    @property
+    @abc.abstractmethod
+    def object_importance(self) -> list[str]:
+        """Input data objects, most-accessed first (Table III order)."""
+
+    @property
+    @abc.abstractmethod
+    def hot_object_names(self) -> set[str]:
+        """The objects classified hot (bold in Table III)."""
+
+    @abc.abstractmethod
+    def setup(self, memory: DeviceMemory) -> None:
+        """Allocate and initialize all data objects (deterministic)."""
+
+    @abc.abstractmethod
+    def execute(self, memory: DeviceMemory, reader) -> np.ndarray:
+        """Run the kernels functionally and return the checked output.
+
+        Inputs must be fetched through ``reader.read``; outputs must be
+        written to device memory with ``memory.write_object`` and the
+        returned array must be read back from memory (so faults landing
+        in output blocks corrupt the observable result too).
+        """
+
+    @abc.abstractmethod
+    def build_trace(self, memory: DeviceMemory) -> AppTrace:
+        """Generate the warp-level coalesced memory trace."""
+
+    # -- provided machinery ------------------------------------------------
+    def fresh_memory(
+        self, capacity_bytes: int = 64 * 1024 * 1024
+    ) -> DeviceMemory:
+        """A new device memory with this app set up in it."""
+        memory = DeviceMemory(capacity_bytes)
+        self.setup(memory)
+        return memory
+
+    def golden_output(self) -> np.ndarray:
+        """The fault-free baseline output (computed once, cached)."""
+        if self._golden is None:
+            memory = self.fresh_memory()
+            self._golden = self.execute(memory, PlainReader(memory))
+        return self._golden
+
+    def input_objects(self, memory: DeviceMemory) -> list[DataObject]:
+        """Handles for the importance-ordered kernel input objects."""
+        return [memory.object(name) for name in self.object_importance]
+
+    def hot_objects(self, memory: DeviceMemory) -> list[DataObject]:
+        """Handles for the declared hot objects, importance-ordered."""
+        return [
+            memory.object(name)
+            for name in self.object_importance
+            if name in self.hot_object_names
+        ]
+
+    def validate_declarations(self) -> None:
+        """Sanity-check the Table III declarations against each other."""
+        importance = self.object_importance
+        if len(set(importance)) != len(importance):
+            raise ConfigError(f"{self.name}: duplicate objects in importance")
+        missing = self.hot_object_names - set(importance)
+        if missing:
+            raise ConfigError(
+                f"{self.name}: hot objects {sorted(missing)} not in "
+                "object_importance"
+            )
+        # Hot objects must be a prefix of the importance order: the
+        # schemes protect objects cumulatively from the most accessed.
+        prefix = set(importance[: len(self.hot_object_names)])
+        if prefix != self.hot_object_names:
+            raise ConfigError(
+                f"{self.name}: hot objects {sorted(self.hot_object_names)} "
+                f"are not the top of the importance order {importance}"
+            )
+
+    def rng(self, *keys: int) -> np.random.Generator:
+        """Deterministic generator for input initialization."""
+        from repro.utils.rng import derive_seed
+
+        return np.random.default_rng(derive_seed(self.seed, *keys))
+
+
+class TraceBuilder:
+    """Incrementally builds one warp's instruction stream.
+
+    Adjacent non-waiting compute instructions are merged so the trace
+    stays compact while preserving issue-slot counts.
+    """
+
+    def __init__(self, warp_id: int):
+        self._warp_id = warp_id
+        self._insts: list = []
+
+    def compute(self, count: int = 1, wait: bool = False) -> "TraceBuilder":
+        """Append ALU issue slots (``wait`` = scoreboard barrier)."""
+        if count <= 0:
+            raise TraceError("compute count must be positive")
+        if (
+            not wait
+            and self._insts
+            and isinstance(self._insts[-1], Compute)
+            and not self._insts[-1].wait
+        ):
+            self._insts[-1] = Compute(self._insts[-1].count + count, False)
+        else:
+            self._insts.append(Compute(count, wait))
+        return self
+
+    def load_indices(
+        self, obj: DataObject, lane_indices: Sequence[int] | np.ndarray
+    ) -> "TraceBuilder":
+        """Append a load of per-lane element indices (coalesced)."""
+        addrs = coalesce.coalesce_indices(obj, lane_indices)
+        self._insts.append(Load(obj.name, addrs))
+        return self
+
+    def load_broadcast(self, obj: DataObject, flat_index: int) \
+            -> "TraceBuilder":
+        """Append a warp-wide broadcast load (one transaction)."""
+        addrs = coalesce.broadcast_transaction(obj, flat_index)
+        self._insts.append(Load(obj.name, addrs))
+        return self
+
+    def load_strided(
+        self, obj: DataObject, start: int, stride: int, lanes: int
+    ) -> "TraceBuilder":
+        """Append a strided load (lane i reads start + i*stride)."""
+        addrs = coalesce.strided_transactions(obj, start, stride, lanes)
+        self._insts.append(Load(obj.name, addrs))
+        return self
+
+    def store_indices(
+        self, obj: DataObject, lane_indices: Sequence[int] | np.ndarray
+    ) -> "TraceBuilder":
+        """Append a store of per-lane element indices (coalesced)."""
+        addrs = coalesce.coalesce_indices(obj, lane_indices)
+        self._insts.append(Store(obj.name, addrs))
+        return self
+
+    def build(self) -> WarpTrace:
+        """Finalize the warp's instruction stream."""
+        return WarpTrace(self._warp_id, self._insts)

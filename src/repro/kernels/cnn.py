@@ -1,0 +1,347 @@
+"""C-NN: a four-layer convolutional digit classifier (CUDA-SDK style).
+
+The network follows the classic CUDA ConvNN the paper profiles
+(Listing 2 is its ``FirstLayer`` kernel):
+
+* Layer 1 — 6 feature maps, 5x5 kernel, stride 2: 29x29 -> 6 x 13x13.
+  Weight layout ``Layer1_Weights[map*26]`` = bias, then 25 weights, as
+  in the listing (``weightBegin = blockID * 26``).
+* Layer 2 — 50 maps from all 6, 5x5 stride 2: -> 50 x 5x5.
+  ``Layer2_Weights[(out*6 + in)*26]`` = bias + 25 weights.
+* Layer 3 — fully connected 1250 -> 100 (bias + weights per neuron).
+* Layer 4 — fully connected 100 -> 10; classification = argmax.
+
+Activation is the listing's ``1.7159 * tanh(0.66666667 * x)``.
+
+The convolution weights are broadcast warp-wide from a handful of
+memory blocks on every multiply-accumulate, which is what makes
+``Layer1_Weights``/``Layer2_Weights`` the hottest blocks in the
+application by orders of magnitude (Figure 3(a)): they are reused by
+every CTA of every image, while image and FC-weight blocks are
+streamed a bounded number of times each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.address_space import DeviceMemory
+from repro.errors import KernelCrash
+from repro.kernels import common
+from repro.kernels.base import GpuApplication
+from repro.kernels.trace import (
+    AppTrace,
+    Compute,
+    CtaTrace,
+    KernelTrace,
+    Load,
+    Store,
+    WarpTrace,
+)
+from repro.metrics.classification import (
+    MisclassificationMetric,
+    batch_threshold,
+)
+
+IMAGE_DIM = 29
+L1_MAPS = 6
+L1_OUT = 13  # (29 - 5) / 2 + 1
+L2_MAPS = 50
+L2_OUT = 5  # (13 - 5) / 2 + 1
+FC_IN = L2_MAPS * L2_OUT * L2_OUT  # 1250
+FC_HIDDEN = 100
+CLASSES = 10
+
+
+def activation(x: np.ndarray) -> np.ndarray:
+    """Listing 2's scaled tanh: 1.7159 * tanh(2x/3)."""
+    return 1.7159 * np.tanh(0.66666667 * x)
+
+
+class Cnn(GpuApplication):
+    """Four-layer convolutional classifier; hot: conv weights."""
+
+    name = "C-NN"
+    suite = "cuda-sdk"
+
+    def __init__(self, batch: int = 12, seed: int = 1234):
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        self.batch = batch
+        super().__init__(seed)
+
+    def _make_metric(self) -> MisclassificationMetric:
+        # More than one flipped image out of the batch is systemic
+        # corruption; a single flip is localized input damage.
+        return MisclassificationMetric(threshold=batch_threshold(self.batch))
+
+    @property
+    def object_importance(self) -> list[str]:
+        return [
+            "Layer1_Weights",
+            "Layer2_Weights",
+            "Layer3_Weights",
+            "Layer4_Weights",
+            "Images",
+        ]
+
+    @property
+    def hot_object_names(self) -> set[str]:
+        return {"Layer1_Weights", "Layer2_Weights"}
+
+    def setup(self, memory: DeviceMemory) -> None:
+        rng = self.rng(0)
+        w1 = memory.alloc("Layer1_Weights", (L1_MAPS * 26,), np.float32)
+        w2 = memory.alloc(
+            "Layer2_Weights", (L2_MAPS * L1_MAPS * 26,), np.float32)
+        w3 = memory.alloc(
+            "Layer3_Weights", (FC_HIDDEN * (FC_IN + 1),), np.float32)
+        w4 = memory.alloc(
+            "Layer4_Weights", (CLASSES * (FC_HIDDEN + 1),), np.float32)
+        images = memory.alloc(
+            "Images", (self.batch, IMAGE_DIM, IMAGE_DIM), np.float32)
+        memory.alloc("Layer2_Neurons",
+                     (self.batch, L1_MAPS, L1_OUT, L1_OUT),
+                     np.float32, read_only=False)
+        memory.alloc("Layer3_Neurons", (self.batch, FC_IN),
+                     np.float32, read_only=False)
+        memory.alloc("Layer4_Neurons", (self.batch, FC_HIDDEN),
+                     np.float32, read_only=False)
+        memory.alloc("Out", (self.batch, CLASSES),
+                     np.float32, read_only=False)
+
+        memory.write_object(
+            w1, rng.normal(0.0, 0.4, size=L1_MAPS * 26))
+        memory.write_object(
+            w2, rng.normal(0.0, 0.15, size=L2_MAPS * L1_MAPS * 26))
+        memory.write_object(
+            w3, rng.normal(0.0, 0.05, size=FC_HIDDEN * (FC_IN + 1)))
+        memory.write_object(
+            w4, rng.normal(0.0, 0.15, size=CLASSES * (FC_HIDDEN + 1)))
+        # Synthetic digit-like inputs: blobs and strokes with noise.
+        # The metric is baseline-relative so realism is not required,
+        # but structured inputs keep layer activations well-scaled.
+        imgs = rng.uniform(0.0, 0.2,
+                           size=(self.batch, IMAGE_DIM, IMAGE_DIM))
+        for b in range(self.batch):
+            cy, cx = rng.integers(8, 21, size=2)
+            yy, xx = np.mgrid[0:IMAGE_DIM, 0:IMAGE_DIM]
+            blob = np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / 18.0)
+            imgs[b] += blob
+            if b % 2:
+                imgs[b, :, cx - 3:cx + 3] += 0.5  # vertical stroke
+        memory.write_object(images, np.clip(imgs, 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def execute(self, memory: DeviceMemory, reader) -> np.ndarray:
+        images = reader.read(memory.object("Images")).astype(np.float64)
+        w1 = reader.read(memory.object("Layer1_Weights")).astype(np.float64)
+        w2 = reader.read(memory.object("Layer2_Weights")).astype(np.float64)
+        w3 = reader.read(memory.object("Layer3_Weights")).astype(np.float64)
+        w4 = reader.read(memory.object("Layer4_Weights")).astype(np.float64)
+        if not (np.isfinite(w3).all() and np.isfinite(w4).all()):
+            # NaN weights in the big FC layers poison every activation;
+            # keep going — the metric classifies non-finite output.
+            pass
+
+        # Faulted weights can be huge/inf; the activations saturate
+        # but intermediate products may overflow (silently, as on HW).
+        with np.errstate(all="ignore"):
+            return self._forward(memory, images, w1, w2, w3, w4)
+
+    def _forward(self, memory, images, w1, w2, w3, w4) -> np.ndarray:
+        # Layer 1: 5x5 stride-2 convolution per map.
+        w1 = w1.reshape(L1_MAPS, 26)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            images, (5, 5), axis=(1, 2))[:, ::2, ::2]  # (B,13,13,5,5)
+        conv1 = np.einsum("byxij,mij->bmyx", windows,
+                          w1[:, 1:].reshape(L1_MAPS, 5, 5))
+        l2n = activation(w1[:, 0][None, :, None, None] + conv1)
+        memory.write_object(memory.object("Layer2_Neurons"), l2n)
+        l2n = memory.read_object(
+            memory.object("Layer2_Neurons")).astype(np.float64)
+
+        # Layer 2: 5x5 stride-2 convolution across all 6 maps.
+        w2 = w2.reshape(L2_MAPS, L1_MAPS, 26)
+        windows2 = np.lib.stride_tricks.sliding_window_view(
+            l2n, (5, 5), axis=(2, 3))[:, :, ::2, ::2]  # (B,6,5,5,5,5)
+        conv2 = np.einsum(
+            "bmyxij,fmij->bfyx", windows2,
+            w2[:, :, 1:].reshape(L2_MAPS, L1_MAPS, 5, 5))
+        bias2 = w2[:, :, 0].sum(axis=1)  # summed per-input-map biases
+        l3n = activation(bias2[None, :, None, None] + conv2)
+        memory.write_object(
+            memory.object("Layer3_Neurons"), l3n.reshape(self.batch, FC_IN))
+        l3n = memory.read_object(
+            memory.object("Layer3_Neurons")).astype(np.float64)
+
+        # Layer 3: fully connected 1250 -> 100.
+        w3 = w3.reshape(FC_HIDDEN, FC_IN + 1)
+        l4n = activation(w3[:, 0][None, :] + l3n @ w3[:, 1:].T)
+        memory.write_object(memory.object("Layer4_Neurons"), l4n)
+        l4n = memory.read_object(
+            memory.object("Layer4_Neurons")).astype(np.float64)
+
+        # Layer 4: fully connected 100 -> 10.
+        w4 = w4.reshape(CLASSES, FC_HIDDEN + 1)
+        scores = activation(w4[:, 0][None, :] + l4n @ w4[:, 1:].T)
+        memory.write_object(memory.object("Out"), scores)
+        scores = memory.read_object(memory.object("Out"))
+
+        # Classification vector: NaN scores classify as class -1 so the
+        # misclassification metric flags them deterministically.
+        labels = np.where(
+            np.isfinite(scores).all(axis=1),
+            np.argmax(np.nan_to_num(scores, nan=-np.inf), axis=1),
+            -1,
+        )
+        return labels.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def build_trace(self, memory: DeviceMemory) -> AppTrace:
+        return AppTrace(
+            self.name,
+            [
+                self._layer1_trace(memory),
+                self._layer2_trace(memory),
+                self._fc_trace(memory, "ThirdLayer", "Layer3_Neurons",
+                               "Layer3_Weights", "Layer4_Neurons",
+                               FC_IN, FC_HIDDEN),
+                self._fc_trace(memory, "FourthLayer", "Layer4_Neurons",
+                               "Layer4_Weights", "Out",
+                               FC_HIDDEN, CLASSES),
+            ],
+        )
+
+    def _layer1_trace(self, memory: DeviceMemory) -> KernelTrace:
+        images = memory.object("Images")
+        w1 = memory.object("Layer1_Weights")
+        l2n = memory.object("Layer2_Neurons")
+        kernel = KernelTrace("FirstLayer")
+        warp_id = 0
+        cta_id = 0
+        n_threads = L1_OUT * L1_OUT  # 169, 2-D (13, 13)
+        for b in range(self.batch):
+            for map_id in range(L1_MAPS):
+                cta = CtaTrace(cta_id)
+                cta_id += 1
+                weight_begin = map_id * 26
+                for first, lanes in common.warp_partition(n_threads):
+                    tid = np.arange(first, first + lanes, dtype=np.int64)
+                    py, px = tid // L1_OUT, tid % L1_OUT
+                    insts: list = [
+                        Compute(6),
+                        Load("Layer1_Weights",
+                             (common.block_addr(w1, weight_begin),)),
+                    ]
+                    base = b * IMAGE_DIM * IMAGE_DIM
+                    for i in range(25):
+                        flat = base + (2 * py + i // 5) * IMAGE_DIM \
+                            + 2 * px + i % 5
+                        insts.append(Load(
+                            "Images", common.scattered_blocks(images, flat)))
+                        insts.append(Load(
+                            "Layer1_Weights",
+                            (common.block_addr(w1, weight_begin + 1 + i),)))
+                        insts.append(Compute(2, wait=True))
+                    insts.append(Compute(3))  # activation
+                    out_flat = (b * L1_MAPS + map_id) * n_threads \
+                        + py * L1_OUT + px
+                    insts.append(Store(
+                        "Layer2_Neurons",
+                        common.scattered_blocks(l2n, out_flat)))
+                    cta.warps.append(WarpTrace(warp_id, insts))
+                    warp_id += 1
+                kernel.ctas.append(cta)
+        return kernel
+
+    def _layer2_trace(self, memory: DeviceMemory) -> KernelTrace:
+        w2 = memory.object("Layer2_Weights")
+        l2n = memory.object("Layer2_Neurons")
+        l3n = memory.object("Layer3_Neurons")
+        kernel = KernelTrace("SecondLayer")
+        warp_id = 0
+        cta_id = 0
+        n_threads = L2_OUT * L2_OUT  # 25, one warp per CTA
+        tid = np.arange(n_threads, dtype=np.int64)
+        py, px = tid // L2_OUT, tid % L2_OUT
+        for b in range(self.batch):
+            for feature in range(L2_MAPS):
+                cta = CtaTrace(cta_id)
+                cta_id += 1
+                insts: list = [Compute(6)]
+                for in_map in range(L1_MAPS):
+                    weight_begin = (feature * L1_MAPS + in_map) * 26
+                    insts.append(Load(
+                        "Layer2_Weights",
+                        (common.block_addr(w2, weight_begin),)))
+                    base = (b * L1_MAPS + in_map) * L1_OUT * L1_OUT
+                    for i in range(25):
+                        flat = base + (2 * py + i // 5) * L1_OUT \
+                            + 2 * px + i % 5
+                        insts.append(Load(
+                            "Layer2_Neurons",
+                            common.scattered_blocks(l2n, flat)))
+                        insts.append(Load(
+                            "Layer2_Weights",
+                            (common.block_addr(
+                                w2, weight_begin + 1 + i),)))
+                        insts.append(Compute(2, wait=True))
+                insts.append(Compute(3))
+                out_flat = b * FC_IN + feature * n_threads + tid
+                insts.append(Store(
+                    "Layer3_Neurons", common.scattered_blocks(l3n, out_flat)))
+                cta.warps.append(WarpTrace(warp_id, insts))
+                warp_id += 1
+                kernel.ctas.append(cta)
+        return kernel
+
+    def _fc_trace(
+        self,
+        memory: DeviceMemory,
+        kernel_name: str,
+        in_name: str,
+        weight_name: str,
+        out_name: str,
+        fan_in: int,
+        fan_out: int,
+    ) -> KernelTrace:
+        """Fully connected layer: one 32-thread CTA per (image, neuron);
+        lanes stride across the contiguous weight row (coalesced)."""
+        w = memory.object(weight_name)
+        inp = memory.object(in_name)
+        out = memory.object(out_name)
+        kernel = KernelTrace(kernel_name)
+        warp_id = 0
+        cta_id = 0
+        for b in range(self.batch):
+            for neuron in range(fan_out):
+                cta = CtaTrace(cta_id)
+                cta_id += 1
+                row = neuron * (fan_in + 1)
+                insts: list = [
+                    Compute(4),
+                    Load(weight_name, (common.block_addr(w, row),)),  # bias
+                ]
+                for k0 in range(0, fan_in, 32):
+                    lanes = min(32, fan_in - k0)
+                    insts.append(Load(
+                        weight_name,
+                        common.contiguous_blocks(w, row + 1 + k0, lanes)))
+                    insts.append(Load(
+                        in_name,
+                        common.contiguous_blocks(
+                            inp, b * fan_in + k0, lanes)))
+                    insts.append(Compute(2, wait=True))
+                insts.append(Compute(6))  # tree reduction + activation
+                insts.append(Store(
+                    out_name,
+                    (common.block_addr(out, b * fan_out + neuron),)))
+                cta.warps.append(WarpTrace(warp_id, insts))
+                warp_id += 1
+                kernel.ctas.append(cta)
+        return kernel

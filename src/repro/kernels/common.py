@@ -1,0 +1,65 @@
+"""Shared helpers for kernel trace generation.
+
+Trace generation is the hottest Python path in the library (millions
+of transactions for the larger apps), so these helpers compute block
+addresses arithmetically where the access pattern makes the answer
+obvious, instead of round-tripping through the generic coalescer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.address_space import BLOCK_BYTES, DataObject
+
+WARP_SIZE = 32
+
+
+def block_addr(obj: DataObject, flat_index: int) -> int:
+    """Block base address holding flat element ``flat_index``."""
+    byte = obj.base_addr + flat_index * obj.dtype.itemsize
+    return (byte // BLOCK_BYTES) * BLOCK_BYTES
+
+
+def contiguous_blocks(
+    obj: DataObject, start_index: int, n_elements: int
+) -> tuple[int, ...]:
+    """Blocks touched by ``n_elements`` consecutive elements."""
+    itemsize = obj.dtype.itemsize
+    first = (obj.base_addr + start_index * itemsize) // BLOCK_BYTES
+    last = (
+        obj.base_addr + (start_index + n_elements - 1) * itemsize
+    ) // BLOCK_BYTES
+    return tuple(b * BLOCK_BYTES for b in range(first, last + 1))
+
+
+def scattered_blocks(obj: DataObject, flat_indices) -> tuple[int, ...]:
+    """Blocks for arbitrary lane indices (de-duplicated, sorted)."""
+    idx = np.asarray(flat_indices, dtype=np.int64)
+    byte_addrs = obj.base_addr + idx * obj.dtype.itemsize
+    blocks = np.unique(byte_addrs // BLOCK_BYTES)
+    return tuple(int(b) * BLOCK_BYTES for b in blocks)
+
+
+def warp_partition(n_threads: int) -> list[tuple[int, int]]:
+    """Split a 1-D thread range into (first_tid, n_lanes) warps."""
+    warps = []
+    tid = 0
+    while tid < n_threads:
+        lanes = min(WARP_SIZE, n_threads - tid)
+        warps.append((tid, lanes))
+        tid += lanes
+    return warps
+
+
+def ctas_of_threads(n_threads: int, cta_size: int) -> list[tuple[int, int]]:
+    """Split a 1-D grid into (first_tid, n_threads_in_cta) CTAs."""
+    if cta_size <= 0:
+        raise ValueError("cta_size must be positive")
+    ctas = []
+    tid = 0
+    while tid < n_threads:
+        size = min(cta_size, n_threads - tid)
+        ctas.append((tid, size))
+        tid += size
+    return ctas

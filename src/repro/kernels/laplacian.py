@@ -1,0 +1,47 @@
+"""A-Laplacian: Laplacian edge-enhancement filter (AxBench).
+
+The 3x3 Laplacian matrix (Listing 3's ``d_LaplacianMatrix``) fits in a
+single memory block and is re-read for every window tap of every
+pixel, which makes its one block the most accessed in the entire
+application (Figure 3(d)); ``Filter_Height`` and ``Filter_Width`` are
+re-read per tap for the bounds checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.stencil import StencilApp, convolve3x3
+
+LAPLACIAN = np.array(
+    [[0.0, 1.0, 0.0],
+     [1.0, -4.0, 1.0],
+     [0.0, 1.0, 0.0]],
+    dtype=np.float32,
+)
+
+
+class Laplacian(StencilApp):
+    """3x3 Laplacian filter; hot: Filter + bounds scalars."""
+
+    name = "A-Laplacian"
+    filter_elements = 9
+
+    @property
+    def object_importance(self) -> list[str]:
+        return ["Filter", "Filter_Height", "Filter_Width", "Image"]
+
+    @property
+    def hot_object_names(self) -> set[str]:
+        return {"Filter", "Filter_Height", "Filter_Width"}
+
+    def _filter_values(self) -> np.ndarray:
+        return LAPLACIAN.ravel()
+
+    def _tap_loads(self) -> list[str]:
+        return ["Filter", "Filter_Height", "Filter_Width"]
+
+    def _apply(self, image: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+        kernel = coeffs.reshape(3, 3).astype(np.float64)
+        out = convolve3x3(image, kernel)
+        return np.clip(np.abs(out), 0.0, 255.0).astype(np.float32)

@@ -1,0 +1,43 @@
+"""A-Meanfilter: 3x3 box smoothing filter (AxBench).
+
+No coefficient array — the kernel averages the window directly — so
+the hot objects are just the ``Filter_Height``/``Filter_Width`` bounds
+scalars, re-read once per window row (Table III reports they absorb
+~40% of all read transactions despite being 8 bytes of data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.stencil import StencilApp, convolve3x3
+
+MEAN = np.full((3, 3), 1.0 / 9.0, dtype=np.float64)
+
+
+class Meanfilter(StencilApp):
+    """3x3 box smoothing; hot: the bounds scalars."""
+
+    name = "A-Meanfilter"
+    filter_elements = 0
+
+    @property
+    def object_importance(self) -> list[str]:
+        return ["Filter_Height", "Filter_Width", "Image"]
+
+    @property
+    def hot_object_names(self) -> set[str]:
+        return {"Filter_Height", "Filter_Width"}
+
+    def _filter_values(self) -> None:
+        return None
+
+    def _tap_loads(self) -> list[str]:
+        return []
+
+    def _per_row_loads(self) -> list[str]:
+        return ["Filter_Height", "Filter_Width"]
+
+    def _apply(self, image: np.ndarray, coeffs) -> np.ndarray:
+        out = convolve3x3(image, MEAN)
+        return np.clip(out, 0.0, 255.0).astype(np.float32)

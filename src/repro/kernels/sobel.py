@@ -1,0 +1,55 @@
+"""A-Sobel: Sobel edge detection (AxBench).
+
+The Filter object packs both gradient kernels (Gx then Gy, 18 floats,
+still a single memory block); each window tap reads the pair of
+coefficients, so the Filter block's access profile matches
+A-Laplacian's (Table III reports identical hot percentages for both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.stencil import StencilApp, convolve3x3
+
+SOBEL_GX = np.array(
+    [[-1.0, 0.0, 1.0],
+     [-2.0, 0.0, 2.0],
+     [-1.0, 0.0, 1.0]],
+    dtype=np.float32,
+)
+SOBEL_GY = np.array(
+    [[-1.0, -2.0, -1.0],
+     [0.0, 0.0, 0.0],
+     [1.0, 2.0, 1.0]],
+    dtype=np.float32,
+)
+
+
+class Sobel(StencilApp):
+    """Sobel edge detection; hot: Filter + bounds scalars."""
+
+    name = "A-Sobel"
+    filter_elements = 18
+
+    @property
+    def object_importance(self) -> list[str]:
+        return ["Filter", "Filter_Height", "Filter_Width", "Image"]
+
+    @property
+    def hot_object_names(self) -> set[str]:
+        return {"Filter", "Filter_Height", "Filter_Width"}
+
+    def _filter_values(self) -> np.ndarray:
+        return np.concatenate([SOBEL_GX.ravel(), SOBEL_GY.ravel()])
+
+    def _tap_loads(self) -> list[str]:
+        return ["Filter", "Filter_Height", "Filter_Width"]
+
+    def _apply(self, image: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+        gx_kernel = coeffs[:9].reshape(3, 3).astype(np.float64)
+        gy_kernel = coeffs[9:].reshape(3, 3).astype(np.float64)
+        gx = convolve3x3(image, gx_kernel)
+        gy = convolve3x3(image, gy_kernel)
+        magnitude = np.sqrt(gx * gx + gy * gy)
+        return np.clip(magnitude, 0.0, 255.0).astype(np.float32)

@@ -1,0 +1,26 @@
+"""Application output-error metrics (the paper's Table II).
+
+Each evaluated application declares one metric that turns
+(golden output, observed output) into a scalar error plus an SDC
+verdict against a threshold:
+
+* ``MisclassificationMetric`` — C-NN: percentage of vector
+  classifications that differ from the fault-free baseline.
+* ``VectorDeviationMetric`` — Polybench: percentage of output vector
+  elements whose value differs from the baseline.
+* ``NrmseMetric`` — AxBench: normalized root-mean-square error of the
+  output image against the baseline image.
+"""
+
+from repro.metrics.base import MetricResult, OutputMetric
+from repro.metrics.classification import MisclassificationMetric
+from repro.metrics.image import NrmseMetric
+from repro.metrics.vector import VectorDeviationMetric
+
+__all__ = [
+    "MetricResult",
+    "OutputMetric",
+    "MisclassificationMetric",
+    "NrmseMetric",
+    "VectorDeviationMetric",
+]

@@ -1,0 +1,60 @@
+"""Base protocol for output-quality metrics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """Outcome of comparing an observed output against the golden one."""
+
+    error: float
+    threshold: float
+    is_sdc: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "SDC" if self.is_sdc else "ok"
+        return f"error={self.error:.6g} (threshold {self.threshold:g}): " \
+               f"{verdict}"
+
+
+class OutputMetric(abc.ABC):
+    """Compares application outputs and decides SDC vs acceptable.
+
+    The threshold semantics follow the paper: outputs whose error
+    exceeds the threshold are silent data corruptions; below it they
+    are treated as acceptable (masked) deviations.
+    """
+
+    #: Human-readable name matching Table II wording.
+    description: str = ""
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    @abc.abstractmethod
+    def error(self, golden: np.ndarray, observed: np.ndarray) -> float:
+        """Scalar error of ``observed`` w.r.t. ``golden``."""
+
+    def compare(self, golden: np.ndarray, observed: np.ndarray) \
+            -> MetricResult:
+        """Compute the error and classify it against the threshold."""
+        golden = np.asarray(golden)
+        observed = np.asarray(observed)
+        if golden.shape != observed.shape:
+            raise ValueError(
+                f"shape mismatch: golden {golden.shape} vs "
+                f"observed {observed.shape}"
+            )
+        err = self.error(golden, observed)
+        if not np.isfinite(err):
+            # Non-finite outputs (NaN/inf from corrupted math) are
+            # unambiguously corrupt.
+            return MetricResult(float("inf"), self.threshold, True)
+        return MetricResult(err, self.threshold, err > self.threshold)

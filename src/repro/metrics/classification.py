@@ -1,0 +1,48 @@
+"""Misclassification metric for C-NN.
+
+Table II: "Percentage of mis-classifications in output."  Outputs are
+vectors of class labels (the argmax of the network's final layer per
+input image); any label differing from the fault-free baseline run is
+a misclassification.
+
+The SDC threshold is expressed in *images*: a fault corrupting one
+input image flips at most that image's label (an input-quality
+problem, localized), while a fault in the shared convolution weights
+flips labels across the whole batch (a systemic SDC).  The helper
+:func:`batch_threshold` encodes "more than one misclassified image is
+an SDC" at any batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import OutputMetric
+
+
+def batch_threshold(batch: int, tolerated_images: float = 1.5) -> float:
+    """Misclassification-percentage threshold tolerating one flipped
+    image out of ``batch``: a fault corrupting a single input image is
+    localized input damage, while two or more flips indicate systemic
+    (weight-space) corruption.  Set ``tolerated_images=0.5`` for the
+    strict any-flip variant."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    return 100.0 * tolerated_images / batch
+
+
+class MisclassificationMetric(OutputMetric):
+    """Percentage of class labels differing from the baseline."""
+
+    description = "Percentage of mis-classifications in output"
+
+    def __init__(self, threshold: float = 0.0):
+        super().__init__(threshold)
+
+    def error(self, golden: np.ndarray, observed: np.ndarray) -> float:
+        golden = np.asarray(golden).ravel()
+        observed = np.asarray(observed).ravel()
+        if golden.size == 0:
+            raise ValueError("cannot compare empty classification vectors")
+        wrong = np.count_nonzero(golden != observed)
+        return 100.0 * wrong / golden.size

@@ -1,0 +1,44 @@
+"""NRMSE metric for the AxBench image applications.
+
+Table II: "Normalized Root Mean Square Error compared to the baseline
+image."  The RMSE is normalized by the dynamic range of the baseline
+image, the convention AxBench's image quality checker uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import OutputMetric
+
+
+class NrmseMetric(OutputMetric):
+    """Range-normalized RMSE between images."""
+
+    description = (
+        "Normalized Root Mean Square Error compared to the baseline image"
+    )
+
+    #: AxBench's canonical acceptable-quality bound: 10% error.
+    #: Localized damage (a few corrupted pixel blocks perturb a handful
+    #: of 3x3 output neighbourhoods, NRMSE of order a few percent at
+    #: 96x96) stays acceptable, while corruption of the filter
+    #: coefficients or bounds — which degrades the whole image — is an
+    #: SDC.
+    def __init__(self, threshold: float = 0.10):
+        super().__init__(threshold)
+
+    def error(self, golden: np.ndarray, observed: np.ndarray) -> float:
+        with np.errstate(invalid="ignore"):
+            golden = np.asarray(golden, dtype=np.float64)
+            observed = np.asarray(observed, dtype=np.float64)
+        if golden.size == 0:
+            raise ValueError("cannot compare empty images")
+        bad = ~np.isfinite(observed)
+        if bad.any():
+            return float("inf")
+        span = float(golden.max() - golden.min())
+        if span == 0.0:
+            span = max(abs(float(golden.max())), 1.0)
+        rmse = float(np.sqrt(np.mean((observed - golden) ** 2)))
+        return rmse / span

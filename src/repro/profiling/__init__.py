@@ -1,0 +1,33 @@
+"""Access-pattern profiling: the paper's Section III analyses.
+
+* :mod:`access_profile` — per-block read-transaction counts (Fig 3).
+* :mod:`warp_sharing` — warp-sharing percentages per block (Fig 4).
+* :mod:`hot_blocks` — hot / rest classification of memory blocks.
+* :mod:`hot_objects` — object ranking and Table III statistics.
+* :mod:`temporal` — temporal-locality evidence for Observation IV.
+* :mod:`miss_profile` — per-block L1-miss counts (the Fig 8 weights).
+* :mod:`instrument` — NVBit-style automated discovery for unknown apps.
+"""
+
+from repro.profiling.access_profile import AccessProfile, profile_trace
+from repro.profiling.hot_blocks import (
+    HotBlockClassification,
+    classify_hot_blocks,
+)
+from repro.profiling.hot_objects import ObjectStats, rank_objects, table3_row
+from repro.profiling.miss_profile import l1_miss_profile
+from repro.profiling.temporal import temporal_locality
+from repro.profiling.warp_sharing import warp_sharing_curve
+
+__all__ = [
+    "AccessProfile",
+    "profile_trace",
+    "HotBlockClassification",
+    "classify_hot_blocks",
+    "ObjectStats",
+    "rank_objects",
+    "table3_row",
+    "l1_miss_profile",
+    "temporal_locality",
+    "warp_sharing_curve",
+]

@@ -1,0 +1,75 @@
+"""Temporal-locality analysis (Observation IV).
+
+For each block we record the positions of its read transactions in
+the global (kernel-serialized, warp-interleaved) access sequence and
+report the mean reuse gap.  The paper's observation: hot data objects
+are either accessed with small uniform strides or fit in a handful of
+blocks, so their reuse gaps are short — which is why they stay
+L1-resident and replication of L1 *misses* is nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.trace import AppTrace, Load
+
+
+@dataclass(frozen=True)
+class TemporalStats:
+    """Reuse statistics for a set of blocks."""
+
+    mean_reuse_gap: float
+    median_reuse_gap: float
+    reuse_count: int
+
+
+def temporal_locality(trace: AppTrace) -> dict[int, float]:
+    """Mean reuse gap (in transactions) per block; single-access blocks
+    get ``inf``."""
+    last_seen: dict[int, int] = {}
+    gap_sum: dict[int, int] = {}
+    gap_count: dict[int, int] = {}
+    position = 0
+    for kernel in trace.kernels:
+        # Interleave warps round-robin so the sequence approximates the
+        # concurrent execution order rather than one-warp-at-a-time.
+        streams = [
+            [i for i in warp.insts if isinstance(i, Load)]
+            for warp in kernel.iter_warps()
+        ]
+        depth = max((len(s) for s in streams), default=0)
+        for step in range(depth):
+            for stream in streams:
+                if step < len(stream):
+                    for addr in stream[step].addrs:
+                        prev = last_seen.get(addr)
+                        if prev is not None:
+                            gap_sum[addr] = gap_sum.get(addr, 0) \
+                                + position - prev
+                            gap_count[addr] = gap_count.get(addr, 0) + 1
+                        last_seen[addr] = position
+                        position += 1
+    gaps: dict[int, float] = {}
+    for addr in last_seen:
+        if addr in gap_count:
+            gaps[addr] = gap_sum[addr] / gap_count[addr]
+        else:
+            gaps[addr] = float("inf")
+    return gaps
+
+
+def summarize_gaps(gaps: dict[int, float], addrs) -> TemporalStats:
+    """Aggregate reuse gaps over a set of block addresses."""
+    values = [
+        gaps[a] for a in addrs
+        if a in gaps and np.isfinite(gaps[a])
+    ]
+    if not values:
+        return TemporalStats(float("inf"), float("inf"), 0)
+    arr = np.array(values)
+    return TemporalStats(
+        float(arr.mean()), float(np.median(arr)), len(values)
+    )

@@ -1,0 +1,40 @@
+"""Warp-sharing analysis (the paper's Figure 4).
+
+For each data memory block: the percentage of a kernel's active warps
+that read it, plotted against blocks sorted by total read count.  Hot
+blocks being shared by (nearly) all warps is Observation II — the
+reason a single faulty hot block corrupts the whole computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.access_profile import AccessProfile
+
+
+def warp_sharing_curve(profile: AccessProfile) -> np.ndarray:
+    """Warp-share percentages with blocks sorted by read count ascending
+    (the Figure 4 series)."""
+    ordered = profile.sorted_counts()
+    return np.array(
+        [100.0 * profile.warp_share(addr) for addr, _count in ordered]
+    )
+
+
+def hot_vs_rest_sharing(
+    profile: AccessProfile, hot_addrs
+) -> tuple[float, float]:
+    """Mean warp-share percentage of hot blocks vs the rest."""
+    hot_addrs = set(hot_addrs)
+    hot_shares = []
+    rest_shares = []
+    for addr in profile.block_reads:
+        share = 100.0 * profile.warp_share(addr)
+        if addr in hot_addrs:
+            hot_shares.append(share)
+        else:
+            rest_shares.append(share)
+    hot_mean = float(np.mean(hot_shares)) if hot_shares else 0.0
+    rest_mean = float(np.mean(rest_shares)) if rest_shares else 0.0
+    return hot_mean, rest_mean

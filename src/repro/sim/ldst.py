@@ -1,0 +1,189 @@
+"""The per-SM LD/ST unit: L1 probe, MSHRs, and replication hardware.
+
+This is where the paper's schemes live in the timing model (Section
+IV-B/IV-C).  On an L1 miss to a protected object the unit issues one
+transaction per replica copy:
+
+* **detection (lazy)** — the warp's dependency is satisfied when the
+  *first* (primary) copy returns; the copies are compared in the
+  background, bounded by the 32-entry pending-compare queue (a full
+  queue is a structural stall);
+* **correction** — the warp waits for all three copies plus the
+  majority-vote pass through the 256-bit comparator.
+
+Merged misses (MSHR hits) inherit the pending line's readiness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.arch.config import GpuConfig
+from repro.arch.mshr import MshrFile
+from repro.core.hardware import HardwareBudget
+from repro.sim.memory_subsystem import MemorySubsystem
+from repro.sim.metrics import StallBreakdown
+
+
+@dataclass(frozen=True)
+class ProtectionSpec:
+    """Which objects are replicated and how, for the timing model."""
+
+    scheme_name: str  # "baseline" | "detection" | "correction"
+    lazy: bool
+    #: object name -> byte offsets from the primary base to each replica
+    offsets: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return self.scheme_name != "baseline" and bool(self.offsets)
+
+    @property
+    def n_way(self) -> int:
+        """Width of the copy comparison (2 for detection, 3 for
+        correction)."""
+        if not self.offsets:
+            return 1
+        any_offsets = next(iter(self.offsets.values()))
+        return 1 + len(any_offsets)
+
+    @classmethod
+    def baseline(cls) -> "ProtectionSpec":
+        return cls("baseline", lazy=True)
+
+
+@dataclass
+class SimStats:
+    """Mutable counters shared by every LD/ST unit of one simulation."""
+
+    instructions: int = 0
+    demand_misses: int = 0
+    replica_transactions: int = 0
+    store_transactions: int = 0
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+
+
+class LdstUnit:
+    """One SM's load/store pipeline front-end."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        subsystem: MemorySubsystem,
+        protection: ProtectionSpec,
+        budget: HardwareBudget,
+        stats: SimStats,
+        name: str = "ldst",
+    ):
+        self.config = config
+        self.subsystem = subsystem
+        self.protection = protection
+        self.budget = budget
+        self.stats = stats
+        self.l1 = Cache(
+            CacheConfig(config.l1_size_bytes, config.l1_assoc,
+                        config.line_bytes),
+            name=f"L1/{name}",
+        )
+        self.mshr = MshrFile(
+            config.l1_mshr_entries, config.l1_mshr_max_merged
+        )
+        #: line addr -> (fill_time, demand_ready_time)
+        self._pending: dict[int, tuple[int, int]] = {}
+        self._fill_heap: list[tuple[int, int]] = []
+        self._compare_heap: list[int] = []
+        if protection.active:
+            self._compare_cycles = budget.compare_cycles(
+                config.line_bytes, n_way=protection.n_way
+            )
+        else:
+            self._compare_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _drain(self, now: int) -> None:
+        """Retire MSHR entries whose fills have arrived and compare-queue
+        entries whose lazy comparison has finished."""
+        while self._fill_heap and self._fill_heap[0][0] <= now:
+            _fill, line = heapq.heappop(self._fill_heap)
+            self.mshr.release(line)
+            self._pending.pop(line, None)
+        while self._compare_heap and self._compare_heap[0] <= now:
+            heapq.heappop(self._compare_heap)
+
+    def load(self, now: int, obj_name: str, addr: int) \
+            -> tuple[int, int | None]:
+        """Issue one read transaction.
+
+        Returns ``(ready_time, None)`` when issued, or
+        ``(0, stall_until)`` on a structural stall (MSHR or compare
+        queue full) — the caller retries at ``stall_until``.
+        """
+        self._drain(now)
+        hit = self.l1.access(addr)
+        pending = self._pending.get(addr)
+        if pending is not None:
+            # Merged miss: data is already on its way.
+            outcome = self.mshr.probe(addr)
+            if outcome == "stall":
+                self.stats.stalls.mshr_full += 1
+                self.mshr.record_stall(addr)
+                return 0, pending[0]
+            self.mshr.add(addr)
+            return pending[1], None
+        if hit:
+            return now + self.config.l1_hit_latency, None
+
+        # True miss: need an MSHR slot and, for lazy detection, room in
+        # the pending-compare queue before any transaction goes out.
+        if self.mshr.probe(addr) == "stall":
+            self.stats.stalls.mshr_full += 1
+            self.mshr.record_stall(addr)
+            stall_until = (
+                self._fill_heap[0][0] if self._fill_heap else now + 1
+            )
+            return 0, stall_until
+        protected = (
+            self.protection.active
+            and obj_name in self.protection.offsets
+        )
+        if protected and self.protection.lazy \
+                and self.protection.scheme_name == "detection":
+            if len(self._compare_heap) >= \
+                    self.config.pending_compare_entries:
+                self.stats.stalls.compare_queue_full += 1
+                return 0, self._compare_heap[0]
+
+        fill = self.subsystem.read(now, addr)
+        self.stats.demand_misses += 1
+        demand_ready = fill
+        if protected:
+            replica_times = []
+            for offset in self.protection.offsets[obj_name]:
+                replica_times.append(
+                    self.subsystem.read(now, addr + offset)
+                )
+                self.stats.replica_transactions += 1
+            all_copies = max(fill, *replica_times)
+            if self.protection.scheme_name == "detection" \
+                    and self.protection.lazy:
+                demand_ready = fill
+                heapq.heappush(
+                    self._compare_heap, all_copies + self._compare_cycles
+                )
+            else:
+                # Correction, or the eager-detection ablation: stall
+                # the dependency until every copy arrived and the
+                # comparator/vote pass finished.
+                demand_ready = all_copies + self._compare_cycles
+
+        self.mshr.add(addr)
+        heapq.heappush(self._fill_heap, (fill, addr))
+        self._pending[addr] = (fill, demand_ready)
+        return demand_ready, None
+
+    def store(self, now: int, addr: int) -> None:
+        """Write-through, no-allocate, fire-and-forget."""
+        self.subsystem.write(now, addr)
+        self.stats.store_transactions += 1

@@ -1,0 +1,98 @@
+"""The shared below-L1 memory hierarchy: interconnect + L2 + DRAM.
+
+Requests are serviced analytically: every shared resource keeps a
+next-free time, so a request arriving at cycle ``t`` experiences
+queueing whenever earlier traffic has pushed the resource's next-free
+time past ``t``.  SMs are interleaved in (approximately) global time
+order by the simulator, which keeps this composition causal.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.arch.config import GpuConfig
+from repro.arch.dram import DramChannel, DramTimings
+from repro.arch.interconnect import Crossbar
+
+
+class MemorySubsystem:
+    """Per-partition L2 slices and DRAM channels behind a crossbar."""
+
+    def __init__(self, config: GpuConfig):
+        self.config = config
+        self.crossbar = Crossbar(
+            n_partitions=config.n_mem_channels,
+            bytes_per_cycle=config.interconnect_bytes_per_cycle,
+            base_latency=config.interconnect_latency,
+            line_bytes=config.line_bytes,
+        )
+        self.l2_slices = [
+            Cache(
+                CacheConfig(
+                    config.l2_slice_size_bytes,
+                    config.l2_assoc,
+                    config.line_bytes,
+                ),
+                name=f"L2[{i}]",
+            )
+            for i in range(config.n_mem_channels)
+        ]
+        timings = DramTimings(
+            row_hit_cycles=config.dram_row_hit_cycles,
+            row_miss_cycles=config.dram_row_miss_cycles,
+            bus_cycles_per_line=config.dram_bus_cycles_per_line,
+        )
+        self.dram_channels = [
+            DramChannel(
+                n_banks=config.dram_banks_per_channel,
+                row_bytes=config.dram_row_bytes,
+                line_bytes=config.line_bytes,
+                timings=timings,
+                name=f"DRAM[{i}]",
+            )
+            for i in range(config.n_mem_channels)
+        ]
+        self._l2_next_free = [0] * config.n_mem_channels
+
+    def read(self, now: int, addr: int) -> int:
+        """Service a read-line request; return data-delivery time at the
+        requesting SM."""
+        part = self.config.channel_of_address(addr)
+        arrive = self.crossbar.send_request(now, part)
+        start = max(arrive, self._l2_next_free[part])
+        self._l2_next_free[part] = start + self.config.l2_service_cycles
+        if self.l2_slices[part].access(addr):
+            data_at = start + self.config.l2_hit_latency
+        else:
+            dram_at = start + self.config.l2_hit_latency
+            data_at = self.dram_channels[part].access(dram_at, addr)
+        return self.crossbar.send_response(data_at, part)
+
+    def write(self, now: int, addr: int) -> None:
+        """Fire-and-forget write-through store: occupies the request
+        link and an L2 slot; no response is modelled (write-ack-free),
+        and no L2 allocation happens on a write miss."""
+        part = self.config.channel_of_address(addr)
+        arrive = self.crossbar.send_request(now, part)
+        start = max(arrive, self._l2_next_free[part])
+        self._l2_next_free[part] = start + self.config.l2_service_cycles
+        self.l2_slices[part].access(addr, allocate=False)
+
+    # ------------------------------------------------------------------
+    # Aggregated stats
+    # ------------------------------------------------------------------
+    @property
+    def l2_accesses(self) -> int:
+        return sum(s.stats.accesses for s in self.l2_slices)
+
+    @property
+    def l2_hits(self) -> int:
+        return sum(s.stats.hits for s in self.l2_slices)
+
+    @property
+    def dram_requests(self) -> int:
+        return sum(c.stats.requests for c in self.dram_channels)
+
+    @property
+    def dram_row_hits(self) -> int:
+        return sum(c.stats.row_hits for c in self.dram_channels)

@@ -1,0 +1,145 @@
+"""Top-level timing simulation driver.
+
+``simulate_trace`` replays an application trace on the configured GPU:
+kernels run back-to-back (a kernel launch is a global barrier, as in
+CUDA's default stream), CTAs are assigned round-robin to SMs, and SMs
+advance in global-time order (always stepping the SM with the smallest
+local clock) so that shared-resource contention stays causal.
+
+``simulate_app`` is the convenience wrapper that also materializes the
+replica allocations for a protection scheme and reports everything as
+a :class:`~repro.sim.metrics.SimReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.core.hardware import HardwareBudget
+from repro.core.replication import create_replicas
+from repro.errors import ConfigError
+from repro.kernels.base import GpuApplication
+from repro.kernels.trace import AppTrace
+from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
+from repro.sim.memory_subsystem import MemorySubsystem
+from repro.sim.metrics import SimReport
+from repro.sim.sm import SmCore
+
+
+def build_protection(
+    memory: DeviceMemory,
+    scheme_name: str,
+    protected_names: tuple[str, ...],
+    lazy: bool = True,
+) -> ProtectionSpec:
+    """Allocate replicas in a memory clone and derive address offsets.
+
+    The clone keeps the simulated address map faithful (replicas really
+    occupy distinct DRAM regions) without mutating the caller's memory.
+    """
+    if scheme_name == "baseline" or not protected_names:
+        return ProtectionSpec.baseline()
+    if scheme_name not in ("detection", "correction"):
+        raise ConfigError(f"unknown scheme {scheme_name!r}")
+    extra = 1 if scheme_name == "detection" else 2
+    shadow = memory.clone()
+    objects = [shadow.object(name) for name in protected_names]
+    replica_sets = create_replicas(shadow, objects, extra)
+    offsets = {
+        name: tuple(
+            replica.base_addr - rs.primary.base_addr
+            for replica in rs.replicas
+        )
+        for name, rs in replica_sets.items()
+    }
+    return ProtectionSpec(scheme_name, lazy=lazy, offsets=offsets)
+
+
+def simulate_trace(
+    trace: AppTrace,
+    config: GpuConfig = PAPER_CONFIG,
+    protection: ProtectionSpec | None = None,
+    budget: HardwareBudget | None = None,
+) -> SimReport:
+    """Run the timing simulation of one application trace."""
+    protection = protection or ProtectionSpec.baseline()
+    budget = budget or HardwareBudget.from_config(config)
+    stats = SimStats()
+    subsystem = MemorySubsystem(config)
+    ldsts = [
+        LdstUnit(config, subsystem, protection, budget, stats,
+                 name=f"sm{i}")
+        for i in range(config.n_sms)
+    ]
+    sms = [
+        SmCore(i, config, ldsts[i], stats) for i in range(config.n_sms)
+    ]
+
+    global_time = 0
+    kernel_cycles: dict[str, int] = {}
+    for kernel in trace.kernels:
+        assignments: list[list] = [[] for _ in sms]
+        for i, cta in enumerate(kernel.ctas):
+            assignments[i % len(sms)].append(cta)
+        heap = []
+        for sm, ctas in zip(sms, assignments):
+            if ctas:
+                sm.start_kernel(ctas, global_time)
+                heapq.heappush(heap, (sm.cycle, sm.sm_id))
+        while heap:
+            _cycle, sm_id = heapq.heappop(heap)
+            sm = sms[sm_id]
+            if not sm.active:
+                continue
+            sm.step()
+            if sm.active:
+                heapq.heappush(heap, (sm.cycle, sm.sm_id))
+        kernel_end = max(
+            (sm.cycle for sm in sms), default=global_time
+        )
+        kernel_cycles[kernel.name] = kernel_end - global_time
+        global_time = kernel_end
+
+    l1_accesses = sum(u.l1.stats.accesses for u in ldsts)
+    l1_hits = sum(u.l1.stats.hits for u in ldsts)
+    return SimReport(
+        app_name=trace.app_name,
+        scheme_name=protection.scheme_name,
+        protected_names=tuple(sorted(protection.offsets)),
+        cycles=global_time,
+        kernel_cycles=kernel_cycles,
+        instructions=stats.instructions,
+        demand_misses=stats.demand_misses,
+        replica_transactions=stats.replica_transactions,
+        store_transactions=stats.store_transactions,
+        l1_accesses=l1_accesses,
+        l1_hits=l1_hits,
+        l2_accesses=subsystem.l2_accesses,
+        l2_hits=subsystem.l2_hits,
+        dram_requests=subsystem.dram_requests,
+        dram_row_hits=subsystem.dram_row_hits,
+        stalls=stats.stalls,
+    )
+
+
+def simulate_app(
+    app: GpuApplication,
+    trace: AppTrace | None = None,
+    memory: DeviceMemory | None = None,
+    config: GpuConfig = PAPER_CONFIG,
+    scheme_name: str = "baseline",
+    protected_names: tuple[str, ...] = (),
+    budget: HardwareBudget | None = None,
+    lazy: bool = True,
+) -> SimReport:
+    """Simulate an application under a protection configuration."""
+    if memory is None:
+        memory = app.fresh_memory()
+    if trace is None:
+        trace = app.build_trace(memory)
+    protection = build_protection(
+        memory, scheme_name, tuple(protected_names), lazy=lazy
+    )
+    return simulate_trace(trace, config, protection, budget)

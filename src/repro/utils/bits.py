@@ -1,0 +1,82 @@
+"""Bit-level helpers shared by the ECC codec and the fault injector.
+
+All functions operate on non-negative Python integers interpreted as
+fixed-width words (the width is passed explicitly where it matters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def bit_count(value: int) -> int:
+    """Number of set bits in ``value`` (population count)."""
+    if value < 0:
+        raise ValueError("bit_count expects a non-negative integer")
+    return value.bit_count()
+
+
+def flip_bits(value: int, positions: Iterable[int]) -> int:
+    """Return ``value`` with each bit in ``positions`` inverted."""
+    result = value
+    for pos in positions:
+        if pos < 0:
+            raise ValueError(f"negative bit position {pos}")
+        result ^= 1 << pos
+    return result
+
+
+def set_bits(value: int, positions: Iterable[int], bit: int) -> int:
+    """Return ``value`` with each position forced to ``bit`` (0 or 1).
+
+    Models a *stuck-at* fault: the returned word reads as if the listed
+    cells were stuck at the given logic level.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    result = value
+    for pos in positions:
+        if pos < 0:
+            raise ValueError(f"negative bit position {pos}")
+        if bit:
+            result |= 1 << pos
+        else:
+            result &= ~(1 << pos)
+    return result
+
+
+def extract_bits(value: int, positions: Sequence[int]) -> int:
+    """Pack the bits of ``value`` at ``positions`` into a new integer.
+
+    ``positions[0]`` becomes bit 0 of the result, ``positions[1]`` bit 1,
+    and so on.  Used by the SECDED codec to gather parity groups.
+    """
+    result = 0
+    for out_pos, in_pos in enumerate(positions):
+        if (value >> in_pos) & 1:
+            result |= 1 << out_pos
+    return result
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions at which ``a`` and ``b`` differ."""
+    return bit_count(a ^ b)
+
+
+def word_to_bits(value: int, width: int) -> list[int]:
+    """Little-endian list of ``width`` bits of ``value``."""
+    if value < 0:
+        raise ValueError("word_to_bits expects a non-negative integer")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_word(bits: Sequence[int]) -> int:
+    """Inverse of :func:`word_to_bits`."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit}, expected 0 or 1")
+        value |= bit << i
+    return value

@@ -1,0 +1,88 @@
+"""Deterministic random-number streams for reproducible campaigns.
+
+A fault-injection campaign runs thousands of independent experiments;
+each experiment must be reproducible in isolation (so a single SDC run
+can be replayed for debugging) while the campaign as a whole stays
+statistically sound.  We derive one child seed per (campaign seed,
+run index) pair using ``numpy``'s SeedSequence spawning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *keys: int) -> int:
+    """Derive a 63-bit child seed from a root seed and integer keys.
+
+    The derivation is stable across processes and numpy versions that
+    keep SeedSequence semantics (all modern ones do).
+    """
+    seq = np.random.SeedSequence(entropy=root_seed, spawn_key=tuple(keys))
+    return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+class RngStream:
+    """A named, seeded random stream wrapping ``numpy.random.Generator``.
+
+    Thin wrapper so call sites read as intent ("pick a word in the
+    block") rather than as generic RNG calls.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def child(self, *keys: int) -> "RngStream":
+        """Independent child stream identified by integer keys."""
+        return RngStream(derive_seed(self.seed, *keys))
+
+    def choice_index(self, n: int) -> int:
+        """Uniform index in ``[0, n)``."""
+        if n <= 0:
+            raise ValueError(f"cannot choose from {n} items")
+        return int(self._rng.integers(0, n))
+
+    def sample_indices(self, n: int, k: int) -> list[int]:
+        """``k`` distinct uniform indices from ``[0, n)``."""
+        if k > n:
+            raise ValueError(f"cannot sample {k} distinct items from {n}")
+        return [int(i) for i in self._rng.choice(n, size=k, replace=False)]
+
+    def weighted_index(self, weights) -> int:
+        """Index drawn with probability proportional to ``weights``."""
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        return int(self._rng.choice(w.size, p=w / total))
+
+    def weighted_indices(self, weights, k: int) -> list[int]:
+        """``k`` distinct indices drawn without replacement, weighted."""
+        w = np.asarray(weights, dtype=np.float64)
+        nonzero = int(np.count_nonzero(w))
+        if k > nonzero:
+            raise ValueError(
+                f"cannot draw {k} distinct indices from {nonzero} "
+                "non-zero-weight items"
+            )
+        total = w.sum()
+        picks = self._rng.choice(w.size, size=k, replace=False, p=w / total)
+        return [int(i) for i in picks]
+
+    def coin(self) -> int:
+        """A fair coin flip returning 0 or 1 (stuck-at polarity)."""
+        return int(self._rng.integers(0, 2))
+
+    def bit_positions(self, width: int, k: int) -> list[int]:
+        """``k`` distinct bit positions within a ``width``-bit word."""
+        return self.sample_indices(width, k)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """Escape hatch: the underlying numpy Generator."""
+        return self._rng

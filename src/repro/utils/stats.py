@@ -1,0 +1,130 @@
+"""Statistics helpers: running moments, confidence intervals, means.
+
+The paper reports 95% confidence intervals with roughly +/-3% error
+margins for 1000-run campaigns (Leveugle et al. statistical fault
+injection); :func:`confidence_interval` implements the same normal
+approximation for a binomial proportion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A proportion estimate with symmetric margin at a given level."""
+
+    proportion: float
+    margin: float
+    level: float
+    runs: int
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.proportion - self.margin)
+
+    @property
+    def high(self) -> float:
+        return min(1.0, self.proportion + self.margin)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.proportion:.4f} +/- {self.margin:.4f} "
+            f"({self.level:.0%}, n={self.runs})"
+        )
+
+
+def confidence_interval(
+    successes: int, runs: int, level: float = 0.95
+) -> ConfidenceInterval:
+    """Normal-approximation CI for a binomial proportion.
+
+    For ``runs=1000`` and ``level=0.95`` the worst-case margin (p=0.5)
+    is ~3.1%, matching the paper's statistical-significance claim.
+    """
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    if not 0 <= successes <= runs:
+        raise ValueError(f"successes {successes} outside [0, {runs}]")
+    if level not in _Z_VALUES:
+        raise ValueError(f"unsupported confidence level {level}")
+    p = successes / runs
+    margin = _Z_VALUES[level] * math.sqrt(p * (1.0 - p) / runs)
+    return ConfidenceInterval(p, margin, level, runs)
+
+
+def runs_for_margin(margin: float, level: float = 0.95) -> int:
+    """Number of runs for a worst-case (p=0.5) CI margin of ``margin``."""
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    z = _Z_VALUES[level]
+    return math.ceil((z / (2.0 * margin)) ** 2)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for normalized slowdowns."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized(values: Sequence[float], baseline: float) -> list[float]:
+    """Each value divided by ``baseline`` (the paper's "1.0" bars)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return [v / baseline for v in values]
+
+
+class RunningStat:
+    """Numerically stable running mean/variance (Welford)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running moments."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._max

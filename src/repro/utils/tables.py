@@ -1,0 +1,69 @@
+"""Plain-text table rendering for reports and bench output.
+
+The bench harness prints the same rows the paper's tables and figures
+report; this module renders them legibly without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class TextTable:
+    """A fixed-column text table with simple alignment.
+
+    >>> t = TextTable(["app", "overhead"])
+    >>> t.add_row(["C-NN", 0.012])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], float_format: str = "{:.4f}"):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self._rows.append([self._format(v) for v in values])
+
+    def _format(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def render(self, indent: str = "") -> str:
+        """Format the table as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = "  ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths)
+        )
+        rule = "  ".join("-" * w for w in widths)
+        lines.append(indent + header)
+        lines.append(indent + rule)
+        for row in self._rows:
+            lines.append(
+                indent
+                + "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

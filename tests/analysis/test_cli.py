@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "P-BICG" in out
+        assert "C-BlackScholes" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestProfileCommand:
+    def test_profile_output(self, capsys):
+        assert main(["profile", "A-Laplacian", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "hot objects (declared)" in out
+        assert "Filter" in out
+
+
+class TestCampaignCommand:
+    def test_campaign_runs(self, capsys):
+        code = main([
+            "campaign", "A-Laplacian", "--scale", "small",
+            "--scheme", "detection", "--protect", "hot",
+            "--runs", "10", "--selection", "hot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SDC rate" in out
+
+    def test_numeric_protect_level(self, capsys):
+        code = main([
+            "campaign", "A-Laplacian", "--scale", "small",
+            "--scheme", "correction", "--protect", "2",
+            "--runs", "5",
+        ])
+        assert code == 0
+
+
+class TestPerfCommand:
+    def test_perf_prints_normalized_row(self, capsys):
+        code = main([
+            "perf", "A-Meanfilter", "--scale", "small",
+            "--scheme", "detection", "--protect", "hot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "norm-time" in out
+        assert "baseline" in out
+
+
+class TestTradeoffCommand:
+    def test_tradeoff_prints_sweet_spot(self, capsys):
+        code = main([
+            "tradeoff", "A-Meanfilter", "--scale", "small",
+            "--runs", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweet spot" in out
+
+
+class TestExportCommand:
+    def test_export_writes_csvs(self, tmp_path, capsys):
+        code = main([
+            "export", "A-Meanfilter", "--scale", "small",
+            "--out", str(tmp_path), "--runs", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig9_a_meanfilter.csv" in out
+        assert (tmp_path / "table1_config.csv").exists()
+        assert (tmp_path / "fig7_a_meanfilter.csv").exists()

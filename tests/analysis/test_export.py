@@ -1,0 +1,77 @@
+"""Tests for the CSV exporter."""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_fig2,
+    export_fig3,
+    export_fig6,
+    export_fig7,
+    export_fig9,
+    export_table1,
+    export_table2,
+)
+
+
+def read_csv(path: Path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestStaticExports:
+    def test_table1(self, tmp_path):
+        rows = read_csv(export_table1(tmp_path))
+        assert rows[0] == ["category", "configuration"]
+        assert len(rows) == 7  # header + 6 Table I rows
+
+    def test_fig2(self, tmp_path):
+        rows = read_csv(export_fig2(tmp_path))
+        assert rows[0] == ["vendor", "model", "year", "l2_mib"]
+        assert len(rows) > 10
+
+    def test_table2(self, tmp_path):
+        rows = read_csv(export_table2(tmp_path))
+        assert len(rows) == 9  # header + 8 apps
+
+
+class TestPerAppExports:
+    def test_fig3_curve(self, laplacian_manager, tmp_path):
+        path = export_fig3(laplacian_manager, tmp_path)
+        assert path.name == "fig3_a_laplacian.csv"
+        rows = read_csv(path)
+        assert len(rows) == laplacian_manager.profile.n_blocks + 1
+        values = [float(r[1]) for r in rows[1:]]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_fig6_grid(self, laplacian_manager, tmp_path):
+        rows = read_csv(export_fig6(laplacian_manager, tmp_path,
+                                    runs=5))
+        assert len(rows) == 13  # header + 2 spaces x 6 grid cells
+        for row in rows[1:]:
+            assert int(row[6]) == 5  # runs column
+
+    def test_fig7_sweep(self, laplacian_manager, tmp_path):
+        rows = read_csv(export_fig7(laplacian_manager, tmp_path))
+        n_objects = len(laplacian_manager.app.object_importance)
+        assert len(rows) == 1 + 2 * n_objects
+
+    def test_fig9_grid(self, laplacian_manager, tmp_path):
+        rows = read_csv(export_fig9(laplacian_manager, tmp_path,
+                                    runs=5))
+        assert rows[0][0] == "scheme"
+        schemes = {r[0] for r in rows[1:]}
+        assert "baseline" in schemes
+        assert "correction" in schemes
+
+    def test_export_all_writes_everything(self, laplacian_manager,
+                                          tmp_path):
+        paths = export_all(laplacian_manager, tmp_path, runs=5)
+        assert len(paths) == 8
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0

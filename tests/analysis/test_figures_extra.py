@@ -1,0 +1,56 @@
+"""Additional tests for figure-data helpers."""
+
+import pytest
+
+from repro.analysis.figures import Fig9Cell, average_sdc_drop
+
+
+def cell(level, n_blocks, n_bits, sdc, crash=0):
+    return Fig9Cell(
+        app_name="app", scheme="correction", n_protected=level,
+        n_blocks=n_blocks, n_bits=n_bits, sdc=sdc, detected=0,
+        corrected=0, crash=crash, runs=100,
+    )
+
+
+class TestAverageSdcDrop:
+    def grid(self):
+        cells = []
+        for n_blocks, n_bits in ((1, 2), (1, 3), (1, 4),
+                                 (5, 2), (5, 3), (5, 4)):
+            cells.append(cell(0, n_blocks, n_bits, sdc=40, crash=20))
+            cells.append(cell(2, n_blocks, n_bits, sdc=4, crash=0))
+        return cells
+
+    def test_sdc_only_drop(self):
+        drop = average_sdc_drop(self.grid(), hot_level=2)
+        assert drop == pytest.approx(90.0)
+
+    def test_bad_outcome_drop_includes_crashes(self):
+        drop = average_sdc_drop(self.grid(), hot_level=2,
+                                include_crashes=True)
+        assert drop == pytest.approx(100.0 * (60 - 4) / 60)
+
+    def test_zero_baseline_configs_skipped(self):
+        cells = [
+            cell(0, 1, 2, sdc=0),
+            cell(2, 1, 2, sdc=0),
+            cell(0, 1, 3, sdc=10),
+            cell(2, 1, 3, sdc=5),
+        ]
+        assert average_sdc_drop(cells, hot_level=2) == \
+            pytest.approx(50.0)
+
+    def test_negative_drop_possible(self):
+        cells = [
+            cell(0, 1, 2, sdc=5, crash=20),
+            cell(2, 1, 2, sdc=10, crash=0),
+        ]
+        assert average_sdc_drop(cells, hot_level=2) == \
+            pytest.approx(-100.0)
+        assert average_sdc_drop(cells, hot_level=2,
+                                include_crashes=True) == \
+            pytest.approx(100.0 * (25 - 10) / 25)
+
+    def test_empty_grid_is_zero(self):
+        assert average_sdc_drop([], hot_level=1) == 0.0

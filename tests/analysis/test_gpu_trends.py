@@ -1,0 +1,42 @@
+"""Tests for the Figure 2 survey dataset."""
+
+import pytest
+
+from repro.data.gpu_trends import (
+    L2_SIZE_TREND,
+    growth_factor,
+    trend_for,
+)
+
+
+def test_both_vendors_present():
+    vendors = {g.vendor for g in L2_SIZE_TREND}
+    assert vendors == {"NVIDIA", "AMD"}
+
+
+def test_chronological_order():
+    years = [g.year for g in L2_SIZE_TREND]
+    assert years == sorted(years)
+
+
+def test_l2_sizes_grow_strongly():
+    # The figure's message: both vendors grow L2 by an order of
+    # magnitude over the surveyed decade.
+    assert growth_factor("NVIDIA") > 10
+    assert growth_factor("AMD") > 5
+
+
+def test_trend_for_filters_vendor():
+    nvidia = trend_for("NVIDIA")
+    assert all(g.vendor == "NVIDIA" for g in nvidia)
+    assert len(nvidia) >= 5
+
+
+def test_mib_conversion():
+    a100 = [g for g in L2_SIZE_TREND if "A100" in g.model][0]
+    assert a100.l2_mib == pytest.approx(40.0)
+
+
+def test_unknown_vendor_rejected():
+    with pytest.raises(ValueError):
+        growth_factor("Imagination")

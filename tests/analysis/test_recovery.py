@@ -1,0 +1,90 @@
+"""Tests for the recovery-strategy expected-runtime models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.recovery import (
+    compare_strategies,
+    expected_runtime_checkpoint,
+    expected_runtime_rerun,
+)
+from repro.core.baselines import CheckpointModel
+from repro.errors import ConfigError
+
+
+def model(overhead=0.05, total=100_000):
+    interval = total // 10
+    return CheckpointModel(
+        writable_bytes=int(overhead * interval * 192),
+        checkpoint_interval_cycles=interval,
+    )
+
+
+class TestRerun:
+    def test_no_faults_is_just_the_scheme(self):
+        assert expected_runtime_rerun(1.012, 0.0) == \
+            pytest.approx(1.012)
+
+    def test_expected_geometric_retries(self):
+        # p = 0.5 doubles the expected time.
+        assert expected_runtime_rerun(1.0, 0.5) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            expected_runtime_rerun(0.0, 0.1)
+        with pytest.raises(ConfigError):
+            expected_runtime_rerun(1.0, 1.0)
+
+
+class TestCheckpoint:
+    def test_overhead_always_paid(self):
+        t = expected_runtime_checkpoint(1.0, 0.0, model(0.08), 100_000)
+        assert t == pytest.approx(1.08, rel=1e-2)
+
+    def test_rollback_cheaper_than_rerun_at_high_fault_rates(self):
+        m = model(0.05)
+        p = 0.6
+        rerun = expected_runtime_rerun(1.012, p)
+        ckpt = expected_runtime_checkpoint(1.012, p, m, 100_000)
+        assert ckpt < rerun
+
+    def test_rerun_cheaper_at_low_fault_rates(self):
+        m = model(0.05)
+        p = 0.01
+        rerun = expected_runtime_rerun(1.012, p)
+        ckpt = expected_runtime_checkpoint(1.012, p, m, 100_000)
+        assert rerun < ckpt
+
+
+class TestComparison:
+    def test_winner_changes_with_fault_rate(self):
+        m = model(0.05)
+        low = compare_strategies(1.012, m, 100_000, 0.01)
+        high = compare_strategies(1.012, m, 100_000, 0.6)
+        assert low.winner == "detect+rerun"
+        assert high.winner == "detect+checkpoint"
+
+    def test_dmr_never_wins_at_sane_rates(self):
+        m = model(0.05)
+        for p in (0.0, 0.1, 0.3):
+            row = compare_strategies(1.012, m, 100_000, p)
+            assert row.winner != "dmr"
+
+
+@given(st.floats(min_value=0.0, max_value=0.9),
+       st.floats(min_value=1.0, max_value=1.5))
+def test_rerun_monotone_in_fault_rate(p, slowdown):
+    low = expected_runtime_rerun(slowdown, p * 0.5)
+    high = expected_runtime_rerun(slowdown, p)
+    assert high >= low - 1e-12
+
+
+@given(st.floats(min_value=0.0, max_value=0.9))
+def test_checkpoint_bounded_by_rerun_plus_overhead(p):
+    m = model(0.05)
+    ckpt = expected_runtime_checkpoint(1.0, p, m, 100_000)
+    rerun = expected_runtime_rerun(1.0, p)
+    # Rolling back at most half an interval per fault cannot exceed
+    # full reruns plus the steady-state overhead factor.
+    assert ckpt <= rerun * (1.0 + m.overhead_fraction) + 1e-9

@@ -1,0 +1,81 @@
+"""Tests for result reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    campaign_table,
+    performance_table,
+    sdc_drop_percent,
+)
+from repro.faults.campaign import CampaignConfig, CampaignResult
+from repro.faults.outcomes import Outcome
+from repro.sim.metrics import SimReport
+
+
+def make_result(sdc=0, masked=10, detected=0, corrected=0, crash=0):
+    result = CampaignResult(
+        app_name="app", scheme_name="detection",
+        selection_name="hot-blocks", config=CampaignConfig(runs=10),
+    )
+    result.counts[Outcome.SDC] = sdc
+    result.counts[Outcome.MASKED] = masked
+    result.counts[Outcome.DETECTED] = detected
+    result.counts[Outcome.CORRECTED] = corrected
+    result.counts[Outcome.CRASH] = crash
+    return result
+
+
+def make_sim(cycles=1000, missed=100, name="app", scheme="baseline"):
+    return SimReport(
+        app_name=name, scheme_name=scheme, protected_names=(),
+        cycles=cycles, kernel_cycles={"k": cycles}, instructions=5000,
+        demand_misses=missed, replica_transactions=0,
+        store_transactions=10, l1_accesses=1000, l1_hits=900,
+        l2_accesses=missed, l2_hits=50, dram_requests=50,
+        dram_row_hits=40,
+    )
+
+
+class TestSdcDrop:
+    def test_full_drop(self):
+        assert sdc_drop_percent(make_result(sdc=50),
+                                make_result(sdc=0)) == 100.0
+
+    def test_partial_drop(self):
+        assert sdc_drop_percent(make_result(sdc=50),
+                                make_result(sdc=10)) == 80.0
+
+    def test_zero_baseline_is_zero(self):
+        assert sdc_drop_percent(make_result(sdc=0),
+                                make_result(sdc=0)) == 0.0
+
+    def test_negative_drop_possible(self):
+        assert sdc_drop_percent(make_result(sdc=10),
+                                make_result(sdc=20)) == -100.0
+
+
+class TestTables:
+    def test_campaign_table_rows(self):
+        table = campaign_table([make_result(sdc=3), make_result()])
+        assert table.row_count == 2
+        assert "sdc" in table.render()
+
+    def test_performance_table_normalizes(self):
+        base = make_sim()
+        prot = make_sim(cycles=1100, missed=150, scheme="detection")
+        table = performance_table([base, prot], base)
+        text = table.render()
+        assert "1.100" in text
+        assert "1.500" in text
+
+
+class TestSimReportMath:
+    def test_rates(self):
+        report = make_sim()
+        assert report.l1_hit_rate == pytest.approx(0.9)
+        assert report.ipc == pytest.approx(5.0)
+
+    def test_zero_baseline_rejected(self):
+        base = make_sim(cycles=0)
+        with pytest.raises(ValueError):
+            make_sim().slowdown_vs(base)

@@ -1,0 +1,213 @@
+"""Tests for device memory, allocation, and stuck-at overlays."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.address_space import (
+    BLOCK_BYTES,
+    DeviceMemory,
+    StuckAtOverlay,
+)
+from repro.errors import AddressError, AllocationError
+
+
+class TestAllocation:
+    def test_block_alignment(self, memory):
+        a = memory.alloc("a", (3,), np.float32)
+        b = memory.alloc("b", (100,), np.float32)
+        assert a.base_addr % BLOCK_BYTES == 0
+        assert b.base_addr % BLOCK_BYTES == 0
+        # 3 floats round up to one full block.
+        assert b.base_addr == a.base_addr + BLOCK_BYTES
+
+    def test_nbytes_and_blocks(self, memory):
+        obj = memory.alloc("m", (10, 10), np.float32)
+        assert obj.nbytes == 400
+        assert obj.n_blocks == 4  # ceil(400/128)
+
+    def test_duplicate_name_rejected(self, memory):
+        memory.alloc("x", (4,))
+        with pytest.raises(AllocationError):
+            memory.alloc("x", (4,))
+
+    def test_zero_size_rejected(self, memory):
+        with pytest.raises(AllocationError):
+            memory.alloc("z", (0,))
+
+    def test_out_of_memory(self):
+        mem = DeviceMemory(BLOCK_BYTES * 2)
+        mem.alloc("a", (32,), np.float32)  # one block
+        mem.alloc("b", (32,), np.float32)
+        with pytest.raises(AllocationError):
+            mem.alloc("c", (1,), np.float32)
+
+    def test_object_lookup(self, memory):
+        obj = memory.alloc("named", (8,))
+        assert memory.object("named") is obj
+        with pytest.raises(AddressError):
+            memory.object("missing")
+
+    def test_object_at_covers_padding(self, memory):
+        obj = memory.alloc("small", (3,), np.float32)  # 12B, 1 block
+        assert memory.object_at(obj.base_addr + 100) is obj
+        with pytest.raises(AddressError):
+            memory.object_at(obj.base_addr + BLOCK_BYTES)
+
+    def test_reserve_blocks_shifts_allocations(self, memory):
+        a = memory.alloc("a", (1,))
+        memory.reserve_blocks(3)
+        b = memory.alloc("b", (1,))
+        assert b.base_addr == a.base_addr + 4 * BLOCK_BYTES
+
+    def test_block_addr_range_checked(self, memory):
+        obj = memory.alloc("r", (64,), np.float32)  # 2 blocks
+        assert obj.block_addr(1) == obj.base_addr + BLOCK_BYTES
+        with pytest.raises(AddressError):
+            obj.block_addr(2)
+
+    def test_element_block(self, memory):
+        obj = memory.alloc("e", (64,), np.float32)
+        assert obj.element_block(0) == 0
+        assert obj.element_block(32) == 1
+        with pytest.raises(AddressError):
+            obj.element_block(64)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, memory):
+        obj = memory.alloc("v", (100,), np.float32)
+        data = np.arange(100, dtype=np.float32)
+        memory.write_object(obj, data)
+        np.testing.assert_array_equal(memory.read_object(obj), data)
+
+    def test_shape_preserved(self, memory):
+        obj = memory.alloc("m", (4, 5), np.float64)
+        memory.write_object(obj, np.ones((4, 5)))
+        assert memory.read_object(obj).shape == (4, 5)
+
+    def test_int_dtype(self, memory):
+        obj = memory.alloc("i", (10,), np.int32)
+        memory.write_object(obj, np.arange(10, dtype=np.int32))
+        assert memory.read_object(obj).dtype == np.int32
+
+    def test_read_block_raw(self, memory):
+        obj = memory.alloc("b", (32,), np.float32)
+        memory.write_object(obj, np.zeros(32, dtype=np.float32))
+        block = memory.read_block(obj.base_addr)
+        assert block.shape == (BLOCK_BYTES,)
+        assert (block == 0).all()
+
+
+class TestStuckAtFaults:
+    def test_stuck_at_one_visible_on_read(self, memory):
+        obj = memory.alloc("f", (1,), np.int32)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 3, 1)
+        assert memory.read_object(obj)[0] == 8
+
+    def test_stuck_at_zero_masks_bit(self, memory):
+        obj = memory.alloc("f", (1,), np.int32)
+        memory.write_object(obj, np.full(1, 0xFF, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 0, 0)
+        assert memory.read_object(obj)[0] == 0xFE
+
+    def test_permanence_across_writes(self, memory):
+        obj = memory.alloc("f", (1,), np.int32, read_only=False)
+        memory.inject_stuck_at(obj.base_addr, 2, 1)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        assert memory.read_object(obj)[0] == 4
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        assert memory.read_object(obj)[0] == 4
+
+    def test_pristine_read_ignores_faults(self, memory):
+        obj = memory.alloc("f", (1,), np.int32)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 5, 1)
+        assert memory.read_pristine(obj)[0] == 0
+
+    def test_fault_count(self, memory):
+        obj = memory.alloc("f", (4,), np.int32)
+        memory.inject_stuck_at(obj.base_addr, 0, 1)
+        memory.inject_stuck_at(obj.base_addr, 1, 0)
+        memory.inject_stuck_at(obj.base_addr + 5, 7, 1)
+        assert memory.fault_count == 3
+
+    def test_clear_faults(self, memory):
+        obj = memory.alloc("f", (1,), np.int32)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 0, 1)
+        memory.clear_faults()
+        assert memory.read_object(obj)[0] == 0
+
+    def test_later_fault_wins_conflicting_bit(self, memory):
+        obj = memory.alloc("f", (1,), np.int32)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 0, 1)
+        memory.inject_stuck_at(obj.base_addr, 0, 0)
+        assert memory.read_object(obj)[0] == 0
+
+    def test_bad_fault_args(self, memory):
+        with pytest.raises(AddressError):
+            memory.inject_stuck_at(memory.capacity, 0, 1)
+        with pytest.raises(AddressError):
+            memory.inject_stuck_at(0, 8, 1)
+        with pytest.raises(AddressError):
+            memory.inject_stuck_at(0, 0, 2)
+
+
+class TestClone:
+    def test_clone_preserves_contents(self, memory):
+        obj = memory.alloc("v", (16,), np.float32)
+        memory.write_object(obj, np.arange(16, dtype=np.float32))
+        twin = memory.clone()
+        np.testing.assert_array_equal(
+            twin.read_object(twin.object("v")),
+            memory.read_object(obj),
+        )
+
+    def test_clone_drops_faults(self, memory):
+        obj = memory.alloc("v", (1,), np.int32)
+        memory.write_object(obj, np.zeros(1, dtype=np.int32))
+        memory.inject_stuck_at(obj.base_addr, 0, 1)
+        twin = memory.clone()
+        assert twin.read_object(twin.object("v"))[0] == 0
+        assert memory.read_object(obj)[0] == 1
+
+    def test_clone_is_independent(self, memory):
+        obj = memory.alloc("v", (1,), np.float32, read_only=False)
+        memory.write_object(obj, np.zeros(1, dtype=np.float32))
+        twin = memory.clone()
+        twin.write_object(twin.object("v"),
+                          np.ones(1, dtype=np.float32))
+        assert memory.read_object(obj)[0] == 0.0
+
+    def test_clone_allows_further_allocation(self, memory):
+        memory.alloc("v", (1,))
+        twin = memory.clone()
+        twin.alloc("extra", (1,))
+        with pytest.raises(AddressError):
+            memory.object("extra")
+
+
+class TestOverlayAlgebra:
+    def test_apply(self):
+        ov = StuckAtOverlay(or_mask=0b0001, and_mask=0b1000)
+        assert ov.apply(0b1110) == 0b0111
+
+    def test_merge_later_wins(self):
+        first = StuckAtOverlay(0b01, 0)
+        second = StuckAtOverlay(0, 0b01)
+        merged = first.merged_with(second)
+        assert merged.apply(0b00) == 0
+        assert merged.apply(0b11) == 0b10
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_overlay_apply_is_idempotent(raw, or_mask, and_mask):
+    ov = StuckAtOverlay(or_mask & ~and_mask, and_mask)
+    once = ov.apply(raw)
+    assert ov.apply(once) == once

@@ -1,0 +1,130 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.arch.cache import Cache, CacheConfig
+from repro.errors import ConfigError
+
+LINE = 128
+
+
+def small_cache(assoc=2, sets=4):
+    return Cache(CacheConfig(assoc * sets * LINE, assoc, LINE))
+
+
+class TestConfig:
+    def test_paper_l1_geometry(self):
+        cfg = CacheConfig(16 * 1024, 4, 128)
+        assert cfg.n_sets == 32
+        assert cfg.n_lines == 128
+
+    def test_paper_l2_slice_geometry(self):
+        cfg = CacheConfig(256 * 1024, 16, 128)
+        assert cfg.n_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 128)
+        with pytest.raises(ConfigError):
+            CacheConfig(0, 1, 128)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_same_line_different_offsets(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(LINE - 1) is True
+
+    def test_distinct_lines_miss(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(LINE) is False
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(LINE)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.access(0 * LINE)
+        cache.access(1 * LINE)
+        cache.access(0 * LINE)  # 0 becomes MRU
+        cache.access(2 * LINE)  # evicts 1 (LRU)
+        assert cache.lookup(0) is True
+        assert cache.lookup(1 * LINE) is False
+        assert cache.stats.evictions == 1
+
+    def test_working_set_larger_than_set_thrashes(self):
+        cache = small_cache(assoc=2, sets=1)
+        for _ in range(3):
+            for line in range(3):
+                cache.access(line * LINE)
+        # Cyclic access to 3 lines in a 2-way set: all misses after
+        # the cold ones (classic LRU pathological case).
+        assert cache.stats.hits == 0
+
+
+class TestBypass:
+    def test_no_allocate_does_not_install(self):
+        cache = small_cache()
+        assert cache.access(0, allocate=False) is False
+        assert cache.lookup(0) is False
+        assert cache.stats.bypassed == 1
+
+
+class TestFillInvalidate:
+    def test_fill_installs_without_access_stats(self):
+        cache = small_cache()
+        cache.fill(0)
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is True
+
+    def test_fill_existing_is_noop(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.fill(0)
+        assert cache.resident_lines == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0)
+        assert cache.invalidate(0) is True
+        assert cache.lookup(0) is False
+        assert cache.invalidate(0) is False
+
+    def test_flush(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.fill(i * LINE)
+        cache.flush()
+        assert cache.resident_lines == 0
+
+
+def test_set_indexing_spreads_lines():
+    cache = small_cache(assoc=1, sets=4)
+    for i in range(4):
+        cache.access(i * LINE)
+    # 4 consecutive lines map to 4 different sets: no evictions.
+    assert cache.stats.evictions == 0
+    assert cache.resident_lines == 4
+
+
+def test_reset_stats_keeps_contents():
+    cache = small_cache()
+    cache.access(0)
+    cache.reset_stats()
+    assert cache.stats.accesses == 0
+    assert cache.lookup(0) is True

@@ -1,0 +1,87 @@
+"""Property tests: the cache model against a reference LRU model."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import Cache, CacheConfig
+
+LINE = 128
+
+
+class ReferenceLru:
+    """An obviously-correct fully-explicit LRU set-associative model."""
+
+    def __init__(self, n_sets: int, assoc: int):
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = [[] for _ in range(n_sets)]  # MRU at end
+
+    def access(self, addr: int) -> bool:
+        line = addr // LINE
+        idx = line % self.n_sets
+        tag = line // self.n_sets
+        entries = self.sets[idx]
+        if tag in entries:
+            entries.remove(tag)
+            entries.append(tag)
+            return True
+        if len(entries) >= self.assoc:
+            entries.pop(0)
+        entries.append(tag)
+        return False
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(min_value=1, max_value=4),   # log2 sets
+    st.integers(min_value=1, max_value=4),   # assoc
+    st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+             max_size=200),
+)
+def test_cache_matches_reference_lru(log_sets, assoc, line_ids):
+    n_sets = 1 << log_sets
+    cache = Cache(CacheConfig(n_sets * assoc * LINE, assoc, LINE))
+    reference = ReferenceLru(n_sets, assoc)
+    for line_id in line_ids:
+        addr = line_id * LINE
+        assert cache.access(addr) == reference.access(addr), line_id
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=150))
+def test_hit_plus_miss_equals_accesses(line_ids):
+    cache = Cache(CacheConfig(4 * 2 * LINE, 2, LINE))
+    for line_id in line_ids:
+        cache.access(line_id * LINE)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(line_ids)
+    assert stats.evictions <= stats.misses
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=100))
+def test_resident_lines_bounded_by_capacity(line_ids):
+    config = CacheConfig(8 * 2 * LINE, 2, LINE)
+    cache = Cache(config)
+    for line_id in line_ids:
+        cache.access(line_id * LINE)
+    assert cache.resident_lines <= config.n_lines
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=60))
+def test_working_set_within_capacity_never_evicts(line_ids):
+    """Any access pattern over <= capacity distinct lines that map to
+    distinct ways cannot evict under LRU when the whole set fits."""
+    cache = Cache(CacheConfig(1 * 16 * LINE, 16, LINE))  # 1 set, 16-way
+    for line_id in line_ids:
+        cache.access(line_id * LINE)
+    assert cache.stats.evictions == 0
+    # Every line misses exactly once (cold) and hits thereafter.
+    assert cache.stats.misses == len(set(line_ids))

@@ -1,0 +1,75 @@
+"""Tests for the GPU configuration (Table I)."""
+
+import pytest
+
+from repro.arch.config import GpuConfig, KIB, PAPER_CONFIG, fast_config
+from repro.errors import ConfigError
+
+
+class TestPaperConfig:
+    def test_table1_core(self):
+        assert PAPER_CONFIG.core_clock_mhz == 1400
+        assert PAPER_CONFIG.simt_width == 32
+        assert PAPER_CONFIG.n_sms == 15
+
+    def test_table1_l1(self):
+        assert PAPER_CONFIG.l1_size_bytes == 16 * KIB
+        assert PAPER_CONFIG.l1_assoc == 4
+        assert PAPER_CONFIG.line_bytes == 128
+
+    def test_table1_l2_totals_1536kb(self):
+        assert PAPER_CONFIG.l2_slice_size_bytes == 256 * KIB
+        assert PAPER_CONFIG.l2_assoc == 16
+        assert PAPER_CONFIG.l2_total_bytes == 1536 * KIB
+
+    def test_table1_memory(self):
+        assert PAPER_CONFIG.n_mem_channels == 6
+        assert PAPER_CONFIG.dram_banks_per_channel == 16
+        assert PAPER_CONFIG.mem_clock_mhz == 924
+
+    def test_scheme_hardware_capacities(self):
+        assert PAPER_CONFIG.addr_table_bytes == 128
+        assert PAPER_CONFIG.inst_table_bytes == 128
+        assert PAPER_CONFIG.pending_compare_entries == 32
+        assert PAPER_CONFIG.comparator_width_bits == 256
+
+
+class TestDescribe:
+    def test_describe_matches_table1_rows(self):
+        rows = dict(PAPER_CONFIG.describe())
+        assert "1400MHz core clock" in rows["Core Features"]
+        assert "15 SMs" in rows["Resources / Core"]
+        assert "16KB 4-way L1" in rows["L1 Caches / Core"]
+        assert "1536 KB in total" in rows["L2 Caches"]
+        assert "6 GDDR5" in rows["Memory Model"]
+        assert "FR-FCFS" in rows["Memory Model"]
+
+
+class TestValidationAndHelpers:
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(line_bytes=100)
+
+    def test_bad_l1_geometry(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(l1_size_bytes=1000)
+
+    def test_nonpositive_core_count(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(n_sms=0)
+
+    def test_channel_interleaving(self):
+        cfg = PAPER_CONFIG
+        channels = [cfg.channel_of_address(i * 128) for i in range(12)]
+        assert channels == [0, 1, 2, 3, 4, 5] * 2
+
+    def test_scaled_copy(self):
+        cfg = PAPER_CONFIG.scaled(n_sms=4)
+        assert cfg.n_sms == 4
+        assert cfg.l1_size_bytes == PAPER_CONFIG.l1_size_bytes
+        assert PAPER_CONFIG.n_sms == 15  # original untouched
+
+    def test_fast_config_valid(self):
+        cfg = fast_config()
+        assert cfg.n_sms < PAPER_CONFIG.n_sms
+        assert cfg.l2_total_bytes < PAPER_CONFIG.l2_total_bytes

@@ -1,0 +1,113 @@
+"""Tests for the DRAM channel model."""
+
+import pytest
+
+from repro.arch.dram import DramChannel, DramTimings
+
+LINE = 128
+ROW = 2048
+
+
+def channel(n_banks=4):
+    return DramChannel(
+        n_banks=n_banks,
+        row_bytes=ROW,
+        line_bytes=LINE,
+        timings=DramTimings(
+            row_hit_cycles=60, row_miss_cycles=130,
+            bus_cycles_per_line=12,
+        ),
+    )
+
+
+class TestTimings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramTimings(row_hit_cycles=0)
+        with pytest.raises(ValueError):
+            DramTimings(row_hit_cycles=100, row_miss_cycles=50)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        ch = channel()
+        done = ch.access(0, 0)
+        assert done == 130 + 12
+        assert ch.stats.row_misses == 1
+
+    def test_same_row_hit(self):
+        ch = channel()
+        ch.access(0, 0)
+        ch.access(1000, 0)
+        assert ch.stats.row_hits == 1
+
+    def test_row_hit_rate(self):
+        ch = channel()
+        for _ in range(4):
+            ch.access(0, 0)
+        assert ch.row_hit_rate == pytest.approx(0.75)
+
+    def test_far_address_same_bank_is_row_conflict(self):
+        ch = channel(n_banks=1)
+        ch.access(0, 0)
+        ch.access(200, ROW * 64)  # different row, same (only) bank
+        assert ch.stats.row_misses == 2
+
+
+class TestBankParallelism:
+    def test_different_banks_overlap(self):
+        ch = channel(n_banks=4)
+        # XOR hashing still maps some distinct lines to distinct banks;
+        # find two addresses in different banks.
+        bank0, _ = ch._map(0)
+        addr = LINE
+        while ch._map(addr)[0] == bank0:
+            addr += LINE
+        t0 = ch.access(0, 0)
+        t1 = ch.access(0, addr)
+        # Second access overlaps bank latency; only the shared data bus
+        # serializes the two line transfers.
+        assert t1 == t0 + 12
+
+    def test_same_bank_serializes(self):
+        ch = channel(n_banks=1)
+        t0 = ch.access(0, 0)
+        t1 = ch.access(0, ROW * 64)
+        assert t1 >= t0 + 130
+
+
+class TestBusOccupancy:
+    def test_bus_serializes_row_hits(self):
+        ch = channel(n_banks=1)
+        ch.access(0, 0)
+        # Row hits to the open row: each still needs 12 bus cycles.
+        t1 = ch.access(0, LINE)  # same row (row covers 16 lines/bank)
+        t2 = ch.access(0, LINE * 2)
+        assert t2 - t1 >= 12
+
+
+class TestXorHash:
+    def test_large_strides_spread_over_banks(self):
+        ch = channel(n_banks=16)
+        stride = 1536  # the Polybench column-major lane stride (bytes)
+        banks = {ch._map(i * stride)[0] for i in range(32)}
+        assert len(banks) >= 8  # without hashing this collapses to 4
+
+    def test_map_is_deterministic(self):
+        ch = channel()
+        assert ch._map(12345 * LINE) == ch._map(12345 * LINE)
+
+
+def test_reset():
+    ch = channel()
+    ch.access(0, 0)
+    ch.reset()
+    assert ch.stats.requests == 0
+    assert ch.access(0, 0) == 142  # row miss again after reset
+
+
+def test_bad_geometry():
+    with pytest.raises(ValueError):
+        DramChannel(0, ROW, LINE, DramTimings())
+    with pytest.raises(ValueError):
+        DramChannel(4, 100, 128, DramTimings())

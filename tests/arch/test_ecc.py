@@ -1,0 +1,136 @@
+"""Tests for the (72,64) SECDED codec — the paper's baseline and the
+reason multi-bit faults need the data-centric schemes at all."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.ecc import (
+    CODEWORD_BITS,
+    DecodeStatus,
+    SecdedCodec,
+    TrueOutcome,
+    classify_true_outcome,
+    escape_rates,
+    inject_and_decode,
+)
+
+codec = SecdedCodec()
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestEncodeDecodeClean:
+    def test_zero(self):
+        assert codec.decode(codec.encode(0)).status is \
+            DecodeStatus.NO_ERROR
+
+    def test_roundtrip_examples(self):
+        for data in (1, 0xDEADBEEF, (1 << 64) - 1, 0x0123456789ABCDEF):
+            result = codec.decode(codec.encode(data))
+            assert result.status is DecodeStatus.NO_ERROR
+            assert result.data == data
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codec.encode(1 << 64)
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            codec.decode(1 << 72)
+
+
+class TestSingleBit:
+    def test_every_position_corrects(self):
+        data = 0xA5A5_5A5A_0F0F_F0F0
+        codeword = codec.encode(data)
+        for pos in range(CODEWORD_BITS):
+            result = codec.decode(codeword ^ (1 << pos))
+            assert result.status is DecodeStatus.CORRECTED, pos
+            assert result.data == data, pos
+
+    def test_true_outcome_is_corrected(self):
+        for pos in (0, 1, 5, 64, 71):
+            assert inject_and_decode(codec, 1234, [pos]) is \
+                TrueOutcome.CORRECTED
+
+
+class TestDoubleBit:
+    def test_all_pairs_detected_sample(self):
+        data = 0x1122_3344_5566_7788
+        codeword = codec.encode(data)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = rng.choice(CODEWORD_BITS, size=2, replace=False)
+            corrupted = codeword ^ (1 << int(a)) ^ (1 << int(b))
+            result = codec.decode(corrupted)
+            assert result.status is \
+                DecodeStatus.DETECTED_UNCORRECTABLE, (a, b)
+
+    def test_true_outcome_detected(self):
+        assert inject_and_decode(codec, 99, [3, 40]) is \
+            TrueOutcome.DETECTED
+
+
+class TestMultiBit:
+    def test_triple_bits_usually_miscorrect(self):
+        """3-bit errors look like single-bit errors to SECDED: the
+        decoder 'corrects' the wrong bit — the silent failure mode the
+        paper's schemes exist to catch."""
+        rng = np.random.default_rng(1)
+        outcomes = [
+            inject_and_decode(
+                codec,
+                int(rng.integers(0, 1 << 63)),
+                [int(p) for p in
+                 rng.choice(CODEWORD_BITS, size=3, replace=False)],
+            )
+            for _ in range(150)
+        ]
+        bad = sum(
+            o in (TrueOutcome.MISCORRECTED, TrueOutcome.SILENT_ESCAPE)
+            for o in outcomes
+        )
+        assert bad > len(outcomes) * 0.5
+        assert TrueOutcome.CORRECTED not in outcomes
+
+    def test_quad_bits_never_recover_data(self):
+        rates = escape_rates(codec, 4, trials=300,
+                             rng=np.random.default_rng(2))
+        # A 4-bit error never decodes back to the right data: every
+        # outcome is detection (best case), a miscorrection, or a
+        # silent escape — SECDED cannot *fix* any of them, which is
+        # the paper's premise.
+        assert rates[TrueOutcome.CORRECTED] == 0.0
+        assert rates[TrueOutcome.CLEAN] == 0.0
+        assert rates[TrueOutcome.DETECTED] < 1.0
+
+
+class TestClassifier:
+    def test_clean(self):
+        cw = codec.encode(42)
+        assert classify_true_outcome(codec, 42, cw) is TrueOutcome.CLEAN
+
+
+@settings(max_examples=40)
+@given(words)
+def test_roundtrip_property(data):
+    result = codec.decode(codec.encode(data))
+    assert result.status is DecodeStatus.NO_ERROR
+    assert result.data == data
+
+
+@settings(max_examples=40)
+@given(words, st.integers(min_value=0, max_value=CODEWORD_BITS - 1))
+def test_single_bit_property(data, pos):
+    assert inject_and_decode(codec, data, [pos]) is TrueOutcome.CORRECTED
+
+
+@settings(max_examples=40)
+@given(words,
+       st.sets(st.integers(min_value=0, max_value=CODEWORD_BITS - 1),
+               min_size=2, max_size=2))
+def test_double_bit_property(data, positions):
+    assert inject_and_decode(codec, data, sorted(positions)) is \
+        TrueOutcome.DETECTED

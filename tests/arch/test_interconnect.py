@@ -1,0 +1,77 @@
+"""Tests for the interconnect bandwidth/latency model."""
+
+import pytest
+
+from repro.arch.interconnect import Crossbar, Link
+
+
+class TestLink:
+    def test_uncontended_latency(self):
+        link = Link(bytes_per_cycle=32, base_latency=8, name="l")
+        # 128B at 32B/cycle = 4 cycles occupancy + 8 latency.
+        assert link.transfer(100, 128) == 112
+
+    def test_back_to_back_queueing(self):
+        link = Link(32, 8, "l")
+        first = link.transfer(0, 128)
+        second = link.transfer(0, 128)
+        assert second == first + 4  # waits for the pipe, not latency
+
+    def test_idle_gap_no_queueing(self):
+        link = Link(32, 8, "l")
+        link.transfer(0, 128)
+        assert link.transfer(1000, 128) == 1012
+
+    def test_small_packet_rounds_up(self):
+        link = Link(32, 0, "l")
+        assert link.transfer(0, 8) == 1  # ceil(8/32) = 1 cycle
+
+    def test_stats(self):
+        link = Link(32, 8, "l")
+        link.transfer(0, 128)
+        link.transfer(0, 128)
+        assert link.stats.transfers == 2
+        assert link.stats.bytes_moved == 256
+        assert link.stats.queue_cycles == 4
+
+    def test_reset(self):
+        link = Link(32, 8, "l")
+        link.transfer(0, 128)
+        link.reset()
+        assert link.busy_until == 0
+        assert link.stats.transfers == 0
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, "l")
+        with pytest.raises(ValueError):
+            Link(32, -1, "l")
+        with pytest.raises(ValueError):
+            Link(32, 0, "l").transfer(0, 0)
+
+
+class TestCrossbar:
+    def test_partitions_are_independent(self):
+        xbar = Crossbar(2, 32, 8, 128)
+        t0 = xbar.send_response(0, 0)
+        t1 = xbar.send_response(0, 1)
+        assert t0 == t1  # no cross-partition contention
+
+    def test_same_partition_contends(self):
+        xbar = Crossbar(2, 32, 8, 128)
+        t0 = xbar.send_response(0, 0)
+        t1 = xbar.send_response(0, 0)
+        assert t1 > t0
+
+    def test_requests_cheaper_than_responses(self):
+        xbar = Crossbar(1, 32, 8, 128)
+        req = xbar.send_request(0, 0)
+        xbar.reset()
+        rsp = xbar.send_response(0, 0)
+        assert req < rsp
+
+    def test_total_bytes(self):
+        xbar = Crossbar(1, 32, 8, 128)
+        xbar.send_request(0, 0)
+        xbar.send_response(0, 0)
+        assert xbar.total_bytes_moved == 8 + 128

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Expensive artifacts (traces, profiles, managers) are session-scoped:
+they are deterministic and read-only, so every test can share them.
+Small-scale apps keep the suite fast; a few shape tests use the
+default scale where the paper's contrasts need headroom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.config import GpuConfig, fast_config
+from repro.core.manager import ReliabilityManager
+from repro.kernels.registry import create_app
+
+
+@pytest.fixture()
+def memory() -> DeviceMemory:
+    return DeviceMemory(4 * 1024 * 1024)
+
+
+@pytest.fixture(scope="session")
+def test_config() -> GpuConfig:
+    return fast_config()
+
+
+def _manager(name: str, scale: str = "small") -> ReliabilityManager:
+    return ReliabilityManager(create_app(name, scale=scale))
+
+
+@pytest.fixture(scope="session")
+def bicg_manager() -> ReliabilityManager:
+    """Default-scale P-BICG: big enough for hot-block contrast."""
+    return _manager("P-BICG", scale="default")
+
+
+@pytest.fixture(scope="session")
+def small_bicg_manager() -> ReliabilityManager:
+    return _manager("P-BICG", scale="small")
+
+
+@pytest.fixture(scope="session")
+def laplacian_manager() -> ReliabilityManager:
+    """Small A-Laplacian: has hot blocks at any scale."""
+    return _manager("A-Laplacian", scale="small")
+
+
+@pytest.fixture(scope="session")
+def srad_manager() -> ReliabilityManager:
+    return _manager("A-SRAD", scale="small")
+
+
+@pytest.fixture(scope="session")
+def cnn_manager() -> ReliabilityManager:
+    return _manager("C-NN", scale="small")
+
+
+@pytest.fixture(scope="session")
+def mvt_manager() -> ReliabilityManager:
+    return _manager("P-MVT", scale="small")

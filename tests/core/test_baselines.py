@@ -1,0 +1,108 @@
+"""Tests for the related-work comparison baselines (DMR, checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    CheckpointModel,
+    classify_dmr_run,
+    dmr_slowdown,
+    run_dmr,
+)
+from repro.errors import ConfigError
+from repro.faults.model import FaultSpec
+from repro.faults.injector import apply_faults
+from repro.faults.outcomes import Outcome
+from repro.kernels.registry import create_app
+
+
+@pytest.fixture(scope="module")
+def bicg():
+    app = create_app("P-BICG", scale="small")
+    return app, app.fresh_memory(), app.golden_output()
+
+
+class TestDmr:
+    def test_fault_free_runs_agree(self, bicg):
+        app, memory, golden = bicg
+        output, agreed = run_dmr(app, memory.clone_with_faults())
+        assert agreed
+        np.testing.assert_array_equal(output, golden)
+
+    def test_dmr_blind_to_permanent_data_faults(self, bicg):
+        """The structural blind spot: both executions read the same
+        corrupted memory, agree on the same wrong answer, and the
+        fault sails through as an SDC."""
+        app, memory, golden = bicg
+        faulted = memory.clone_with_faults()
+        r = faulted.object("r")
+        # Corrupt a hot element hard (high exponent bits).
+        apply_faults(faulted, [FaultSpec(
+            r.base_addr, 0, (28, 29, 30), (1, 1, 1))])
+        result = classify_dmr_run(app, faulted, golden)
+        assert result.runs_agreed
+        assert result.outcome is Outcome.SDC  # silent despite DMR
+
+    def test_dmr_run_does_not_mutate_input_memory(self, bicg):
+        app, memory, _golden = bicg
+        snapshot = memory.read_pristine(memory.object("s")).copy()
+        run_dmr(app, memory)
+        np.testing.assert_array_equal(
+            memory.read_pristine(memory.object("s")), snapshot)
+
+    def test_dmr_crash_is_loud(self):
+        app = create_app("A-Laplacian", scale="small")
+        memory = app.fresh_memory()
+        golden = app.golden_output()
+        h = memory.object("Filter_Height")
+        memory.write_object(h, np.array([1 << 20], dtype=np.int32))
+        result = classify_dmr_run(app, memory, golden)
+        assert result.outcome is Outcome.CRASH
+
+    def test_dmr_timing_cost(self):
+        assert dmr_slowdown(1000) == pytest.approx(2.0)
+        assert dmr_slowdown(1000, compare_cycles=100) == \
+            pytest.approx(2.1)
+        with pytest.raises(ConfigError):
+            dmr_slowdown(0)
+
+
+class TestCheckpointModel:
+    def test_cost_and_overhead(self):
+        model = CheckpointModel(
+            writable_bytes=192_000,
+            checkpoint_interval_cycles=10_000,
+            effective_bw_bytes_per_cycle=192,
+        )
+        assert model.checkpoint_cost_cycles == 1000
+        assert model.overhead_fraction == pytest.approx(0.1)
+
+    def test_for_app_snapshots_full_memory_by_default(self, bicg):
+        app, memory, _golden = bicg
+        model = CheckpointModel.for_app(
+            memory, total_cycles=100_000, n_checkpoints=10)
+        assert model.writable_bytes == memory.bytes_allocated
+        assert model.checkpoint_interval_cycles == 10_000
+
+    def test_for_app_idealized_dirty_only(self, bicg):
+        app, memory, _golden = bicg
+        model = CheckpointModel.for_app(
+            memory, total_cycles=100_000, n_checkpoints=10,
+            full_memory=False)
+        writable = sum(
+            o.nbytes for o in memory.objects if not o.read_only)
+        assert model.writable_bytes == writable
+        full = CheckpointModel.for_app(memory, 100_000, 10)
+        assert full.overhead_fraction > model.overhead_fraction
+
+    def test_more_frequent_checkpoints_cost_more(self, bicg):
+        app, memory, _golden = bicg
+        sparse = CheckpointModel.for_app(memory, 100_000, 5)
+        dense = CheckpointModel.for_app(memory, 100_000, 50)
+        assert dense.overhead_fraction > sparse.overhead_fraction
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CheckpointModel(0, 100)
+        with pytest.raises(ConfigError):
+            CheckpointModel(100, 0)

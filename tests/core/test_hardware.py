@@ -1,0 +1,62 @@
+"""Tests for the Section IV-C hardware budget model."""
+
+import pytest
+
+from repro.arch.config import PAPER_CONFIG
+from repro.core.hardware import HardwareBudget
+from repro.errors import ConfigError
+
+
+class TestCapacities:
+    def test_paper_detection_capacity(self):
+        """128B / (32-bit address) = 32 objects for detection."""
+        assert HardwareBudget().max_protected_objects(1) == 32
+
+    def test_paper_correction_capacity(self):
+        """Two addresses per object halve the capacity: 16 objects."""
+        assert HardwareBudget().max_protected_objects(2) == 16
+
+    def test_paper_load_table_capacity(self):
+        assert HardwareBudget().max_tracked_loads == 32
+
+    def test_from_config(self):
+        budget = HardwareBudget.from_config(PAPER_CONFIG)
+        assert budget.addr_table_bytes == 128
+        assert budget.pending_compare_entries == 32
+
+    def test_bad_copies_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareBudget().max_protected_objects(0)
+
+
+class TestChecks:
+    def test_paper_apps_fit(self):
+        """No evaluated app exceeds 5 objects / 22 load instructions."""
+        HardwareBudget().check(5, 22, extra_copies=2)
+
+    def test_too_many_objects_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareBudget().check(17, 17, extra_copies=2)
+
+    def test_detection_fits_more(self):
+        HardwareBudget().check(30, 30, extra_copies=1)
+
+    def test_too_many_loads_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareBudget().check(4, 40, extra_copies=1)
+
+
+class TestComparator:
+    def test_two_way_line_compare(self):
+        """A 128B line at 256 bits (32B) per cycle: 4 cycles."""
+        assert HardwareBudget().compare_cycles(128, n_way=2) == 4
+
+    def test_three_way_needs_two_passes(self):
+        assert HardwareBudget().compare_cycles(128, n_way=3) == 8
+
+    def test_small_compare_rounds_up(self):
+        assert HardwareBudget().compare_cycles(4, n_way=2) == 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ConfigError):
+            HardwareBudget().compare_cycles(0)

@@ -1,0 +1,138 @@
+"""Tests for replica allocation and majority voting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.core.replication import (
+    create_replicas,
+    majority_vote,
+    replica_name,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def mem_with_obj():
+    mem = DeviceMemory(1024 * 1024)
+    obj = mem.alloc("weights", (100,), np.float32)
+    mem.write_object(obj, np.arange(100, dtype=np.float32))
+    return mem, obj
+
+
+class TestCreateReplicas:
+    def test_duplication(self, mem_with_obj):
+        mem, obj = mem_with_obj
+        sets = create_replicas(mem, [obj], extra_copies=1)
+        replica_set = sets["weights"]
+        assert replica_set.n_copies == 2
+        replica = replica_set.replicas[0]
+        assert replica.name == replica_name("weights", 1)
+        np.testing.assert_array_equal(
+            mem.read_object(replica), mem.read_object(obj))
+
+    def test_triplication(self, mem_with_obj):
+        mem, obj = mem_with_obj
+        sets = create_replicas(mem, [obj], extra_copies=2)
+        assert sets["weights"].n_copies == 3
+        assert len({r.base_addr for r in sets["weights"].all_copies()}) \
+            == 3
+
+    def test_replicas_at_distinct_addresses(self, mem_with_obj):
+        mem, obj = mem_with_obj
+        sets = create_replicas(mem, [obj], extra_copies=2)
+        for replica in sets["weights"].replicas:
+            assert replica.base_addr != obj.base_addr
+            assert replica.nbytes == obj.nbytes
+
+    def test_coloring_changes_channel_and_bank(self, mem_with_obj):
+        """Copy k of a block must map to a different memory channel
+        than the primary (6-channel line interleaving)."""
+        mem, obj = mem_with_obj
+        sets = create_replicas(mem, [obj], extra_copies=2)
+        primary_ch = (obj.base_addr // BLOCK_BYTES) % 6
+        for replica in sets["weights"].replicas:
+            replica_ch = (replica.base_addr // BLOCK_BYTES) % 6
+            assert replica_ch != primary_ch
+
+    def test_writable_object_rejected(self):
+        mem = DeviceMemory(1024 * 1024)
+        rw = mem.alloc("out", (8,), np.float32, read_only=False)
+        with pytest.raises(ConfigError):
+            create_replicas(mem, [rw], extra_copies=1)
+
+    def test_zero_copies_rejected(self, mem_with_obj):
+        mem, obj = mem_with_obj
+        with pytest.raises(ConfigError):
+            create_replicas(mem, [obj], extra_copies=0)
+
+    def test_replicas_copied_before_faults(self, mem_with_obj):
+        """Faults injected after replication leave replicas pristine."""
+        mem, obj = mem_with_obj
+        sets = create_replicas(mem, [obj], extra_copies=1)
+        mem.inject_stuck_at(obj.base_addr, 7, 1)
+        replica = sets["weights"].replicas[0]
+        np.testing.assert_array_equal(
+            mem.read_object(replica), mem.read_pristine(obj))
+
+
+class TestMajorityVote:
+    def test_all_agree(self):
+        data = np.arange(64, dtype=np.uint8)
+        voted, corrected = majority_vote([data, data.copy(),
+                                          data.copy()])
+        np.testing.assert_array_equal(voted, data)
+        assert corrected == 0
+
+    def test_outvotes_corrupt_primary(self):
+        clean = np.arange(64, dtype=np.uint8)
+        corrupt = clean.copy()
+        corrupt[10] ^= 0xFF
+        voted, corrected = majority_vote([corrupt, clean.copy(),
+                                          clean.copy()])
+        np.testing.assert_array_equal(voted, clean)
+        assert corrected == 1
+
+    def test_outvotes_corrupt_replica(self):
+        clean = np.arange(64, dtype=np.uint8)
+        corrupt = clean.copy()
+        corrupt[5] ^= 0x0F
+        voted, corrected = majority_vote([clean.copy(), corrupt,
+                                          clean.copy()])
+        np.testing.assert_array_equal(voted, clean)
+        assert corrected == 0  # primary was already right
+
+    def test_two_corrupt_copies_win(self):
+        """The documented limit: identical corruption in two copies
+        defeats the vote (probability ~0 with distinct locations)."""
+        clean = np.zeros(4, dtype=np.uint8)
+        corrupt = clean.copy()
+        corrupt[0] = 0xAA
+        voted, _ = majority_vote([clean.copy(), corrupt, corrupt.copy()])
+        assert voted[0] == 0xAA
+
+    def test_wrong_copy_count_rejected(self):
+        a = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ConfigError):
+            majority_vote([a, a])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            majority_vote([np.zeros(4, dtype=np.uint8),
+                           np.zeros(5, dtype=np.uint8),
+                           np.zeros(4, dtype=np.uint8)])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255),
+                min_size=1, max_size=32),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=255))
+def test_single_copy_corruption_always_corrected(data, pos, garbage):
+    clean = np.array(data, dtype=np.uint8)
+    pos = pos % clean.size
+    corrupt = clean.copy()
+    corrupt[pos] = garbage
+    voted, _ = majority_vote([corrupt, clean.copy(), clean.copy()])
+    np.testing.assert_array_equal(voted, clean)

@@ -1,0 +1,141 @@
+"""Tests for the functional detection/correction schemes."""
+
+import numpy as np
+import pytest
+
+from repro.arch.address_space import DeviceMemory
+from repro.core.schemes import (
+    BaselineScheme,
+    CorrectionScheme,
+    DetectionScheme,
+    make_scheme,
+)
+from repro.core.replication import replica_name
+from repro.errors import ConfigError, FaultDetected
+
+
+@pytest.fixture()
+def setup():
+    mem = DeviceMemory(1024 * 1024)
+    hot = mem.alloc("hot", (64,), np.float32)
+    cold = mem.alloc("cold", (64,), np.float32)
+    mem.write_object(hot, np.arange(64, dtype=np.float32))
+    mem.write_object(cold, np.ones(64, dtype=np.float32))
+    return mem, hot, cold
+
+
+class TestBaseline:
+    def test_reads_pass_through_faults(self, setup):
+        mem, hot, _cold = setup
+        mem.inject_stuck_at(hot.base_addr, 6, 1)
+        scheme = BaselineScheme(mem)
+        assert not np.array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+        assert scheme.stats.unprotected_reads == 1
+
+
+class TestDetection:
+    def test_clean_read_returns_data(self, setup):
+        mem, hot, _cold = setup
+        scheme = DetectionScheme(mem, [hot])
+        np.testing.assert_array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+        assert scheme.stats.comparisons == 1
+
+    def test_fault_in_primary_detected(self, setup):
+        mem, hot, _cold = setup
+        scheme = DetectionScheme(mem, [hot])
+        mem.inject_stuck_at(hot.base_addr + 8, 3, 1)
+        with pytest.raises(FaultDetected) as exc:
+            scheme.read(hot)
+        assert exc.value.object_name == "hot"
+        assert exc.value.block_index == 0
+
+    def test_fault_in_replica_also_detected(self, setup):
+        mem, hot, _cold = setup
+        scheme = DetectionScheme(mem, [hot])
+        replica = mem.object(replica_name("hot", 1))
+        mem.inject_stuck_at(replica.base_addr, 5, 1)
+        with pytest.raises(FaultDetected):
+            scheme.read(hot)
+
+    def test_stuck_at_matching_data_not_detected(self, setup):
+        mem, hot, _cold = setup
+        scheme = DetectionScheme(mem, [hot])
+        # Element 0 is 0.0f: stuck-at-0 anywhere in it changes nothing.
+        mem.inject_stuck_at(hot.base_addr, 4, 0)
+        np.testing.assert_array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+
+    def test_unprotected_object_not_checked(self, setup):
+        mem, hot, cold = setup
+        scheme = DetectionScheme(mem, [hot])
+        mem.inject_stuck_at(cold.base_addr, 7, 1)
+        scheme.read(cold)  # no exception: cold is unprotected
+        assert scheme.stats.unprotected_reads == 1
+
+    def test_cannot_protect_nothing(self, setup):
+        mem, _hot, _cold = setup
+        with pytest.raises(ConfigError):
+            DetectionScheme(mem, [])
+
+
+class TestCorrection:
+    def test_fault_in_primary_corrected(self, setup):
+        mem, hot, _cold = setup
+        scheme = CorrectionScheme(mem, [hot])
+        mem.inject_stuck_at(hot.base_addr + 12, 6, 1)
+        np.testing.assert_array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+        assert scheme.stats.corrected_reads == 1
+        assert scheme.stats.corrected_bytes >= 1
+
+    def test_fault_in_one_replica_outvoted(self, setup):
+        mem, hot, _cold = setup
+        scheme = CorrectionScheme(mem, [hot])
+        replica = mem.object(replica_name("hot", 2))
+        mem.inject_stuck_at(replica.base_addr + 4, 2, 1)
+        np.testing.assert_array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+        # The primary was already correct: nothing counted as repaired.
+        assert scheme.stats.corrected_reads == 0
+
+    def test_multi_bit_fault_corrected(self, setup):
+        mem, hot, _cold = setup
+        scheme = CorrectionScheme(mem, [hot])
+        for bit in (0, 9, 17, 30):
+            mem.inject_stuck_at(hot.base_addr + bit // 8, bit % 8, 1)
+        np.testing.assert_array_equal(
+            scheme.read(hot), mem.read_pristine(hot))
+
+    def test_dtype_and_shape_preserved(self, setup):
+        mem, hot, _cold = setup
+        scheme = CorrectionScheme(mem, [hot])
+        out = scheme.read(hot)
+        assert out.dtype == np.float32
+        assert out.shape == (64,)
+
+
+class TestFactory:
+    def test_names(self, setup):
+        mem, hot, _cold = setup
+        assert isinstance(make_scheme("baseline", mem, []),
+                          BaselineScheme)
+        assert isinstance(make_scheme("detection", mem, [hot]),
+                          DetectionScheme)
+
+    def test_empty_protection_degrades_to_baseline(self, setup):
+        mem, _hot, _cold = setup
+        scheme = make_scheme("correction", mem, [])
+        assert isinstance(scheme, BaselineScheme)
+
+    def test_unknown_scheme_rejected(self, setup):
+        mem, hot, _cold = setup
+        with pytest.raises(ConfigError):
+            make_scheme("quadruplication", mem, [hot])
+
+    def test_correction_factory(self, setup):
+        mem, hot, _cold = setup
+        scheme = make_scheme("correction", mem, [hot])
+        assert isinstance(scheme, CorrectionScheme)
+        assert scheme.extra_copies == 2

@@ -1,0 +1,139 @@
+"""Tests for the fault model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.faults.injector import apply_faults
+from repro.faults.model import (
+    WORDS_PER_BLOCK,
+    FaultSpec,
+    live_words,
+    sample_word_fault,
+)
+from repro.utils.rng import RngStream
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec(256, 3, (0, 5), (1, 0))
+        assert spec.n_bits == 2
+        assert spec.word_addr == 256 + 12
+
+    def test_byte_level_expansion(self):
+        spec = FaultSpec(0, 0, (0, 9, 31), (1, 0, 1))
+        triples = spec.byte_level_faults()
+        assert triples == [(0, 0, 1), (1, 1, 0), (3, 7, 1)]
+
+    def test_unaligned_block_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(100, 0, (0,), (1,))
+
+    def test_word_index_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, WORDS_PER_BLOCK, (0,), (1,))
+
+    def test_duplicate_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, (3, 3), (1, 1))
+
+    def test_bit_position_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, (32,), (1,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, (1, 2), (1,))
+
+    def test_bad_stuck_value(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, (1,), (2,))
+
+
+class TestSampling:
+    def test_sample_is_reproducible(self):
+        a = sample_word_fault(RngStream(7), 1280, 3)
+        b = sample_word_fault(RngStream(7), 1280, 3)
+        assert a == b
+
+    def test_sample_n_bits(self):
+        for n_bits in (2, 3, 4):
+            spec = sample_word_fault(RngStream(1), 0, n_bits)
+            assert spec.n_bits == n_bits
+
+    def test_sample_respects_candidates(self):
+        for seed in range(20):
+            spec = sample_word_fault(
+                RngStream(seed), 0, 2, word_candidates=[5, 6])
+            assert spec.word_index in (5, 6)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            sample_word_fault(RngStream(1), 0, 2, word_candidates=[])
+
+    def test_bad_n_bits(self):
+        with pytest.raises(ValueError):
+            sample_word_fault(RngStream(1), 0, 0)
+        with pytest.raises(ValueError):
+            sample_word_fault(RngStream(1), 0, 33)
+
+    def test_polarity_varies(self):
+        values = set()
+        for seed in range(30):
+            spec = sample_word_fault(RngStream(seed), 0, 2)
+            values.update(spec.stuck_values)
+        assert values == {0, 1}
+
+
+class TestLiveWords:
+    def test_full_block(self):
+        mem = DeviceMemory(1024)
+        obj = mem.alloc("o", (64,), np.float32)  # 2 full blocks
+        assert live_words(obj, obj.base_addr) == list(range(32))
+
+    def test_tiny_object_limits_words(self):
+        mem = DeviceMemory(1024)
+        obj = mem.alloc("o", (9,), np.float32)  # 36 bytes -> 9 words
+        assert live_words(obj, obj.base_addr) == list(range(9))
+
+    def test_partial_last_block(self):
+        mem = DeviceMemory(1024)
+        obj = mem.alloc("o", (40,), np.float32)  # 160B: 32 + 8 words
+        second = obj.base_addr + BLOCK_BYTES
+        assert live_words(obj, second) == list(range(8))
+
+    def test_block_outside_object_rejected(self):
+        mem = DeviceMemory(1024)
+        obj = mem.alloc("o", (4,), np.float32)
+        with pytest.raises(ValueError):
+            live_words(obj, obj.base_addr + BLOCK_BYTES)
+
+
+class TestInjector:
+    def test_apply_returns_bit_count(self, memory):
+        obj = memory.alloc("o", (64,), np.float32)
+        faults = [
+            sample_word_fault(RngStream(1), obj.base_addr, 3),
+            sample_word_fault(RngStream(2), obj.base_addr + 128, 2),
+        ]
+        assert apply_faults(memory, faults) == 5
+        assert memory.fault_count == 5
+
+    def test_injected_fault_visible(self, memory):
+        obj = memory.alloc("o", (32,), np.int32)
+        memory.write_object(obj, np.zeros(32, dtype=np.int32))
+        spec = FaultSpec(obj.base_addr, 4, (0, 7), (1, 1))
+        apply_faults(memory, [spec])
+        value = memory.read_object(obj)[4]
+        assert value == (1 << 0) | (1 << 7)
+
+
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=1, max_value=8))
+def test_sampled_faults_always_valid(seed, n_bits):
+    spec = sample_word_fault(RngStream(seed), 1280, n_bits)
+    assert spec.block_addr == 1280
+    assert len(set(spec.bit_positions)) == n_bits
+    assert all(v in (0, 1) for v in spec.stuck_values)

@@ -1,0 +1,162 @@
+"""Tests for SECDED-in-the-loop fault filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address_space import DeviceMemory
+from repro.arch.ecc import SecdedCodec
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.model import FaultSpec
+from repro.faults.outcomes import Outcome
+from repro.faults.secded_filter import (
+    EccVerdict,
+    apply_filtered_faults,
+    filter_fault,
+)
+from repro.faults.selection import uniform_selection
+from repro.kernels.registry import create_app
+
+codec = SecdedCodec()
+
+
+@pytest.fixture()
+def mem():
+    memory = DeviceMemory(4096)
+    obj = memory.alloc("o", (64,), np.int32)
+    memory.write_object(
+        obj, np.arange(64, dtype=np.int32) * 0x01010101)
+    return memory, obj
+
+
+class TestFilterVerdicts:
+    def test_matching_stuck_levels_are_clean(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 0, (3, 9), (0, 0))
+        assert filter_fault(memory, fault, codec).verdict is \
+            EccVerdict.CLEAN
+
+    def test_single_flipped_bit_corrected(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 0, (5,), (1,))
+        filtered = filter_fault(memory, fault, codec)
+        assert filtered.verdict is EccVerdict.CORRECTED
+        assert filtered.delivered_bits == ()
+
+    def test_two_flipped_bits_are_due(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 0, (5, 17), (1, 1))
+        assert filter_fault(memory, fault, codec).verdict is \
+            EccVerdict.DUE
+
+    def test_two_stuck_bits_one_matching_corrects(self, mem):
+        """A 2-bit stuck cluster where one level matches stored data
+        flips only one bit: SECDED repairs it."""
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 0, (5, 17), (1, 0))
+        assert filter_fault(memory, fault, codec).verdict is \
+            EccVerdict.CORRECTED
+
+    def test_three_flipped_bits_deliver_wrong_data(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 0, (3, 7, 11), (1, 1, 1))
+        filtered = filter_fault(memory, fault, codec)
+        assert filtered.verdict in (
+            EccVerdict.MISCORRECTED, EccVerdict.ESCAPED)
+        assert filtered.delivered_bits
+
+    def test_fault_in_second_word_of_ecc_pair(self, mem):
+        """Words at odd offsets share their ECC word with the previous
+        32-bit word — positions must map into bits 32..63."""
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        fault = FaultSpec(obj.base_addr, 1, (0,), (1,))
+        filtered = filter_fault(memory, fault, codec)
+        assert filtered.verdict is EccVerdict.CORRECTED
+
+
+class TestApplyFiltered:
+    def test_corrected_fault_leaves_memory_clean(self, mem):
+        memory, obj = mem
+        pristine = memory.read_pristine(obj).copy()
+        faults = [FaultSpec(obj.base_addr, 2, (9,), (1 - (
+            (int(pristine[2]) >> 9) & 1),))]
+        verdicts, due = apply_filtered_faults(memory, faults)
+        assert verdicts == [EccVerdict.CORRECTED]
+        assert not due
+        np.testing.assert_array_equal(memory.read_object(obj), pristine)
+
+    def test_miscorrection_changes_observed_data(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        faults = [FaultSpec(obj.base_addr, 0, (3, 7, 11), (1, 1, 1))]
+        verdicts, due = apply_filtered_faults(memory, faults)
+        assert not due
+        observed = memory.read_object(obj)
+        assert (observed[:2] != 0).any()
+
+    def test_due_reported(self, mem):
+        memory, obj = mem
+        memory.write_object(obj, np.zeros(64, dtype=np.int32))
+        faults = [FaultSpec(obj.base_addr, 0, (3, 7), (1, 1))]
+        _verdicts, due = apply_filtered_faults(memory, faults)
+        assert due
+
+
+class TestCampaignIntegration:
+    def _campaign(self, n_bits, secded, runs=30):
+        app = create_app("A-Laplacian", scale="small")
+        memory = app.fresh_memory()
+        pool = [
+            a for n in app.hot_object_names
+            for a in memory.object(n).block_addrs()
+        ]
+        return Campaign(
+            app, uniform_selection(pool),
+            config=CampaignConfig(runs=runs, n_bits=n_bits, seed=5,
+                                  secded=secded),
+        ).run()
+
+    def test_single_bit_faults_fully_corrected(self):
+        result = self._campaign(n_bits=1, secded=True)
+        assert result.sdc_count == 0
+        assert result.count(Outcome.CRASH) == 0
+        assert result.count(Outcome.MASKED) == result.n_runs
+
+    def test_double_bit_faults_loud_or_masked(self):
+        result = self._campaign(n_bits=2, secded=True)
+        assert result.sdc_count == 0
+        assert result.count(Outcome.CRASH) == 0
+        # Flipping patterns raise DUEs; level-matching ones are clean
+        # or single-flip-corrected.
+        assert result.count(Outcome.DETECTED) > 0
+
+    def test_multibit_faults_defeat_secded(self):
+        with_ecc = self._campaign(n_bits=4, secded=True)
+        bad = with_ecc.sdc_count + with_ecc.count(Outcome.CRASH)
+        assert bad > 0  # the paper's premise, quantified
+
+    def test_without_secded_single_bit_can_hurt(self):
+        result = self._campaign(n_bits=1, secded=False, runs=60)
+        bad = result.sdc_count + result.count(Outcome.CRASH)
+        assert bad > 0
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=1))
+def test_filter_single_bit_never_delivers_damage(bit, polarity):
+    memory = DeviceMemory(1024)
+    obj = memory.alloc("o", (32,), np.int32)
+    memory.write_object(
+        obj, np.full(32, 0x5A5A5A5A, dtype=np.int32))
+    fault = FaultSpec(obj.base_addr, 0, (bit,), (polarity,))
+    filtered = filter_fault(memory, fault, codec)
+    assert filtered.verdict in (EccVerdict.CLEAN, EccVerdict.CORRECTED)
+    assert filtered.delivered_bits == ()

@@ -1,0 +1,80 @@
+"""Tests for fault-site selection policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.selection import (
+    access_weighted_selection,
+    hot_selection,
+    miss_weighted_selection,
+    rest_selection,
+    uniform_selection,
+)
+from repro.utils.rng import RngStream
+
+BLOCKS = [i * 128 for i in range(20)]
+
+
+class TestUniform:
+    def test_picks_from_pool(self):
+        sel = uniform_selection(BLOCKS)
+        picks = sel.pick(RngStream(1), 5)
+        assert len(picks) == 5
+        assert set(picks) <= set(BLOCKS)
+        assert len(set(picks)) == 5
+
+    def test_reproducible(self):
+        sel = uniform_selection(BLOCKS)
+        assert sel.pick(RngStream(9), 3) == sel.pick(RngStream(9), 3)
+
+    def test_population(self):
+        assert uniform_selection(BLOCKS).population == 20
+
+    def test_deduplicates_pool(self):
+        sel = uniform_selection([0, 0, 128])
+        assert sel.population == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_selection([])
+
+    def test_oversized_request_clamps_to_population(self):
+        picks = uniform_selection(BLOCKS[:3]).pick(RngStream(1), 4)
+        assert sorted(picks) == sorted(BLOCKS[:3])
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_selection(BLOCKS).pick(RngStream(1), 0)
+
+
+class TestNamedArms:
+    def test_hot_and_rest_names(self):
+        assert hot_selection(BLOCKS).name == "hot-blocks"
+        assert rest_selection(BLOCKS).name == "rest-blocks"
+
+
+class TestWeighted:
+    def test_zero_weight_blocks_excluded(self):
+        sel = access_weighted_selection({0: 0, 128: 10, 256: 10})
+        assert sel.population == 2
+        for seed in range(20):
+            assert 0 not in sel.pick(RngStream(seed), 1)
+
+    def test_heavy_block_dominates(self):
+        sel = access_weighted_selection({0: 1, 128: 10_000})
+        picks = [sel.pick(RngStream(s), 1)[0] for s in range(50)]
+        assert picks.count(128) >= 45
+
+    def test_miss_weighted_same_mechanics(self):
+        sel = miss_weighted_selection({0: 5, 128: 5})
+        assert sel.name == "miss-weighted"
+        assert sel.population == 2
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            access_weighted_selection({0: 0})
+
+    def test_distinct_picks(self):
+        sel = access_weighted_selection({i * 128: i + 1 for i in range(10)})
+        picks = sel.pick(RngStream(3), 5)
+        assert len(set(picks)) == 5

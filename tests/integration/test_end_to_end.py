@@ -1,0 +1,89 @@
+"""End-to-end pipeline tests on small-scale applications."""
+
+import pytest
+
+from repro.core.manager import ReliabilityManager
+from repro.faults.outcomes import Outcome
+from repro.kernels.registry import APPLICATIONS, create_app
+
+RUNS = 25
+
+
+@pytest.mark.parametrize("name", list(APPLICATIONS))
+def test_full_pipeline_runs_for_every_app(name):
+    """Profile -> discover -> protect -> campaign, for all 8 apps."""
+    manager = ReliabilityManager(create_app(name, scale="small"))
+    assert manager.profile.total_reads > 0
+    assert manager.table3().hot_footprint_pct < 15.0
+    result = manager.evaluate(
+        scheme="correction", protect="hot", runs=10, n_bits=2)
+    assert result.n_runs == 10
+
+
+@pytest.mark.parametrize("name", ["A-Laplacian", "A-Sobel", "P-BICG"])
+def test_schemes_eliminate_hot_fault_damage(name):
+    """Faults placed in hot blocks: baseline suffers, detection
+    terminates, correction repairs."""
+    manager = ReliabilityManager(create_app(name, scale="small"))
+    base = manager.evaluate(scheme="baseline", protect="none",
+                            runs=RUNS, selection="hot")
+    det = manager.evaluate(scheme="detection", protect="hot",
+                           runs=RUNS, selection="hot")
+    corr = manager.evaluate(scheme="correction", protect="hot",
+                            runs=RUNS, selection="hot")
+
+    bad_base = base.sdc_count + base.count(Outcome.CRASH)
+    assert bad_base > 0, "baseline must be vulnerable in hot blocks"
+
+    assert det.sdc_count == 0
+    assert det.count(Outcome.CRASH) == 0
+    assert det.count(Outcome.DETECTED) > 0
+
+    assert corr.sdc_count == 0
+    assert corr.count(Outcome.CRASH) == 0
+    assert corr.count(Outcome.CORRECTED) > 0
+    # Correction completes the run instead of terminating it.
+    assert corr.count(Outcome.DETECTED) == 0
+
+
+def test_detection_and_correction_agree_on_fault_sites():
+    """Same seeds => same fault sites: every run detection flags is a
+    run correction repairs (or both mask)."""
+    manager = ReliabilityManager(create_app("A-Laplacian",
+                                            scale="small"))
+    det = manager.evaluate(scheme="detection", protect="hot",
+                           runs=RUNS, selection="hot", keep_runs=True)
+    corr = manager.evaluate(scheme="correction", protect="hot",
+                            runs=RUNS, selection="hot", keep_runs=True)
+    for d_run, c_run in zip(det.runs, corr.runs):
+        if d_run.outcome is Outcome.DETECTED:
+            assert c_run.outcome is Outcome.CORRECTED
+        else:
+            assert d_run.outcome is Outcome.MASKED
+            assert c_run.outcome is Outcome.MASKED
+
+
+def test_protection_level_sweep_is_monotone_in_coverage():
+    """More protected objects can only widen the detected/corrected
+    set under identical fault sites."""
+    manager = ReliabilityManager(create_app("A-Laplacian",
+                                            scale="small"))
+    protected_counts = []
+    for level in range(5):
+        result = manager.evaluate(
+            scheme="correction", protect=level, runs=RUNS,
+            selection="uniform",
+        )
+        protected_counts.append(result.count(Outcome.CORRECTED))
+    assert protected_counts[0] == 0
+    for earlier, later in zip(protected_counts, protected_counts[1:]):
+        assert later >= earlier
+
+
+def test_timing_and_reliability_share_protection_semantics():
+    manager = ReliabilityManager(create_app("P-MVT", scale="small"))
+    report = manager.simulate_performance("correction", "hot")
+    assert set(report.protected_names) == {"y1", "y2"}
+    campaign = manager.evaluate(scheme="correction", protect="hot",
+                                runs=5)
+    assert campaign.scheme_name == "correction"

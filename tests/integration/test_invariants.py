@@ -1,0 +1,199 @@
+"""Property/fuzz tests on cross-cutting invariants.
+
+These exercise the contracts the whole reproduction rests on:
+
+* correction always returns pristine data when at most one copy of
+  any block is corrupted;
+* detection either raises or returns pristine data — never silently
+  wrong data;
+* the timing simulator terminates and satisfies basic accounting on
+  arbitrary (randomly generated) traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.arch.config import fast_config
+from repro.core.schemes import CorrectionScheme, DetectionScheme
+from repro.errors import FaultDetected
+from repro.kernels.trace import (
+    AppTrace,
+    Compute,
+    CtaTrace,
+    KernelTrace,
+    Load,
+    Store,
+    WarpTrace,
+)
+from repro.sim.simulator import simulate_trace
+
+# ----------------------------------------------------------------------
+# Scheme invariants
+# ----------------------------------------------------------------------
+fault_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),  # byte offset
+        st.integers(min_value=0, max_value=7),    # bit
+        st.integers(min_value=0, max_value=1),    # stuck level
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _protected_memory():
+    memory = DeviceMemory(1024 * 1024)
+    obj = memory.alloc("hot", (64,), np.float32)
+    memory.write_object(
+        obj, np.linspace(-1.0, 1.0, 64).astype(np.float32))
+    return memory, obj
+
+
+@settings(max_examples=50)
+@given(fault_strategy)
+def test_correction_always_returns_pristine(faults):
+    """Any number of stuck bits confined to the primary copy is
+    outvoted: the scheme's read equals the pristine data, always."""
+    memory, obj = _protected_memory()
+    scheme = CorrectionScheme(memory, [obj])
+    for offset, bit, value in faults:
+        memory.inject_stuck_at(obj.base_addr + offset, bit, value)
+    np.testing.assert_array_equal(
+        scheme.read(obj), memory.read_pristine(obj))
+
+
+@settings(max_examples=50)
+@given(fault_strategy)
+def test_detection_never_returns_silently_wrong_data(faults):
+    """Detection's contract: the returned data is pristine, or the
+    read raises — there is no third outcome."""
+    memory, obj = _protected_memory()
+    scheme = DetectionScheme(memory, [obj])
+    for offset, bit, value in faults:
+        memory.inject_stuck_at(obj.base_addr + offset, bit, value)
+    try:
+        data = scheme.read(obj)
+    except FaultDetected:
+        return
+    np.testing.assert_array_equal(data, memory.read_pristine(obj))
+
+
+@settings(max_examples=30)
+@given(fault_strategy, fault_strategy)
+def test_correction_with_one_faulty_replica_still_pristine(
+    primary_faults, replica_faults
+):
+    """Faults split across the primary and ONE replica at *distinct
+    bit positions*: every bit still has two clean copies, so the vote
+    holds.  (The same bit corrupted in two copies defeats the vote —
+    the documented limit, which distinct DRAM placements make
+    vanishingly unlikely; see test_replication's two-corrupt-copies
+    case.)"""
+    memory, obj = _protected_memory()
+    scheme = CorrectionScheme(memory, [obj])
+    replica = scheme.replica_sets["hot"].replicas[0]
+    primary_sites = {(offset, bit) for offset, bit, _v in primary_faults}
+    for offset, bit, value in primary_faults:
+        memory.inject_stuck_at(obj.base_addr + offset, bit, value)
+    for offset, bit, value in replica_faults:
+        if (offset, bit) in primary_sites:
+            continue  # same cell in two copies: out of contract
+        memory.inject_stuck_at(replica.base_addr + offset, bit, value)
+    np.testing.assert_array_equal(
+        scheme.read(obj), memory.read_pristine(obj))
+
+
+# ----------------------------------------------------------------------
+# Simulator fuzzing
+# ----------------------------------------------------------------------
+def _random_trace(draw_lists):
+    """Build an AppTrace from hypothesis-drawn instruction sketches."""
+    kernels = []
+    warp_id = 0
+    for k, cta_sketches in enumerate(draw_lists):
+        kernel = KernelTrace(f"k{k}")
+        for c, warp_sketches in enumerate(cta_sketches):
+            cta = CtaTrace(c)
+            for insts_sketch in warp_sketches:
+                insts = []
+                for kind, a, b in insts_sketch:
+                    if kind == 0:
+                        insts.append(Compute(1 + a % 8, wait=bool(b % 2)))
+                    elif kind == 1:
+                        addrs = tuple(
+                            ((a + i * (b + 1)) % 512) * BLOCK_BYTES
+                            for i in range(1 + b % 4)
+                        )
+                        insts.append(Load("obj", tuple(sorted(set(addrs)))))
+                    else:
+                        insts.append(
+                            Store("obj", ((a % 512) * BLOCK_BYTES,)))
+                if insts:
+                    kernel_warp = WarpTrace(warp_id, insts)
+                    cta.warps.append(kernel_warp)
+                    warp_id += 1
+            if cta.warps:
+                kernel.ctas.append(cta)
+        if kernel.ctas:
+            kernels.append(kernel)
+    return AppTrace("fuzz", kernels) if kernels else None
+
+
+inst_sketch = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=511),
+    st.integers(min_value=0, max_value=7),
+)
+warp_sketch = st.lists(inst_sketch, min_size=1, max_size=12)
+cta_sketch = st.lists(warp_sketch, min_size=1, max_size=4)
+kernel_sketch = st.lists(cta_sketch, min_size=1, max_size=3)
+trace_sketch = st.lists(kernel_sketch, min_size=1, max_size=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace_sketch)
+def test_simulator_terminates_and_accounts_on_random_traces(sketch):
+    trace = _random_trace(sketch)
+    if trace is None:
+        return
+    trace.validate()
+    report = simulate_trace(trace, fast_config())
+
+    expected_insts = 0
+    expected_stores = 0
+    for kernel in trace.kernels:
+        for warp in kernel.iter_warps():
+            for inst in warp.insts:
+                if isinstance(inst, Compute):
+                    expected_insts += inst.count
+                elif isinstance(inst, Load):
+                    expected_insts += len(inst.addrs)
+                else:
+                    expected_insts += len(inst.addrs)
+                    expected_stores += len(inst.addrs)
+
+    assert report.instructions == expected_insts
+    assert report.store_transactions == expected_stores
+    assert report.cycles >= 0
+    assert report.l1_hits + (report.l1_accesses - report.l1_hits) \
+        == report.l1_accesses
+    assert report.demand_misses <= report.l1_accesses
+    # Every demand miss produced exactly one L2 access; stores add
+    # their write-through traffic.
+    assert report.l2_accesses == \
+        report.demand_misses + report.store_transactions
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace_sketch)
+def test_simulator_is_deterministic_on_random_traces(sketch):
+    trace = _random_trace(sketch)
+    if trace is None:
+        return
+    first = simulate_trace(trace, fast_config())
+    second = simulate_trace(trace, fast_config())
+    assert first.cycles == second.cycles
+    assert first.demand_misses == second.demand_misses

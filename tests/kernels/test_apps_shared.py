@@ -1,0 +1,144 @@
+"""Contract tests every application must satisfy.
+
+These run at small scale and cover: declaration consistency, golden
+determinism, trace well-formedness, address containment, and that a
+heavy fault in the top hot object actually disturbs the output (the
+premise of the whole paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.address_space import BLOCK_BYTES
+from repro.errors import FaultDetected, KernelCrash
+from repro.kernels.base import PlainReader
+from repro.kernels.registry import (
+    APPLICATIONS,
+    FLAT_APPLICATIONS,
+    create_app,
+)
+from repro.kernels.trace import Load, Store
+
+ALL_APPS = list(APPLICATIONS) + list(FLAT_APPLICATIONS)
+
+
+@pytest.fixture(scope="module")
+def app_bundle():
+    """(app, memory, trace) per app name, built once for the module."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            app = create_app(name, scale="small")
+            memory = app.fresh_memory()
+            trace = app.build_trace(memory)
+            cache[name] = (app, memory, trace)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestDeclarations:
+    def test_declarations_consistent(self, name, app_bundle):
+        app, _memory, _trace = app_bundle(name)
+        app.validate_declarations()
+
+    def test_importance_objects_allocated_and_read_only(
+        self, name, app_bundle
+    ):
+        app, memory, _trace = app_bundle(name)
+        for obj_name in app.object_importance:
+            assert memory.object(obj_name).read_only, obj_name
+
+    def test_hot_footprint_is_small(self, name, app_bundle):
+        app, memory, _trace = app_bundle(name)
+        if not app.hot_object_names:
+            pytest.skip("flat app")
+        hot_bytes = sum(
+            memory.object(n).nbytes for n in app.hot_object_names
+        )
+        total = sum(o.nbytes for o in memory.objects)
+        # Observation IV: at most a few percent of application memory.
+        assert hot_bytes / total < 0.10
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestGolden:
+    def test_golden_deterministic_across_instances(self, name):
+        a = create_app(name, scale="small").golden_output()
+        b = create_app(name, scale="small").golden_output()
+        np.testing.assert_array_equal(a, b)
+
+    def test_golden_finite(self, name, app_bundle):
+        app, _m, _t = app_bundle(name)
+        golden = app.golden_output()
+        assert np.isfinite(np.asarray(golden, dtype=np.float64)).all()
+
+    def test_fault_free_run_is_not_sdc(self, name, app_bundle):
+        app, _m, _t = app_bundle(name)
+        memory = app.fresh_memory()
+        output = app.execute(memory, PlainReader(memory))
+        result = app.error_metric.compare(app.golden_output(), output)
+        assert not result.is_sdc
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestTraces:
+    def test_trace_validates(self, name, app_bundle):
+        _app, _memory, trace = app_bundle(name)
+        trace.validate()
+
+    def test_addresses_within_named_objects(self, name, app_bundle):
+        _app, memory, trace = app_bundle(name)
+        bounds = {
+            obj.name: (obj.base_addr,
+                       obj.base_addr + obj.n_blocks * BLOCK_BYTES)
+            for obj in memory.objects
+        }
+        for kernel in trace.kernels:
+            for warp in kernel.iter_warps():
+                for inst in warp.insts:
+                    if isinstance(inst, (Load, Store)):
+                        low, high = bounds[inst.obj]
+                        for addr in inst.addrs:
+                            assert low <= addr < high, (
+                                kernel.name, inst.obj, hex(addr))
+
+    def test_every_importance_object_is_loaded(self, name, app_bundle):
+        app, _memory, trace = app_bundle(name)
+        loaded = {
+            inst.obj
+            for kernel in trace.kernels
+            for warp in kernel.iter_warps()
+            for inst in warp.insts
+            if isinstance(inst, Load)
+        }
+        for obj_name in app.object_importance:
+            assert obj_name in loaded
+
+    def test_trace_is_deterministic(self, name, app_bundle):
+        app, memory, trace = app_bundle(name)
+        again = app.build_trace(memory)
+        assert again.total_load_transactions == \
+            trace.total_load_transactions
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_heavy_fault_in_top_object_disturbs_output(name, app_bundle):
+    """Stick the sign+high-exponent bits of the first words of the most
+    important object: the output must change, crash, or the app  must
+    consume it some other observable way."""
+    app, _m, _t = app_bundle(name)
+    memory = app.fresh_memory()
+    target = memory.object(app.object_importance[0])
+    for word in range(min(4, target.nbytes // 4)):
+        for bit in (30, 29, 28, 27):
+            memory.inject_stuck_at(
+                target.base_addr + word * 4 + bit // 8, bit % 8, 1)
+    try:
+        output = app.execute(memory, PlainReader(memory))
+    except KernelCrash:
+        return  # loud failure is an acceptable disturbance
+    golden = app.golden_output()
+    assert app.error_metric.error(golden, output) > 0

@@ -1,0 +1,78 @@
+"""Tests for the P-ATAX extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import ReliabilityManager
+from repro.faults.outcomes import Outcome
+from repro.kernels.atax import Atax
+from repro.kernels.base import PlainReader
+from repro.kernels.registry import (
+    APPLICATIONS,
+    EXTENDED_APPLICATIONS,
+    create_app,
+)
+from repro.kernels.trace import Load
+
+
+class TestAtaxMath:
+    def test_matches_reference(self):
+        app = Atax(n=48, seed=11)
+        memory = app.fresh_memory()
+        out = app.execute(memory, PlainReader(memory))
+        a = memory.read_pristine(memory.object("A")).astype(np.float64)
+        x = memory.read_pristine(memory.object("x")).astype(np.float64)
+        np.testing.assert_allclose(out, a.T @ (a @ x), rtol=1e-3)
+
+    def test_tmp_materialized(self):
+        app = Atax(n=32)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        a = memory.read_pristine(memory.object("A")).astype(np.float64)
+        x = memory.read_pristine(memory.object("x")).astype(np.float64)
+        np.testing.assert_allclose(
+            memory.read_pristine(memory.object("tmp")), a @ x,
+            rtol=1e-4)
+
+
+class TestAtaxTrace:
+    def test_kernel1_uncoalesced_kernel2_coalesced(self):
+        app = Atax(n=96)
+        memory = app.fresh_memory()
+        trace = app.build_trace(memory)
+        k1_a = [i for w in trace.kernels[0].iter_warps()
+                for i in w.insts
+                if isinstance(i, Load) and i.obj == "A"]
+        k2_a = [i for w in trace.kernels[1].iter_warps()
+                for i in w.insts
+                if isinstance(i, Load) and i.obj == "A"]
+        assert all(len(i.addrs) == 32 for i in k1_a)
+        assert all(len(i.addrs) == 1 for i in k2_a)
+
+
+class TestAtaxPipeline:
+    def test_registered_as_extension_not_core(self):
+        assert "P-ATAX" in EXTENDED_APPLICATIONS
+        assert "P-ATAX" not in APPLICATIONS
+        assert create_app("P-ATAX", scale="small").n == 96
+
+    def test_discovery_and_protection(self):
+        # Discovery needs the default scale: at n=96 the hot/cold
+        # per-block contrast compresses below the classifier threshold
+        # (same scale effect as P-BICG, see DESIGN.md).
+        manager = ReliabilityManager(create_app("P-ATAX"))
+        assert manager.discover_hot_objects().matches_declaration
+        base = manager.evaluate(scheme="baseline", protect="none",
+                                runs=30, selection="hot", n_bits=3)
+        corr = manager.evaluate(scheme="correction", protect="hot",
+                                runs=30, selection="hot", n_bits=3)
+        assert base.sdc_count > 0
+        assert corr.sdc_count == 0
+        assert corr.count(Outcome.CORRECTED) > 0
+
+    def test_protection_overhead_small(self):
+        manager = ReliabilityManager(create_app("P-ATAX",
+                                                scale="small"))
+        base = manager.simulate_performance("baseline", "none")
+        prot = manager.simulate_performance("detection", "hot")
+        assert prot.slowdown_vs(base) < 1.1

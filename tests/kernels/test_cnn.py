@@ -1,0 +1,161 @@
+"""Application-specific tests for C-NN."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import PlainReader
+from repro.kernels.cnn import (
+    CLASSES,
+    FC_HIDDEN,
+    FC_IN,
+    L1_MAPS,
+    L1_OUT,
+    L2_MAPS,
+    Cnn,
+    activation,
+)
+from repro.kernels.trace import Load
+
+
+class TestNetworkStructure:
+    def test_layer_dimensions(self):
+        assert FC_IN == L2_MAPS * 5 * 5 == 1250
+        assert L1_OUT == 13  # (29-5)/2 + 1, matching the CUDA grid
+
+    def test_weight_layouts_match_listing2(self):
+        app = Cnn(batch=2)
+        memory = app.fresh_memory()
+        # Listing 2: weightBegin = blockID * 26 (bias + 25 weights).
+        assert memory.object("Layer1_Weights").nbytes == \
+            L1_MAPS * 26 * 4
+        assert memory.object("Layer2_Weights").nbytes == \
+            L2_MAPS * L1_MAPS * 26 * 4
+
+    def test_activation_is_listing2_tanh(self):
+        x = np.array([0.0, 1.0, -2.0])
+        np.testing.assert_allclose(
+            activation(x), 1.7159 * np.tanh(0.66666667 * x))
+
+    def test_activation_saturates(self):
+        assert abs(activation(np.array([1e30]))[0]) <= 1.7159 + 1e-9
+
+
+class TestForwardPass:
+    def test_labels_shape_and_range(self):
+        app = Cnn(batch=6)
+        labels = app.golden_output()
+        assert labels.shape == (6,)
+        assert ((labels >= 0) & (labels < CLASSES)).all()
+
+    def test_intermediates_written_to_memory(self):
+        app = Cnn(batch=2)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        l2n = memory.read_pristine(memory.object("Layer2_Neurons"))
+        scores = memory.read_pristine(memory.object("Out"))
+        assert l2n.shape == (2, L1_MAPS, L1_OUT, L1_OUT)
+        assert np.abs(l2n).max() <= 1.7159 + 1e-6  # post-activation
+        assert scores.shape == (2, CLASSES)
+
+    def test_scores_depend_on_images(self):
+        app = Cnn(batch=4, seed=1)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        scores = memory.read_pristine(memory.object("Out"))
+        # Different images produce different score vectors.
+        assert not np.allclose(scores[0], scores[1])
+
+
+class TestWeightFaults:
+    def test_huge_layer1_weight_flips_labels(self):
+        app = Cnn(batch=8)
+        memory = app.fresh_memory()
+        w1 = memory.object("Layer1_Weights")
+        # Stick the top exponent bits of several map-0 weights.
+        for word in range(1, 6):
+            memory.inject_stuck_at(w1.base_addr + word * 4 + 3, 6, 1)
+            memory.inject_stuck_at(w1.base_addr + word * 4 + 3, 5, 1)
+        out = app.execute(memory, PlainReader(memory))
+        golden = app.golden_output()
+        assert app.error_metric.error(golden, out) > 0
+
+    def test_nan_scores_classify_as_negative_one(self):
+        app = Cnn(batch=2)
+        memory = app.fresh_memory()
+        out_obj = memory.object("Out")
+        # Plant a NaN directly in the score block of image 0.
+        scores = np.zeros((2, CLASSES), dtype=np.float32)
+        app.execute(memory, PlainReader(memory))
+        corrupted = memory.read_pristine(out_obj)
+        corrupted[0, 0] = np.nan
+        memory.write_object(out_obj, corrupted)
+        read_back = memory.read_object(out_obj)
+        labels = np.where(
+            np.isfinite(read_back).all(axis=1),
+            np.argmax(np.nan_to_num(read_back, nan=-np.inf), axis=1),
+            -1,
+        )
+        assert labels[0] == -1
+        assert labels[1] >= 0
+
+
+class TestCnnTrace:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        app = Cnn(batch=8)
+        memory = app.fresh_memory()
+        return app, memory, app.build_trace(memory)
+
+    def test_four_kernels(self, bundle):
+        _a, _m, trace = bundle
+        assert [k.name for k in trace.kernels] == \
+            ["FirstLayer", "SecondLayer", "ThirdLayer", "FourthLayer"]
+
+    def test_layer1_grid_is_maps_times_batch(self, bundle):
+        _a, _m, trace = bundle
+        assert len(trace.kernels[0].ctas) == L1_MAPS * 8
+
+    def test_layer1_weight_loads_are_broadcasts(self, bundle):
+        _a, _m, trace = bundle
+        warp = next(trace.kernels[0].iter_warps())
+        w_loads = [
+            i for i in warp.insts
+            if isinstance(i, Load) and i.obj == "Layer1_Weights"
+        ]
+        assert len(w_loads) == 26  # bias + 25 taps (Listing 2)
+        assert all(len(i.addrs) == 1 for i in w_loads)
+
+    def test_weights_hotter_per_block_than_images(self, bundle):
+        _a, memory, trace = bundle
+        from collections import Counter
+
+        counts = Counter()
+        for kernel in trace.kernels:
+            for w in kernel.iter_warps():
+                for i in w.insts:
+                    if isinstance(i, Load):
+                        for addr in i.addrs:
+                            counts[addr] += 1
+        def per_block(name):
+            obj = memory.object(name)
+            vals = [counts.get(a, 0) for a in obj.block_addrs()]
+            return sum(vals) / len(vals)
+
+        assert per_block("Layer1_Weights") > 5 * per_block("Images")
+        assert per_block("Layer2_Weights") > per_block("Images")
+        assert per_block("Layer1_Weights") > \
+            50 * per_block("Layer3_Weights")
+
+    def test_fc_weight_loads_coalesced(self, bundle):
+        _a, _m, trace = bundle
+        warp = next(trace.kernels[2].iter_warps())
+        w_loads = [
+            i for i in warp.insts
+            if isinstance(i, Load) and i.obj == "Layer3_Weights"
+        ]
+        # 32-lane chunks over a contiguous weight row: 1-2 blocks each.
+        assert all(len(i.addrs) <= 2 for i in w_loads)
+
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Cnn(batch=0)

@@ -1,0 +1,77 @@
+"""Tests for trace-generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.kernels import common
+
+
+@pytest.fixture()
+def obj():
+    mem = DeviceMemory(1024 * 1024)
+    mem.alloc("pad", (5,), np.float32)  # shift base off zero
+    return mem.alloc("v", (1024,), np.float32)
+
+
+class TestBlockAddr:
+    def test_first_element(self, obj):
+        assert common.block_addr(obj, 0) == obj.base_addr
+
+    def test_element_32_next_block(self, obj):
+        assert common.block_addr(obj, 32) == obj.base_addr + BLOCK_BYTES
+
+    def test_alignment(self, obj):
+        for idx in (0, 1, 31, 32, 100, 1023):
+            assert common.block_addr(obj, idx) % BLOCK_BYTES == 0
+
+
+class TestContiguousBlocks:
+    def test_single_block(self, obj):
+        assert common.contiguous_blocks(obj, 0, 32) == (obj.base_addr,)
+
+    def test_straddling(self, obj):
+        blocks = common.contiguous_blocks(obj, 16, 32)
+        assert blocks == (obj.base_addr, obj.base_addr + BLOCK_BYTES)
+
+    def test_single_element(self, obj):
+        assert len(common.contiguous_blocks(obj, 77, 1)) == 1
+
+    def test_agrees_with_coalescer(self, obj):
+        from repro.kernels.coalesce import coalesce_indices
+
+        for start, n in ((0, 32), (16, 32), (100, 7), (1000, 24)):
+            fast = common.contiguous_blocks(obj, start, n)
+            slow = coalesce_indices(obj, range(start, start + n))
+            assert fast == slow
+
+
+class TestScatteredBlocks:
+    def test_deduplicates(self, obj):
+        assert len(common.scattered_blocks(obj, [0, 1, 2])) == 1
+
+    def test_agrees_with_coalescer(self, obj):
+        from repro.kernels.coalesce import coalesce_indices
+
+        idx = np.array([0, 33, 999, 34, 512])
+        assert common.scattered_blocks(obj, idx) == \
+            coalesce_indices(obj, idx)
+
+
+class TestPartitioning:
+    def test_warp_partition_exact(self):
+        assert common.warp_partition(64) == [(0, 32), (32, 32)]
+
+    def test_warp_partition_remainder(self):
+        assert common.warp_partition(40) == [(0, 32), (32, 8)]
+
+    def test_warp_partition_small(self):
+        assert common.warp_partition(5) == [(0, 5)]
+
+    def test_ctas_of_threads(self):
+        assert common.ctas_of_threads(600, 256) == \
+            [(0, 256), (256, 256), (512, 88)]
+
+    def test_ctas_bad_size(self):
+        with pytest.raises(ValueError):
+            common.ctas_of_threads(10, 0)

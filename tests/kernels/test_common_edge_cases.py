@@ -1,0 +1,85 @@
+"""Edge-case tests for trace-generation helpers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.kernels import common
+
+
+def make_obj(n_elements=4096, dtype=np.float32):
+    mem = DeviceMemory(4 * 1024 * 1024)
+    mem.reserve_blocks(3)  # non-zero base
+    return mem.alloc("v", (n_elements,), dtype)
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=0, max_value=4000),
+       st.integers(min_value=1, max_value=64))
+def test_contiguous_blocks_cover_exactly_the_span(start, n):
+    obj = make_obj()
+    n = min(n, 4096 - start)
+    if n <= 0:
+        return
+    blocks = common.contiguous_blocks(obj, start, n)
+    first_byte = obj.base_addr + start * 4
+    last_byte = obj.base_addr + (start + n) * 4 - 1
+    assert blocks[0] <= first_byte < blocks[0] + BLOCK_BYTES
+    assert blocks[-1] <= last_byte < blocks[-1] + BLOCK_BYTES
+    # Contiguous, block-aligned, no gaps.
+    assert all(b % BLOCK_BYTES == 0 for b in blocks)
+    assert all(b2 - b1 == BLOCK_BYTES
+               for b1, b2 in zip(blocks, blocks[1:]))
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=4095),
+                min_size=1, max_size=40))
+def test_scattered_blocks_match_manual_set(indices):
+    obj = make_obj()
+    blocks = common.scattered_blocks(obj, indices)
+    expected = sorted({
+        (obj.base_addr + i * 4) // BLOCK_BYTES * BLOCK_BYTES
+        for i in indices
+    })
+    assert list(blocks) == expected
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=0, max_value=4095))
+def test_block_addr_contains_element(index):
+    obj = make_obj()
+    addr = common.block_addr(obj, index)
+    byte = obj.base_addr + index * 4
+    assert addr <= byte < addr + BLOCK_BYTES
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=1, max_value=5000))
+def test_warp_partition_covers_all_threads(n_threads):
+    parts = common.warp_partition(n_threads)
+    assert sum(lanes for _first, lanes in parts) == n_threads
+    assert all(1 <= lanes <= common.WARP_SIZE for _f, lanes in parts)
+    cursor = 0
+    for first, lanes in parts:
+        assert first == cursor
+        cursor += lanes
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=1, max_value=512))
+def test_ctas_cover_all_threads(n_threads, cta_size):
+    ctas = common.ctas_of_threads(n_threads, cta_size)
+    assert sum(size for _f, size in ctas) == n_threads
+    assert all(size <= cta_size for _f, size in ctas)
+
+
+def test_int32_itemsize_respected():
+    mem = DeviceMemory(1024 * 1024)
+    obj = mem.alloc("i", (256,), np.int32)
+    # 32 consecutive int32 = 128B = one block when aligned.
+    assert len(common.contiguous_blocks(obj, 0, 32)) == 1
+    assert len(common.contiguous_blocks(obj, 16, 32)) == 2

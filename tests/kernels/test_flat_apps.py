@@ -1,0 +1,115 @@
+"""Tests for the flat-access-profile counter-examples."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import PlainReader
+from repro.kernels.blackscholes import BlackScholes
+from repro.kernels.gramschmidt import GramSchmidt
+from repro.kernels.trace import Load
+from repro.profiling.access_profile import profile_trace
+
+
+class TestBlackScholesMath:
+    def test_put_call_parity(self):
+        """C - P = S - X*exp(-rT), the no-arbitrage identity."""
+        app = BlackScholes(n_options=128, seed=3)
+        memory = app.fresh_memory()
+        out = app.execute(memory, PlainReader(memory))
+        n = 128
+        call, put = out[:n], out[n:]
+        s = memory.read_pristine(memory.object("StockPrice"))
+        x = memory.read_pristine(memory.object("OptionStrike"))
+        t = memory.read_pristine(memory.object("OptionYears"))
+        parity = s - x * np.exp(-0.02 * t)
+        np.testing.assert_allclose(call - put, parity, rtol=1e-3,
+                                   atol=1e-3)
+
+    def test_call_price_bounds(self):
+        app = BlackScholes(n_options=64)
+        memory = app.fresh_memory()
+        out = app.execute(memory, PlainReader(memory))
+        call = out[:64]
+        s = memory.read_pristine(memory.object("StockPrice"))
+        assert (call >= -1e-6).all()
+        assert (call <= s + 1e-6).all()
+
+
+class TestBlackScholesProfile:
+    def test_every_block_read_exactly_once(self):
+        """Figure 3(g): all memory blocks equally accessed."""
+        app = BlackScholes(n_options=1024)
+        memory = app.fresh_memory()
+        profile = profile_trace(app.build_trace(memory), memory)
+        counts = set(profile.block_reads.values())
+        assert counts == {1}
+
+    def test_no_hot_blocks(self):
+        from repro.profiling.hot_blocks import classify_hot_blocks
+
+        app = BlackScholes(n_options=1024)
+        memory = app.fresh_memory()
+        profile = profile_trace(app.build_trace(memory), memory)
+        assert not classify_hot_blocks(profile).has_hot_blocks
+
+
+class TestGramSchmidtMath:
+    def test_q_columns_orthonormal(self):
+        app = GramSchmidt(n=24, seed=5)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        q = memory.read_pristine(memory.object("Q")).astype(np.float64)
+        np.testing.assert_allclose(q.T @ q, np.eye(24), atol=1e-4)
+
+    def test_qr_reconstructs_input(self):
+        app = GramSchmidt(n=24, seed=5)
+        memory = app.fresh_memory()
+        a_original = memory.read_pristine(memory.object("A")).copy()
+        app.execute(memory, PlainReader(memory))
+        q = memory.read_pristine(memory.object("Q")).astype(np.float64)
+        r = memory.read_pristine(memory.object("R")).astype(np.float64)
+        np.testing.assert_allclose(q @ r, a_original, rtol=1e-3,
+                                   atol=1e-3)
+
+    def test_r_upper_triangular(self):
+        app = GramSchmidt(n=16)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        r = memory.read_pristine(memory.object("R"))
+        assert np.allclose(np.tril(r, k=-1), 0.0)
+
+
+class TestGramSchmidtProfile:
+    def test_staircase_profile_no_hot_blocks(self):
+        """Figure 3(h): counts rise in small steps, no dominant block."""
+        from repro.profiling.hot_blocks import classify_hot_blocks
+
+        app = GramSchmidt(n=64)
+        memory = app.fresh_memory()
+        profile = profile_trace(app.build_trace(memory), memory)
+        assert not classify_hot_blocks(profile).has_hot_blocks
+        counts = np.array(
+            [c for _a, c in profile.sorted_counts()], dtype=float
+        )
+        # Gentle ramp: adjacent sorted counts never jump by more than
+        # a small factor once past the low tail.
+        tail = counts[counts > 4]
+        assert (tail[1:] / tail[:-1]).max() < 2.5
+
+    def test_earlier_columns_read_more(self):
+        app = GramSchmidt(n=48)
+        memory = app.fresh_memory()
+        trace = app.build_trace(memory)
+        q = memory.object("Q")
+        from collections import Counter
+
+        counts = Counter()
+        for kernel in trace.kernels:
+            for w in kernel.iter_warps():
+                for i in w.insts:
+                    if isinstance(i, Load) and i.obj == "Q":
+                        for addr in i.addrs:
+                            counts[addr] += 1
+        # Block of column 0 (row 0) vs a late column's block.
+        early = counts[q.base_addr]
+        assert early == max(counts.values())

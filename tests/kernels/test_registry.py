@@ -1,0 +1,57 @@
+"""Tests for the application registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.registry import (
+    APPLICATIONS,
+    FLAT_APPLICATIONS,
+    create_app,
+    resilience_apps,
+)
+
+
+def test_eight_resilience_apps_in_table2_order():
+    assert list(APPLICATIONS) == [
+        "C-NN", "P-BICG", "P-GESUMMV", "P-MVT",
+        "A-Laplacian", "A-Meanfilter", "A-Sobel", "A-SRAD",
+    ]
+
+
+def test_two_flat_apps():
+    assert set(FLAT_APPLICATIONS) == {"C-BlackScholes", "P-GRAMSCHM"}
+
+
+def test_create_by_name_sets_name():
+    for name in list(APPLICATIONS) + list(FLAT_APPLICATIONS):
+        assert create_app(name, scale="small").name == name
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ConfigError):
+        create_app("X-UNKNOWN")
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ConfigError):
+        create_app("P-BICG", scale="huge")
+
+
+def test_small_scale_is_smaller():
+    small = create_app("P-BICG", scale="small")
+    default = create_app("P-BICG")
+    assert small.nx < default.nx
+
+
+def test_kwargs_override_scale():
+    app = create_app("P-BICG", scale="small", nx=17, ny=19)
+    assert (app.nx, app.ny) == (17, 19)
+
+
+def test_seed_passed_through():
+    assert create_app("P-MVT", scale="small", seed=99).seed == 99
+
+
+def test_resilience_apps_constructs_all():
+    apps = resilience_apps(scale="small")
+    assert [a.name for a in apps] == list(APPLICATIONS)

@@ -1,0 +1,117 @@
+"""Application-specific tests for A-SRAD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelCrash
+from repro.kernels.base import PlainReader
+from repro.kernels.srad import Srad
+from repro.kernels.trace import Load, Store
+
+
+class TestSradMath:
+    def test_output_shape_and_range(self):
+        app = Srad(rows=24, cols=24)
+        out = app.golden_output()
+        assert out.shape == (24, 24)
+        # The compressed output is an 8-bit image: log(J)*255 with
+        # J = exp(image/255) in [1, e] gives values in [0, 255].
+        assert out.min() >= 0.0
+        assert out.max() <= 255.0
+
+    def test_diffusion_smooths_speckle(self):
+        app = Srad(rows=32, cols=32, seed=4)
+        memory = app.fresh_memory()
+        app.execute(memory, PlainReader(memory))
+        j_after = memory.read_pristine(memory.object("J"))
+        j0 = np.exp(
+            memory.read_pristine(memory.object("Image")) / 255.0
+        )
+        # Anisotropic diffusion reduces local variation of J.
+        assert np.abs(np.diff(j_after, axis=0)).mean() < \
+            np.abs(np.diff(j0, axis=0)).mean()
+
+    def test_uniform_image_is_fixed_point(self):
+        app = Srad(rows=16, cols=16)
+        memory = app.fresh_memory()
+        memory.write_object(
+            memory.object("Image"),
+            np.full((16, 16), 128.0, dtype=np.float32),
+        )
+        out = app.execute(memory, PlainReader(memory))
+        # J stays exp(128/255); the compressed image is log(J)*255,
+        # i.e. exactly 128 everywhere.
+        np.testing.assert_allclose(out, 128.0, rtol=1e-5)
+
+    def test_neighbor_indices_initialized_clamped(self):
+        app = Srad(rows=16, cols=16)
+        memory = app.fresh_memory()
+        i_n = memory.read_pristine(memory.object("i_N"))
+        i_s = memory.read_pristine(memory.object("i_S"))
+        assert i_n[0] == 0  # clamped at the border
+        assert i_s[-1] == 15
+        np.testing.assert_array_equal(i_n[1:], np.arange(15))
+
+
+class TestSradFaults:
+    def test_out_of_range_index_crashes(self):
+        app = Srad(rows=16, cols=16)
+        memory = app.fresh_memory()
+        i_n = memory.object("i_N")
+        memory.inject_stuck_at(i_n.base_addr + 2, 7, 1)  # huge int
+        with pytest.raises(KernelCrash):
+            app.execute(memory, PlainReader(memory))
+
+    def test_in_range_wrong_index_changes_rows(self):
+        app = Srad(rows=16, cols=16)
+        memory = app.fresh_memory()
+        i_n = memory.object("i_N")
+        # Point row 8's north neighbour at row 0 instead of row 7.
+        idx = memory.read_pristine(i_n).copy()
+        idx[8] = 0
+        memory.write_object(i_n, idx)
+        out = app.execute(memory, PlainReader(memory))
+        golden = app.golden_output()
+        diff_rows = np.unique(np.nonzero(out != golden)[0])
+        assert 8 in diff_rows
+        assert len(diff_rows) <= 3  # damage stays local
+
+
+class TestSradTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        app = Srad(rows=32, cols=32)
+        memory = app.fresh_memory()
+        return app.build_trace(memory)
+
+    def test_three_kernels(self, trace):
+        assert [k.name for k in trace.kernels] == \
+            ["srad_extract", "srad_cuda_1", "srad_cuda_2"]
+
+    def test_extract_reads_image_once_per_block(self, trace):
+        image_loads = sum(
+            len(i.addrs)
+            for w in trace.kernels[0].iter_warps()
+            for i in w.insts
+            if isinstance(i, Load) and i.obj == "Image"
+        )
+        assert image_loads == 32 * 32 * 4 // 128  # one per block
+
+    def test_kernel1_loads_all_four_index_arrays(self, trace):
+        warp = next(trace.kernels[1].iter_warps())
+        loaded = {
+            i.obj for i in warp.insts if isinstance(i, Load)
+        }
+        assert {"i_N", "i_S", "i_E", "i_W", "J"} <= loaded
+
+    def test_kernel1_stores_derivatives_and_coefficient(self, trace):
+        warp = next(trace.kernels[1].iter_warps())
+        stored = {
+            i.obj for i in warp.insts if isinstance(i, Store)
+        }
+        assert stored == {"dN", "dS", "dW", "dE", "c"}
+
+    def test_kernel2_updates_j(self, trace):
+        warp = next(trace.kernels[2].iter_warps())
+        stored = {i.obj for i in warp.insts if isinstance(i, Store)}
+        assert stored == {"J"}

@@ -1,0 +1,182 @@
+"""Application-specific tests for the AxBench image filters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelCrash
+from repro.kernels.base import PlainReader
+from repro.kernels.laplacian import LAPLACIAN, Laplacian
+from repro.kernels.meanfilter import Meanfilter
+from repro.kernels.sobel import SOBEL_GX, SOBEL_GY, Sobel
+from repro.kernels.trace import Load
+
+
+def manual_conv(image, kernel):
+    h, w = image.shape
+    out = np.zeros((h, w))
+    for y in range(h):
+        for x in range(w):
+            acc = 0.0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    yy, xx = y + dy, x + dx
+                    if 0 <= yy < h and 0 <= xx < w:
+                        acc += kernel[dy + 1, dx + 1] * image[yy, xx]
+            out[y, x] = acc
+    return out
+
+
+class TestLaplacianMath:
+    def test_matches_manual_convolution(self):
+        app = Laplacian(height=16, width=16, seed=2)
+        memory = app.fresh_memory()
+        out = app.execute(memory, PlainReader(memory))
+        image = memory.read_pristine(memory.object("Image"))
+        expected = np.clip(
+            np.abs(manual_conv(image.astype(np.float64), LAPLACIAN)),
+            0, 255,
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-3)
+
+    def test_uniform_image_gives_zero_interior(self):
+        app = Laplacian(height=8, width=8)
+        memory = app.fresh_memory()
+        memory.write_object(
+            memory.object("Image"),
+            np.full((8, 8), 100.0, dtype=np.float32),
+        )
+        out = app.execute(memory, PlainReader(memory))
+        assert np.allclose(out[1:-1, 1:-1], 0.0, atol=1e-3)
+
+
+class TestSobelMath:
+    def test_vertical_edge_detected(self):
+        app = Sobel(height=8, width=8)
+        memory = app.fresh_memory()
+        image = np.zeros((8, 8), dtype=np.float32)
+        image[:, 4:] = 200.0
+        memory.write_object(memory.object("Image"), image)
+        out = app.execute(memory, PlainReader(memory))
+        # Gradient magnitude peaks along the edge columns.
+        assert out[4, 3] > 100.0
+        assert out[4, 1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_filter_object_packs_both_kernels(self):
+        app = Sobel(height=8, width=8)
+        memory = app.fresh_memory()
+        coeffs = memory.read_pristine(memory.object("Filter"))
+        np.testing.assert_array_equal(coeffs[:9], SOBEL_GX.ravel())
+        np.testing.assert_array_equal(coeffs[9:], SOBEL_GY.ravel())
+
+
+class TestMeanfilterMath:
+    def test_smooths_noise(self):
+        app = Meanfilter(height=32, width=32, seed=7)
+        memory = app.fresh_memory()
+        out = app.execute(memory, PlainReader(memory))
+        image = memory.read_pristine(memory.object("Image"))
+        # Interior variance decreases under a box filter.
+        assert out[4:-4, 4:-4].std() < image[4:-4, 4:-4].std()
+
+    def test_no_filter_object(self):
+        app = Meanfilter(height=8, width=8)
+        memory = app.fresh_memory()
+        with pytest.raises(Exception):
+            memory.object("Filter")
+
+
+class TestBoundsFaults:
+    """Corrupted Filter_Height/Width: truncation (SDC) vs crash."""
+
+    def test_truncated_height_is_silent_corruption(self):
+        app = Laplacian(height=16, width=16)
+        memory = app.fresh_memory()
+        h = memory.object("Filter_Height")
+        memory.write_object(h, np.array([8], dtype=np.int32))
+        out = app.execute(memory, PlainReader(memory))
+        golden = app.golden_output()
+        assert (out[8:] == 0).all()  # truncated rows never written
+        assert app.error_metric.compare(golden, out).is_sdc
+
+    def test_oversized_height_crashes(self):
+        app = Laplacian(height=16, width=16)
+        memory = app.fresh_memory()
+        memory.write_object(
+            memory.object("Filter_Height"),
+            np.array([1 << 20], dtype=np.int32),
+        )
+        with pytest.raises(KernelCrash):
+            app.execute(memory, PlainReader(memory))
+
+    def test_negative_height_crashes(self):
+        app = Laplacian(height=16, width=16)
+        memory = app.fresh_memory()
+        memory.write_object(
+            memory.object("Filter_Height"),
+            np.array([-3], dtype=np.int32),
+        )
+        with pytest.raises(KernelCrash):
+            app.execute(memory, PlainReader(memory))
+
+
+class TestInputClamping:
+    def test_faulted_pixel_damage_is_local(self):
+        """uint8 image semantics: a pixel stuck to a huge float clamps
+        to 255, so corruption stays in the 3x3 neighbourhood."""
+        app = Laplacian(height=32, width=32)
+        memory = app.fresh_memory()
+        img = memory.object("Image")
+        # Stick the exponent byte of pixel (16, 16).
+        addr = img.base_addr + (16 * 32 + 16) * 4 + 3
+        for bit in range(8):
+            memory.inject_stuck_at(addr, bit, 1)
+        out = app.execute(memory, PlainReader(memory))
+        golden = app.golden_output()
+        diff = np.abs(out - golden)
+        assert diff.max() > 0
+        untouched = diff.copy()
+        untouched[14:19, 14:19] = 0
+        assert untouched.max() == 0
+
+
+class TestStencilTraces:
+    @pytest.mark.parametrize("cls", [Laplacian, Sobel])
+    def test_filter_loads_per_warp(self, cls):
+        app = cls(height=16, width=32)
+        memory = app.fresh_memory()
+        trace = app.build_trace(memory)
+        warp = next(trace.kernels[0].iter_warps())
+        filter_loads = [
+            i for i in warp.insts
+            if isinstance(i, Load) and i.obj == "Filter"
+        ]
+        assert len(filter_loads) == 9  # one per window tap
+        assert all(len(i.addrs) == 1 for i in filter_loads)
+
+    def test_meanfilter_bounds_loads_per_row(self):
+        app = Meanfilter(height=16, width=32)
+        memory = app.fresh_memory()
+        trace = app.build_trace(memory)
+        warp = next(trace.kernels[0].iter_warps())
+        h_loads = [
+            i for i in warp.insts
+            if isinstance(i, Load) and i.obj == "Filter_Height"
+        ]
+        assert len(h_loads) == 3  # one per window row
+
+    def test_hot_access_share_dominates(self):
+        """Table III: Filter/Height/Width absorb most transactions."""
+        app = Laplacian()  # default 96x96
+        memory = app.fresh_memory()
+        trace = app.build_trace(memory)
+        hot = 0
+        total = 0
+        for kernel in trace.kernels:
+            for w in kernel.iter_warps():
+                for i in w.insts:
+                    if isinstance(i, Load):
+                        total += len(i.addrs)
+                        if i.obj in ("Filter", "Filter_Height",
+                                     "Filter_Width"):
+                            hot += len(i.addrs)
+        assert hot / total > 0.55  # paper: 73%

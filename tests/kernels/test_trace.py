@@ -1,0 +1,105 @@
+"""Tests for the trace representation and validation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.kernels.trace import (
+    AppTrace,
+    Compute,
+    CtaTrace,
+    KernelTrace,
+    Load,
+    Store,
+    WarpTrace,
+)
+
+
+def make_warp(warp_id=0, insts=None):
+    return WarpTrace(warp_id, insts if insts is not None else [
+        Compute(2),
+        Load("obj", (0, 128)),
+        Compute(1, wait=True),
+        Store("out", (256,)),
+    ])
+
+
+class TestWarpTrace:
+    def test_valid_warp_passes(self):
+        make_warp().validate()
+
+    def test_load_transaction_count(self):
+        assert make_warp().n_load_transactions == 2
+
+    def test_zero_compute_rejected(self):
+        warp = make_warp(insts=[Compute(0)])
+        with pytest.raises(TraceError):
+            warp.validate()
+
+    def test_empty_load_rejected(self):
+        warp = make_warp(insts=[Load("o", ())])
+        with pytest.raises(TraceError):
+            warp.validate()
+
+    def test_negative_address_rejected(self):
+        warp = make_warp(insts=[Load("o", (-128,))])
+        with pytest.raises(TraceError):
+            warp.validate()
+
+    def test_unknown_kind_rejected(self):
+        warp = make_warp(insts=["bogus"])
+        with pytest.raises(TraceError):
+            warp.validate()
+
+
+class TestKernelTrace:
+    def test_warp_count(self):
+        kernel = KernelTrace("k", [
+            CtaTrace(0, [make_warp(0), make_warp(1)]),
+            CtaTrace(1, [make_warp(2)]),
+        ])
+        assert kernel.n_warps == 3
+        assert [w.warp_id for w in kernel.iter_warps()] == [0, 1, 2]
+
+    def test_duplicate_warp_ids_rejected(self):
+        kernel = KernelTrace("k", [
+            CtaTrace(0, [make_warp(0), make_warp(0)]),
+        ])
+        with pytest.raises(TraceError):
+            kernel.validate()
+
+
+class TestAppTrace:
+    def test_empty_app_rejected(self):
+        with pytest.raises(TraceError):
+            AppTrace("app", []).validate()
+
+    def test_total_transactions(self):
+        app = AppTrace("app", [
+            KernelTrace("k1", [CtaTrace(0, [make_warp(0)])]),
+            KernelTrace("k2", [CtaTrace(0, [make_warp(0)])]),
+        ])
+        assert app.total_load_transactions == 4
+
+    def test_iter_loads_yields_kernel_and_warp(self):
+        app = AppTrace("app", [
+            KernelTrace("k1", [CtaTrace(0, [make_warp(7)])]),
+        ])
+        loads = list(app.iter_loads())
+        assert len(loads) == 1
+        kernel_name, warp_id, load = loads[0]
+        assert kernel_name == "k1"
+        assert warp_id == 7
+        assert load.obj == "obj"
+
+
+class TestInstructionTypes:
+    def test_compute_defaults(self):
+        assert Compute(3).wait is False
+
+    def test_namedtuple_equality(self):
+        assert Load("a", (0,)) == Load("a", (0,))
+        assert Load("a", (0,)) != Load("a", (128,))
+        # NamedTuples compare by contents, so kind is distinguished by
+        # isinstance checks (as the simulator does), not equality.
+        assert isinstance(Store("a", (0,)), Store)
+        assert not isinstance(Store("a", (0,)), Load)

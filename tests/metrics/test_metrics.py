@@ -1,0 +1,158 @@
+"""Tests for the Table II output-error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.base import MetricResult
+from repro.metrics.classification import (
+    MisclassificationMetric,
+    batch_threshold,
+)
+from repro.metrics.image import NrmseMetric
+from repro.metrics.vector import VectorDeviationMetric
+
+
+class TestVectorDeviation:
+    def test_identical_vectors_zero_error(self):
+        m = VectorDeviationMetric()
+        golden = np.arange(10.0)
+        assert m.error(golden, golden) == 0.0
+
+    def test_counts_percentage(self):
+        m = VectorDeviationMetric()
+        golden = np.ones(100)
+        observed = golden.copy()
+        observed[:7] = 2.0
+        assert m.error(golden, observed) == pytest.approx(7.0)
+
+    def test_tiny_relative_noise_tolerated(self):
+        m = VectorDeviationMetric(rel_tol=1e-6)
+        golden = np.full(10, 1000.0)
+        observed = golden * (1 + 1e-8)
+        assert m.error(golden, observed) == 0.0
+
+    def test_nan_counts_as_deviation(self):
+        m = VectorDeviationMetric()
+        golden = np.ones(4)
+        observed = np.array([1.0, np.nan, 1.0, np.inf])
+        assert m.error(golden, observed) == pytest.approx(50.0)
+
+    def test_sdc_verdict_threshold(self):
+        m = VectorDeviationMetric(threshold=1.0)
+        golden = np.ones(1000)
+        one_off = golden.copy()
+        one_off[0] = 5.0
+        assert not m.compare(golden, one_off).is_sdc  # 0.1% < 1%
+        many_off = golden.copy()
+        many_off[:20] = 5.0
+        assert m.compare(golden, many_off).is_sdc  # 2% > 1%
+
+    def test_shape_mismatch_rejected(self):
+        m = VectorDeviationMetric()
+        with pytest.raises(ValueError):
+            m.compare(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VectorDeviationMetric().error(np.array([]), np.array([]))
+
+
+class TestNrmse:
+    def test_identical_images(self):
+        m = NrmseMetric()
+        img = np.random.default_rng(0).uniform(0, 255, (16, 16))
+        assert m.error(img, img) == 0.0
+
+    def test_normalized_by_range(self):
+        m = NrmseMetric()
+        golden = np.zeros((4, 4))
+        golden[0, 0] = 100.0  # range = 100
+        observed = golden + 10.0
+        assert m.error(golden, observed) == pytest.approx(0.1)
+
+    def test_single_pixel_damage_small(self):
+        m = NrmseMetric(threshold=0.05)
+        golden = np.full((96, 96), 128.0)
+        golden[0, 0] = 0.0
+        observed = golden.copy()
+        observed[50, 50] = 255.0
+        assert not m.compare(golden, observed).is_sdc
+
+    def test_global_damage_is_sdc(self):
+        m = NrmseMetric(threshold=0.05)
+        golden = np.full((32, 32), 100.0)
+        golden[0, 0] = 0.0
+        observed = golden * 1.5
+        assert m.compare(golden, observed).is_sdc
+
+    def test_nonfinite_is_infinite_error(self):
+        m = NrmseMetric()
+        golden = np.ones((2, 2))
+        observed = golden.copy()
+        observed[0, 0] = np.nan
+        result = m.compare(golden, observed)
+        assert result.is_sdc
+        assert result.error == np.inf
+
+    def test_flat_golden_image_fallback_range(self):
+        m = NrmseMetric()
+        golden = np.full((4, 4), 7.0)
+        observed = golden + 1.0
+        assert np.isfinite(m.error(golden, observed))
+
+
+class TestMisclassification:
+    def test_percentage(self):
+        m = MisclassificationMetric(threshold=0.0)
+        golden = np.array([1, 2, 3, 4])
+        observed = np.array([1, 2, 9, 9])
+        assert m.error(golden, observed) == pytest.approx(50.0)
+
+    def test_batch_threshold_default_tolerates_one_flip(self):
+        m = MisclassificationMetric(threshold=batch_threshold(10))
+        golden = np.arange(10)
+        one_flip = golden.copy()
+        one_flip[0] = 9
+        assert not m.compare(golden, one_flip).is_sdc
+        two_flips = golden.copy()
+        two_flips[:2] = (9, 8)
+        assert m.compare(golden, two_flips).is_sdc
+
+    def test_batch_threshold_strict_variant(self):
+        m = MisclassificationMetric(
+            threshold=batch_threshold(10, tolerated_images=0.5))
+        golden = np.arange(10)
+        one_flip = golden.copy()
+        one_flip[0] = 9
+        assert m.compare(golden, one_flip).is_sdc
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_threshold(0)
+
+
+class TestMetricResult:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            VectorDeviationMetric(threshold=-1.0)
+
+    def test_result_fields(self):
+        m = VectorDeviationMetric(threshold=1.0)
+        result = m.compare(np.ones(4), np.ones(4))
+        assert isinstance(result, MetricResult)
+        assert result.threshold == 1.0
+        assert not result.is_sdc
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=64))
+def test_vector_deviation_bounded(n, k):
+    k = min(k, n)
+    golden = np.zeros(n)
+    observed = golden.copy()
+    observed[:k] = 1.0
+    err = VectorDeviationMetric().error(golden, observed)
+    assert 0.0 <= err <= 100.0
+    assert err == pytest.approx(100.0 * k / n)

@@ -1,0 +1,82 @@
+"""Tests for per-block access profiling (Fig 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.access_profile import profile_trace
+
+
+class TestProfileBasics:
+    def test_total_reads_matches_trace(self, small_bicg_manager):
+        m = small_bicg_manager
+        assert m.profile.total_reads == \
+            m.trace.total_load_transactions
+
+    def test_every_read_block_has_an_owner(self, small_bicg_manager):
+        p = small_bicg_manager.profile
+        for addr in p.block_reads:
+            assert addr in p.block_owner
+
+    def test_object_reads_partition_total(self, small_bicg_manager):
+        p = small_bicg_manager.profile
+        assert sum(p.object_reads.values()) == p.total_reads
+
+    def test_reads_to_unknown_object_is_zero(self, small_bicg_manager):
+        assert small_bicg_manager.profile.reads_to("nope") == 0
+
+
+class TestCurves:
+    def test_normalized_curve_sorted_and_max_one(
+        self, small_bicg_manager
+    ):
+        curve = small_bicg_manager.profile.normalized_curve()
+        assert curve[-1] == 1.0
+        assert (np.diff(curve) >= 0).all()
+
+    def test_sorted_counts_ascending(self, small_bicg_manager):
+        counts = [c for _a, c in
+                  small_bicg_manager.profile.sorted_counts()]
+        assert counts == sorted(counts)
+
+    def test_max_min_ratio_large_at_default_scale(self, bicg_manager):
+        # Fig 3(b): r's blocks absorb far more reads than A's.
+        assert bicg_manager.profile.max_min_ratio() > 8
+
+    def test_object_share_bicg(self, bicg_manager):
+        # Table III: ~5.7% of transactions to r+p.
+        share = bicg_manager.profile.object_share(["r", "p"])
+        assert 0.05 < share < 0.07
+
+
+class TestWarpSharing:
+    def test_hot_blocks_shared_by_all_warps(self, bicg_manager):
+        # Observation II: every warp of kernel 1 reads every r block.
+        p = bicg_manager.profile
+        r = bicg_manager.memory.object("r")
+        for addr in r.block_addrs():
+            assert p.warp_share(addr) == pytest.approx(1.0)
+
+    def test_streamed_blocks_shared_by_few(self, bicg_manager):
+        p = bicg_manager.profile
+        a = bicg_manager.memory.object("A")
+        shares = [p.warp_share(addr) for addr in a.block_addrs()]
+        assert np.mean(shares) < 0.2
+
+    def test_unread_block_share_zero(self, small_bicg_manager):
+        assert small_bicg_manager.profile.warp_share(0xDEAD00) == 0.0
+
+
+class TestValidation:
+    def test_trace_outside_allocations_rejected(self, memory):
+        import numpy as np
+
+        from repro.kernels.trace import (
+            AppTrace, CtaTrace, KernelTrace, Load, WarpTrace,
+        )
+
+        memory.alloc("x", (4,), np.float32)
+        rogue = AppTrace("rogue", [KernelTrace("k", [CtaTrace(0, [
+            WarpTrace(0, [Load("x", (1 << 20,))])
+        ])])])
+        with pytest.raises(ValueError):
+            profile_trace(rogue, memory)

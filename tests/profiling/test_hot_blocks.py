@@ -1,0 +1,95 @@
+"""Tests for hot-block classification."""
+
+import pytest
+
+from repro.profiling.access_profile import AccessProfile
+from repro.profiling.hot_blocks import classify_hot_blocks
+
+
+def synthetic_profile(counts: dict[int, int]) -> AccessProfile:
+    return AccessProfile(
+        app_name="synthetic",
+        block_reads=dict(counts),
+        object_reads={"obj": sum(counts.values())},
+        block_owner={a: "obj" for a in counts},
+        kernel_block_warps={"k": {a: 1 for a in counts}},
+        kernel_warps={"k": 1},
+    )
+
+
+class TestClassification:
+    def test_clear_outliers_are_hot(self):
+        counts = {i * 128: 10 for i in range(100)}
+        counts[100 * 128] = 10_000
+        counts[101 * 128] = 9_000
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert cls.hot_addrs == {100 * 128, 101 * 128}
+
+    def test_uniform_profile_has_no_hot_blocks(self):
+        counts = {i * 128: 50 for i in range(64)}
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert not cls.has_hot_blocks
+        assert len(cls.rest_addrs) == 64
+
+    def test_linear_ramp_has_no_hot_blocks(self):
+        # The P-GRAMSCHM shape: counts grow in small steps.
+        counts = {i * 128: i + 1 for i in range(200)}
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert not cls.has_hot_blocks
+
+    def test_mid_slope_excluded_by_max_criterion(self):
+        # Bulk at 1, a moderately reused band at 9x median, and a
+        # dominant block: only the dominant one is hot.
+        counts = {i * 128: 1 for i in range(100)}
+        for i in range(100, 110):
+            counts[i * 128] = 9
+        counts[110 * 128] = 1000
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert cls.hot_addrs == {110 * 128}
+
+    def test_empty_profile(self):
+        cls = classify_hot_blocks(synthetic_profile({}))
+        assert not cls.has_hot_blocks
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            classify_hot_blocks(synthetic_profile({0: 1}),
+                                hot_factor=1.0)
+
+
+class TestDerivedStats:
+    def test_partition_is_complete(self):
+        counts = {i * 128: (1000 if i == 0 else 1) for i in range(50)}
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert cls.hot_addrs | cls.rest_addrs == set(counts)
+        assert not cls.hot_addrs & cls.rest_addrs
+
+    def test_hot_access_share(self):
+        counts = {0: 900, 128: 50, 256: 50}
+        profile = synthetic_profile(counts)
+        cls = classify_hot_blocks(profile)
+        assert cls.hot_access_share(profile) == pytest.approx(0.9)
+
+    def test_hot_fraction_of_blocks(self):
+        counts = {i * 128: 1 for i in range(99)}
+        counts[99 * 128] = 10_000
+        cls = classify_hot_blocks(synthetic_profile(counts))
+        assert cls.hot_fraction_of_blocks == pytest.approx(0.01)
+
+
+class TestOnRealApps:
+    def test_bicg_hot_blocks_are_r_and_p(self, bicg_manager):
+        owners = {
+            bicg_manager.profile.block_owner[a]
+            for a in bicg_manager.hot_blocks.hot_addrs
+        }
+        assert owners == {"r", "p"}
+
+    def test_laplacian_hot_blocks_tiny_footprint(
+        self, laplacian_manager
+    ):
+        cls = laplacian_manager.hot_blocks
+        assert cls.has_hot_blocks
+        assert cls.hot_fraction_of_blocks < 0.05
+        # ...yet they absorb most accesses (Observation I).
+        assert cls.hot_access_share(laplacian_manager.profile) > 0.5

@@ -1,0 +1,82 @@
+"""Tests for object ranking and Table III statistics."""
+
+import pytest
+
+from repro.profiling.hot_blocks import classify_hot_blocks
+from repro.profiling.hot_objects import (
+    discover_hot_objects,
+    rank_objects,
+    table3_row,
+)
+
+
+class TestRanking:
+    def test_read_only_inputs_only_by_default(self, small_bicg_manager):
+        m = small_bicg_manager
+        names = {s.name for s in rank_objects(m.profile, m.memory)}
+        assert names == {"A", "r", "p"}
+
+    def test_intensity_order_puts_hot_first(self, bicg_manager):
+        m = bicg_manager
+        ranked = rank_objects(m.profile, m.memory)
+        assert {ranked[0].name, ranked[1].name} == {"r", "p"}
+        assert ranked[2].name == "A"
+
+    def test_include_writable(self, small_bicg_manager):
+        m = small_bicg_manager
+        names = {
+            s.name
+            for s in rank_objects(m.profile, m.memory,
+                                  read_only_inputs=False)
+        }
+        assert "s" in names and "q" in names
+
+    def test_reads_per_block(self, bicg_manager):
+        m = bicg_manager
+        stats = {s.name: s for s in rank_objects(m.profile, m.memory)}
+        assert stats["r"].reads_per_block > 8 * stats["A"].reads_per_block
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        ["bicg_manager", "laplacian_manager", "srad_manager",
+         "cnn_manager"],
+    )
+    def test_discovery_matches_declared(self, fixture_name, request):
+        manager = request.getfixturevalue(fixture_name)
+        result = manager.discover_hot_objects()
+        assert result.matches_declaration, (
+            manager.app.name, result.hot_objects)
+
+    def test_discovery_function_direct(self, laplacian_manager):
+        m = laplacian_manager
+        cls = classify_hot_blocks(m.profile)
+        hot = discover_hot_objects(m.profile, m.memory, cls)
+        assert set(hot) == m.app.hot_object_names
+
+
+class TestTable3:
+    def test_bicg_row(self, bicg_manager):
+        row = table3_row(
+            bicg_manager.app, bicg_manager.profile, bicg_manager.memory)
+        assert row.objects_by_importance == ["p", "r", "A"]
+        assert row.hot_objects == ["p", "r"]
+        # Paper: 5.7% of accesses; footprint shrinks with N (2/N).
+        assert 5.0 < row.hot_access_pct < 7.0
+        assert row.hot_footprint_pct < 2.0
+
+    def test_laplacian_row(self, laplacian_manager):
+        row = table3_row(
+            laplacian_manager.app, laplacian_manager.profile,
+            laplacian_manager.memory)
+        assert row.hot_objects == [
+            "Filter", "Filter_Height", "Filter_Width"]
+        assert row.hot_access_pct > 55.0  # paper: 73%
+        assert row.hot_footprint_pct < 1.0
+
+    def test_footprint_small_for_all_apps(self, cnn_manager,
+                                          srad_manager, mvt_manager):
+        for manager in (cnn_manager, srad_manager, mvt_manager):
+            row = manager.table3()
+            assert row.hot_footprint_pct < 10.0, manager.app.name

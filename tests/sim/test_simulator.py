@@ -1,0 +1,156 @@
+"""Tests for the top-level timing simulator."""
+
+import pytest
+
+from repro.arch.config import fast_config
+from repro.errors import ConfigError
+from repro.kernels.registry import create_app
+from repro.sim.simulator import (
+    build_protection,
+    simulate_app,
+    simulate_trace,
+)
+
+CFG = fast_config()
+
+
+@pytest.fixture(scope="module")
+def bicg_small():
+    app = create_app("P-BICG", scale="small")
+    memory = app.fresh_memory()
+    trace = app.build_trace(memory)
+    return app, memory, trace
+
+
+class TestBuildProtection:
+    def test_baseline(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        spec = build_protection(memory, "baseline", ())
+        assert not spec.active
+
+    def test_empty_names_is_baseline(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        spec = build_protection(memory, "detection", ())
+        assert not spec.active
+
+    def test_detection_offsets(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        spec = build_protection(memory, "detection", ("r", "p"))
+        assert set(spec.offsets) == {"r", "p"}
+        assert all(len(offs) == 1 for offs in spec.offsets.values())
+        assert all(offs[0] > 0 for offs in spec.offsets.values())
+
+    def test_correction_offsets(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        spec = build_protection(memory, "correction", ("r",))
+        assert len(spec.offsets["r"]) == 2
+
+    def test_does_not_mutate_caller_memory(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        before = memory.bytes_allocated
+        build_protection(memory, "correction", ("r", "p"))
+        assert memory.bytes_allocated == before
+
+    def test_unknown_scheme_rejected(self, bicg_small):
+        _app, memory, _trace = bicg_small
+        with pytest.raises(ConfigError):
+            build_protection(memory, "mystery", ("r",))
+
+
+class TestSimulateTrace:
+    def test_deterministic(self, bicg_small):
+        _app, _memory, trace = bicg_small
+        a = simulate_trace(trace, CFG)
+        b = simulate_trace(trace, CFG)
+        assert a.cycles == b.cycles
+        assert a.demand_misses == b.demand_misses
+
+    def test_kernels_serialize(self, bicg_small):
+        _app, _memory, trace = bicg_small
+        report = simulate_trace(trace, CFG)
+        assert set(report.kernel_cycles) == \
+            {"bicg_kernel1", "bicg_kernel2"}
+        assert sum(report.kernel_cycles.values()) == report.cycles
+
+    def test_instruction_count_matches_trace(self, bicg_small):
+        _app, _memory, trace = bicg_small
+        report = simulate_trace(trace, CFG)
+        expected = 0
+        for kernel in trace.kernels:
+            for warp in kernel.iter_warps():
+                for inst in warp.insts:
+                    from repro.kernels.trace import Compute
+
+                    if isinstance(inst, Compute):
+                        expected += inst.count
+                    else:
+                        expected += len(inst.addrs)
+        assert report.instructions == expected
+
+    def test_l1_stats_populated(self, bicg_small):
+        _app, _memory, trace = bicg_small
+        report = simulate_trace(trace, CFG)
+        assert report.l1_accesses > 0
+        assert 0.0 < report.l1_hit_rate < 1.0
+        # L2 sees demand misses plus write-through store traffic.
+        assert report.l2_accesses == \
+            report.demand_misses + report.store_transactions
+        assert report.dram_requests > 0
+
+
+class TestSimulateApp:
+    def test_protection_increases_missed_accesses(self, bicg_small):
+        app, memory, trace = bicg_small
+        base = simulate_app(app, trace, memory, CFG)
+        prot = simulate_app(app, trace, memory, CFG,
+                            scheme_name="detection",
+                            protected_names=("r", "p"))
+        assert prot.l1_missed_accesses > base.l1_missed_accesses
+        assert prot.replica_transactions > 0
+        assert base.replica_transactions == 0
+
+    def test_correction_more_traffic_than_detection(self, bicg_small):
+        app, memory, trace = bicg_small
+        det = simulate_app(app, trace, memory, CFG,
+                           scheme_name="detection",
+                           protected_names=("r", "p"))
+        cor = simulate_app(app, trace, memory, CFG,
+                           scheme_name="correction",
+                           protected_names=("r", "p"))
+        assert cor.replica_transactions == 2 * det.replica_transactions
+
+    def test_protect_all_costs_more_than_hot(self, bicg_small):
+        app, memory, trace = bicg_small
+        hot = simulate_app(app, trace, memory, CFG,
+                           scheme_name="correction",
+                           protected_names=("r", "p"))
+        all_objs = simulate_app(app, trace, memory, CFG,
+                                scheme_name="correction",
+                                protected_names=("r", "p", "A"))
+        assert all_objs.cycles > hot.cycles
+        assert all_objs.replica_transactions > \
+            5 * hot.replica_transactions
+
+    def test_lazy_vs_eager_detection(self, bicg_small):
+        """The lazy comparison is the reason detection is nearly free:
+        eager (stall for both copies) costs at least as much."""
+        app, memory, trace = bicg_small
+        lazy = simulate_app(app, trace, memory, CFG,
+                            scheme_name="detection",
+                            protected_names=("r", "p", "A"),
+                            lazy=True)
+        eager = simulate_app(app, trace, memory, CFG,
+                             scheme_name="detection",
+                             protected_names=("r", "p", "A"),
+                             lazy=False)
+        assert eager.cycles >= lazy.cycles
+
+    def test_report_normalization_helpers(self, bicg_small):
+        app, memory, trace = bicg_small
+        base = simulate_app(app, trace, memory, CFG)
+        prot = simulate_app(app, trace, memory, CFG,
+                            scheme_name="correction",
+                            protected_names=("A",))
+        assert prot.slowdown_vs(base) > 1.0
+        assert prot.missed_accesses_vs(base) > 1.5
+        assert "P-BICG" in prot.summary()

@@ -1,0 +1,164 @@
+"""Tests for the SM core: scheduling, stalls, CTA residency."""
+
+import pytest
+
+from repro.arch.config import fast_config
+from repro.core.hardware import HardwareBudget
+from repro.kernels.trace import (
+    Compute,
+    CtaTrace,
+    Load,
+    Store,
+    WarpTrace,
+)
+from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
+from repro.sim.memory_subsystem import MemorySubsystem
+from repro.sim.sm import SmCore
+
+CFG = fast_config()
+
+
+def make_sm(config=CFG):
+    stats = SimStats()
+    subsystem = MemorySubsystem(config)
+    ldst = LdstUnit(config, subsystem, ProtectionSpec.baseline(),
+                    HardwareBudget.from_config(config), stats)
+    return SmCore(0, config, ldst, stats), stats
+
+
+def run_to_completion(sm, limit=10_000_000):
+    steps = 0
+    while sm.active:
+        sm.step()
+        steps += 1
+        if steps > limit:
+            raise AssertionError("SM did not finish")
+    return sm.cycle
+
+
+class TestComputeOnly:
+    def test_single_warp_compute_time(self):
+        sm, stats = make_sm()
+        cta = CtaTrace(0, [WarpTrace(0, [Compute(100)])])
+        sm.start_kernel([cta], start_cycle=0)
+        cycles = run_to_completion(sm)
+        # 100 instructions at issue_width=2, one warp: one per cycle
+        # visit but issue_width allows 2 per cycle from the same warp.
+        assert cycles <= 100
+        assert stats.instructions == 100
+
+    def test_two_warps_share_issue_slots(self):
+        sm, stats = make_sm()
+        cta = CtaTrace(0, [
+            WarpTrace(0, [Compute(100)]),
+            WarpTrace(1, [Compute(100)]),
+        ])
+        sm.start_kernel([cta], 0)
+        cycles = run_to_completion(sm)
+        assert stats.instructions == 200
+        # issue_width=2: ~100 cycles for 200 instructions.
+        assert 95 <= cycles <= 130
+
+
+class TestMemoryStalls:
+    def test_load_use_stall(self):
+        sm, _stats = make_sm()
+        cta = CtaTrace(0, [WarpTrace(0, [
+            Load("obj", (0,)),
+            Compute(1, wait=True),
+        ])])
+        sm.start_kernel([cta], 0)
+        cycles = run_to_completion(sm)
+        # Must wait out the full L2 round trip for the cold miss.
+        assert cycles > CFG.l1_hit_latency
+
+    def test_latency_hiding_across_warps(self):
+        """Eight warps issuing independent misses overlap them: total
+        time is far less than eight serialized round trips."""
+        def warp(i):
+            return WarpTrace(i, [
+                Load("obj", (i * 128 * 64,)),
+                Compute(1, wait=True),
+            ])
+
+        sm, _stats = make_sm()
+        sm.start_kernel([CtaTrace(0, [warp(i) for i in range(8)])], 0)
+        overlapped = run_to_completion(sm)
+
+        serial_total = 0
+        for i in range(8):
+            sm_s, _ = make_sm()
+            sm_s.start_kernel([CtaTrace(0, [warp(i)])], 0)
+            serial_total += run_to_completion(sm_s)
+        assert overlapped < 0.5 * serial_total
+
+    def test_store_does_not_stall(self):
+        sm, _stats = make_sm()
+        cta = CtaTrace(0, [WarpTrace(0, [
+            Store("obj", (0,)),
+            Compute(10),
+        ])])
+        sm.start_kernel([cta], 0)
+        cycles = run_to_completion(sm)
+        assert cycles < 30  # fire-and-forget
+
+
+class TestCtaResidency:
+    def test_cta_limit_respected(self):
+        config = CFG.scaled(max_ctas_per_sm=2, max_warps_per_sm=48)
+        sm, stats = make_sm(config)
+        ctas = [
+            CtaTrace(i, [WarpTrace(i * 4 + j, [Compute(50)])
+                         for j in range(4)])
+            for i in range(5)
+        ]
+        sm.start_kernel(ctas, 0)
+        run_to_completion(sm)
+        assert stats.instructions == 5 * 4 * 50
+
+    def test_warp_limit_respected(self):
+        config = CFG.scaled(max_ctas_per_sm=8, max_warps_per_sm=4)
+        sm, stats = make_sm(config)
+        ctas = [
+            CtaTrace(i, [WarpTrace(i * 4 + j, [Compute(10)])
+                         for j in range(4)])
+            for i in range(3)
+        ]
+        sm.start_kernel(ctas, 0)
+        run_to_completion(sm)
+        assert stats.instructions == 120
+
+    def test_oversized_cta_still_admitted(self):
+        config = CFG.scaled(max_warps_per_sm=2)
+        sm, stats = make_sm(config)
+        big = CtaTrace(0, [WarpTrace(j, [Compute(5)]) for j in range(4)])
+        sm.start_kernel([big], 0)
+        run_to_completion(sm)
+        assert stats.instructions == 20
+
+    def test_busy_sm_rejects_new_kernel(self):
+        sm, _ = make_sm()
+        sm.start_kernel([CtaTrace(0, [WarpTrace(0, [Compute(5)])])], 0)
+        with pytest.raises(RuntimeError):
+            sm.start_kernel([CtaTrace(1, [WarpTrace(1, [Compute(5)])])],
+                            0)
+
+    def test_kernel_starts_at_given_cycle(self):
+        sm, _ = make_sm()
+        sm.start_kernel([CtaTrace(0, [WarpTrace(0, [Compute(2)])])],
+                        start_cycle=500)
+        cycles = run_to_completion(sm)
+        assert cycles >= 500
+
+
+class TestMultiTransactionLoads:
+    def test_uncoalesced_load_consumes_issue_slots(self):
+        """A 32-transaction load occupies the LD/ST pipe for many
+        cycles (issue_width per cycle)."""
+        addrs = tuple(i * 128 * 64 for i in range(32))
+        sm, stats = make_sm()
+        cta = CtaTrace(0, [WarpTrace(0, [Load("obj", addrs)])])
+        sm.start_kernel([cta], 0)
+        cycles = run_to_completion(sm)
+        assert cycles >= 32 // CFG.issue_width - 1
+        assert stats.instructions == 32

@@ -1,0 +1,85 @@
+"""Tests for the package's public surface and error taxonomy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AddressError,
+    AllocationError,
+    ConfigError,
+    FaultDetected,
+    KernelCrash,
+    ReproError,
+    TraceError,
+    UncorrectableFault,
+)
+from repro.faults.outcomes import Outcome, RunResult
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_headline_api_importable(self):
+        from repro import (
+            Campaign,
+            CorrectionScheme,
+            DetectionScheme,
+            PAPER_CONFIG,
+            ReliabilityManager,
+            create_app,
+        )
+
+        assert PAPER_CONFIG.n_sms == 15
+        assert callable(create_app)
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("exc_type", [
+        AllocationError, AddressError, ConfigError, TraceError,
+        FaultDetected, UncorrectableFault, KernelCrash,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+        assert issubclass(exc_type, Exception)
+
+    def test_fault_detected_carries_location(self):
+        exc = FaultDetected("weights", 3)
+        assert exc.object_name == "weights"
+        assert exc.block_index == 3
+        assert "weights" in str(exc)
+
+    def test_fault_detected_custom_message(self):
+        exc = FaultDetected("w", 0, message="custom")
+        assert str(exc) == "custom"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise KernelCrash("boom")
+
+
+class TestOutcomeTaxonomy:
+    def test_five_outcomes(self):
+        assert {o.value for o in Outcome} == {
+            "masked", "sdc", "detected", "corrected", "crash"}
+
+    def test_only_sdc_is_silent(self):
+        silent = [o for o in Outcome if o.is_silent_corruption]
+        assert silent == [Outcome.SDC]
+
+    def test_benign_outcomes(self):
+        assert Outcome.MASKED.is_benign
+        assert Outcome.CORRECTED.is_benign
+        assert not Outcome.DETECTED.is_benign
+        assert not Outcome.CRASH.is_benign
+        assert not Outcome.SDC.is_benign
+
+    def test_run_result_is_frozen(self):
+        result = RunResult(0, Outcome.MASKED, 0.0)
+        with pytest.raises(AttributeError):
+            result.outcome = Outcome.SDC

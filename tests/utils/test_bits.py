@@ -1,0 +1,120 @@
+"""Unit and property tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_count,
+    bits_to_word,
+    extract_bits,
+    flip_bits,
+    hamming_distance,
+    set_bits,
+    word_to_bits,
+)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_all_ones_byte(self):
+        assert bit_count(0xFF) == 8
+
+    def test_single_high_bit(self):
+        assert bit_count(1 << 63) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+
+class TestFlipBits:
+    def test_flip_one(self):
+        assert flip_bits(0b1000, [3]) == 0
+
+    def test_flip_twice_restores(self):
+        assert flip_bits(flip_bits(0xABCD, [0, 5, 11]), [0, 5, 11]) \
+            == 0xABCD
+
+    def test_flip_sets_cleared_bit(self):
+        assert flip_bits(0, [7]) == 128
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bits(1, [-2])
+
+
+class TestSetBits:
+    def test_stuck_at_one(self):
+        assert set_bits(0, [0, 2], 1) == 0b101
+
+    def test_stuck_at_zero(self):
+        assert set_bits(0b111, [1], 0) == 0b101
+
+    def test_idempotent(self):
+        once = set_bits(0x5A, [3, 4], 1)
+        assert set_bits(once, [3, 4], 1) == once
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            set_bits(0, [1], 2)
+
+
+class TestExtract:
+    def test_gather_order(self):
+        # bits at positions 4 and 0 of 0b10001 -> 0b11
+        assert extract_bits(0b10001, [0, 4]) == 0b11
+
+    def test_empty(self):
+        assert extract_bits(0xFFFF, []) == 0
+
+
+class TestWordRoundtrip:
+    def test_roundtrip_small(self):
+        assert bits_to_word(word_to_bits(0b1011, 4)) == 0b1011
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            word_to_bits(16, 4)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_word([0, 2])
+
+
+class TestHamming:
+    def test_distance_zero(self):
+        assert hamming_distance(42, 42) == 0
+
+    def test_distance_counts_differences(self):
+        assert hamming_distance(0b1010, 0b0101) == 4
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.sets(st.integers(min_value=0, max_value=63), min_size=1,
+               max_size=8))
+def test_flip_changes_exactly_those_bits(value, positions):
+    flipped = flip_bits(value, positions)
+    assert hamming_distance(value, flipped) == len(positions)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.sets(st.integers(min_value=0, max_value=63), min_size=1,
+               max_size=8),
+       st.integers(min_value=0, max_value=1))
+def test_stuck_at_forces_level(value, positions, level):
+    stuck = set_bits(value, positions, level)
+    for pos in positions:
+        assert (stuck >> pos) & 1 == level
+    # All other bits are untouched.
+    mask = 0
+    for pos in positions:
+        mask |= 1 << pos
+    assert stuck & ~mask == value & ~mask
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_word_bits_roundtrip(value):
+    assert bits_to_word(word_to_bits(value, 32)) == value

@@ -1,0 +1,104 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 1, 2) == derive_seed(42, 1, 2)
+
+    def test_keys_matter(self):
+        assert derive_seed(42, 1) != derive_seed(42, 2)
+
+    def test_root_matters(self):
+        assert derive_seed(1, 7) != derive_seed(2, 7)
+
+    def test_fits_63_bits(self):
+        for k in range(50):
+            assert 0 <= derive_seed(99, k) < (1 << 63)
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(7)
+        b = RngStream(7)
+        assert [a.choice_index(100) for _ in range(20)] == \
+            [b.choice_index(100) for _ in range(20)]
+
+    def test_child_streams_independent_of_parent_state(self):
+        a = RngStream(7)
+        a.choice_index(10)  # consume parent state
+        b = RngStream(7)
+        assert a.child(3).choice_index(1000) == \
+            b.child(3).choice_index(1000)
+
+    def test_choice_index_range(self):
+        rng = RngStream(1)
+        for _ in range(100):
+            assert 0 <= rng.choice_index(5) < 5
+
+    def test_choice_index_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(1).choice_index(0)
+
+    def test_sample_indices_distinct(self):
+        picks = RngStream(3).sample_indices(10, 10)
+        assert sorted(picks) == list(range(10))
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(3).sample_indices(4, 5)
+
+    def test_coin_is_binary(self):
+        values = {RngStream(5).coin() for _ in range(1)}
+        rng = RngStream(5)
+        values = {rng.coin() for _ in range(100)}
+        assert values == {0, 1}
+
+    def test_bit_positions_distinct_and_in_range(self):
+        rng = RngStream(11)
+        positions = rng.bit_positions(32, 4)
+        assert len(set(positions)) == 4
+        assert all(0 <= p < 32 for p in positions)
+
+
+class TestWeighted:
+    def test_zero_weight_never_selected(self):
+        rng = RngStream(13)
+        weights = [0.0, 1.0, 0.0, 1.0]
+        for _ in range(200):
+            assert rng.weighted_index(weights) in (1, 3)
+
+    def test_heavy_weight_dominates(self):
+        rng = RngStream(17)
+        weights = [1.0, 999.0]
+        picks = [rng.weighted_index(weights) for _ in range(300)]
+        assert picks.count(1) > 250
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(1).weighted_index([0.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(1).weighted_index([1.0, -1.0])
+
+    def test_weighted_indices_distinct(self):
+        rng = RngStream(19)
+        picks = rng.weighted_indices([1, 2, 3, 4, 5], 5)
+        assert sorted(picks) == [0, 1, 2, 3, 4]
+
+    def test_weighted_indices_respects_nonzero_population(self):
+        with pytest.raises(ValueError):
+            RngStream(1).weighted_indices([1.0, 0.0], 2)
+
+
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=0, max_value=100))
+def test_derive_seed_stable(root, key):
+    assert derive_seed(root, key) == derive_seed(root, key)

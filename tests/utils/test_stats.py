@@ -1,0 +1,118 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStat,
+    confidence_interval,
+    geometric_mean,
+    normalized,
+    runs_for_margin,
+)
+
+
+class TestConfidenceInterval:
+    def test_paper_margin_at_1000_runs(self):
+        # The paper: 1000 runs give 95% CI with ~3% margins.
+        ci = confidence_interval(500, 1000)
+        assert 0.030 <= ci.margin <= 0.032
+
+    def test_zero_successes(self):
+        ci = confidence_interval(0, 100)
+        assert ci.proportion == 0.0
+        assert ci.margin == 0.0
+        assert ci.low == 0.0
+
+    def test_bounds_clamped(self):
+        ci = confidence_interval(99, 100)
+        assert ci.high <= 1.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_interval(5, 0)
+        with pytest.raises(ValueError):
+            confidence_interval(11, 10)
+        with pytest.raises(ValueError):
+            confidence_interval(5, 10, level=0.5)
+
+    def test_runs_for_margin_inverse(self):
+        runs = runs_for_margin(0.031)
+        assert 990 <= runs <= 1010
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestNormalized:
+    def test_divides(self):
+        assert normalized([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized([1.0], 0.0)
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stat.add(v)
+        assert stat.mean == pytest.approx(2.5)
+        assert stat.variance == pytest.approx(5.0 / 3.0)
+        assert stat.min == 1.0
+        assert stat.max == 4.0
+
+    def test_single_sample_zero_variance(self):
+        stat = RunningStat()
+        stat.add(7.0)
+        assert stat.variance == 0.0
+        assert stat.stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStat().mean
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                min_size=1, max_size=20))
+def test_geomean_between_min_and_max(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=5_000))
+def test_ci_margin_shrinks_with_runs(half_runs):
+    runs = 2 * half_runs  # keep the proportion exactly 0.5
+    small = confidence_interval(runs // 2, runs)
+    bigger = confidence_interval(runs * 2, runs * 4)
+    assert bigger.margin <= small.margin + 1e-12
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                min_size=2, max_size=50))
+def test_running_stat_matches_numpy(values):
+    import numpy as np
+
+    stat = RunningStat()
+    for v in values:
+        stat.add(v)
+    assert stat.mean == pytest.approx(float(np.mean(values)), abs=1e-6)
+    assert stat.variance == pytest.approx(
+        float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6)

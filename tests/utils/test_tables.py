@@ -1,0 +1,63 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+def test_renders_headers_and_rows():
+    t = TextTable(["app", "x"])
+    t.add_row(["P-BICG", 1])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0].startswith("app")
+    assert "---" in lines[1]
+    assert "P-BICG" in lines[2]
+
+
+def test_column_alignment_pads_to_widest():
+    t = TextTable(["a"])
+    t.add_row(["short"])
+    t.add_row(["much-longer-cell"])
+    lines = t.render().splitlines()
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_float_formatting():
+    t = TextTable(["v"], float_format="{:.2f}")
+    t.add_row([1.23456])
+    assert "1.23" in t.render()
+    assert "1.234" not in t.render()
+
+
+def test_bool_formatting():
+    t = TextTable(["flag"])
+    t.add_row([True])
+    t.add_row([False])
+    out = t.render()
+    assert "yes" in out and "no" in out
+
+
+def test_row_width_mismatch_rejected():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_empty_headers_rejected():
+    with pytest.raises(ValueError):
+        TextTable([])
+
+
+def test_indent():
+    t = TextTable(["a"])
+    t.add_row([1])
+    for line in t.render(indent="  ").splitlines():
+        assert line.startswith("  ")
+
+
+def test_row_count():
+    t = TextTable(["a"])
+    assert t.row_count == 0
+    t.add_row([1])
+    assert t.row_count == 1

@@ -1,0 +1,131 @@
+"""Campaign execution-engine throughput: serial vs COW vs parallel.
+
+Times one fault-injection campaign (P-BICG, correction scheme, full
+replication — the paper's most replica-heavy configuration) through
+three arms of the execution engine:
+
+* ``serial-full`` — the original flow: deep-copy the pristine memory
+  and rebuild every replica inside each run;
+* ``serial-cow``  — copy-on-write clones of a once-prepared replica
+  image, with overlay-aware divergence checks;
+* ``parallel-cow`` — the same COW path fanned out over worker
+  processes (``REPRO_BENCH_JOBS``, default 4).
+
+All arms must produce bit-identical outcome tallies — the engine's
+core guarantee.  Results (runs/sec, speedups, peak RSS) are written to
+``BENCH_campaign.json`` at the repository root.
+
+Environment knobs: ``REPRO_BENCH_RUNS`` (default 1000) and
+``REPRO_BENCH_JOBS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from conftest import SEED, banner
+
+from repro.core.manager import ReliabilityManager
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.kernels.registry import create_app
+from repro.runtime import clear_app_cache
+from repro.utils.tables import TextTable
+
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1000"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+_APP, _SCALE, _SCHEME, _PROTECT = "P-BICG", "default", "correction", "all"
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set in MB, including reaped worker processes."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return round((self_kb + child_kb) / 1024.0, 1)
+
+
+def _time_arm(manager, clone_mode: str, jobs: int):
+    campaign = Campaign(
+        manager.app,
+        manager.selection("access-weighted"),
+        scheme_name=_SCHEME,
+        protected_names=manager.protected_names(_PROTECT),
+        config=CampaignConfig(runs=BENCH_RUNS, seed=SEED),
+        clone_mode=clone_mode,
+        jobs=jobs,
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "clone_mode": clone_mode,
+        "jobs": jobs,
+        "seconds": round(elapsed, 3),
+        "runs_per_sec": round(BENCH_RUNS / elapsed, 1),
+        "outcomes": {o.value: n for o, n in result.counts.items() if n},
+    }, elapsed, result.counts
+
+
+def test_campaign_throughput(benchmark):
+    def compute():
+        clear_app_cache()  # arm 1 pays the one-time setup, like seed
+        manager = ReliabilityManager(
+            create_app(_APP, scale=_SCALE, seed=1234))
+        arms, times, tallies = {}, {}, {}
+        for name, mode, jobs in (
+            ("serial-full", "full", 1),
+            ("serial-cow", "cow", 1),
+            ("parallel-cow", "cow", BENCH_JOBS),
+        ):
+            arms[name], times[name], tallies[name] = _time_arm(
+                manager, mode, jobs)
+        return arms, times, tallies
+
+    arms, times, tallies = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+
+    # The engine's contract: every arm, identical outcome counts.
+    assert tallies["serial-full"] == tallies["serial-cow"] \
+        == tallies["parallel-cow"]
+
+    speedup = {
+        name: round(times["serial-full"] / times[name], 2)
+        for name in ("serial-cow", "parallel-cow")
+    }
+    report = {
+        "app": _APP,
+        "scale": _SCALE,
+        "scheme": _SCHEME,
+        "protect": _PROTECT,
+        "runs": BENCH_RUNS,
+        "seed": SEED,
+        "jobs": BENCH_JOBS,
+        "host_cpus": os.cpu_count(),
+        "arms": arms,
+        "speedup_vs_serial_full": speedup,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    banner(f"Campaign engine throughput ({BENCH_RUNS} runs, "
+           f"{_APP} {_SCHEME}/{_PROTECT})")
+    table = TextTable(["arm", "seconds", "runs/sec", "speedup"],
+                      float_format="{:.2f}")
+    table.add_row(["serial-full", arms["serial-full"]["seconds"],
+                   arms["serial-full"]["runs_per_sec"], 1.0])
+    for name in ("serial-cow", "parallel-cow"):
+        table.add_row([name, arms[name]["seconds"],
+                       arms[name]["runs_per_sec"], speedup[name]])
+    print(table.render())
+    print(f"\npeak RSS: {report['peak_rss_mb']} MB "
+          f"(host has {report['host_cpus']} CPU(s)); wrote {out}")
+
+    # At campaign scale the prepared-image COW path (serial or fanned
+    # out) must beat the original flow at least 3x; allow a softer bar
+    # for quick reduced-run invocations where fixed costs dominate.
+    floor = 3.0 if BENCH_RUNS >= 1000 else 1.2
+    assert max(speedup.values()) >= floor, speedup

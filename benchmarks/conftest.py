@@ -11,6 +11,8 @@ Environment knobs:
   (default 100; the paper uses 1000 for its +/-3% margins).
 * ``REPRO_SCALE`` — application scale, ``default`` or ``small``.
 * ``REPRO_SEED``  — campaign seed (default the paper's 20210621).
+* ``REPRO_JOBS``  — worker processes per fault campaign (default 1;
+  results are bit-identical for any value).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.kernels.registry import (
 RUNS = int(os.environ.get("REPRO_RUNS", "100"))
 SCALE = os.environ.get("REPRO_SCALE", "default")
 SEED = int(os.environ.get("REPRO_SEED", "20210621"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 #: The four applications Figure 4 plots.
 FIG4_APPS = ("P-BICG", "A-Laplacian", "C-NN", "A-SRAD")
@@ -38,7 +41,8 @@ FIG4_APPS = ("P-BICG", "A-Laplacian", "C-NN", "A-SRAD")
 def managers() -> dict[str, ReliabilityManager]:
     """One warmed ReliabilityManager per resilience-study app."""
     return {
-        name: ReliabilityManager(create_app(name, scale=SCALE))
+        name: ReliabilityManager(create_app(name, scale=SCALE),
+                                 jobs=JOBS)
         for name in APPLICATIONS
     }
 
@@ -46,7 +50,8 @@ def managers() -> dict[str, ReliabilityManager]:
 @pytest.fixture(scope="session")
 def flat_managers() -> dict[str, ReliabilityManager]:
     return {
-        name: ReliabilityManager(create_app(name, scale=SCALE))
+        name: ReliabilityManager(create_app(name, scale=SCALE),
+                                 jobs=JOBS)
         for name in FLAT_APPLICATIONS
     }
 

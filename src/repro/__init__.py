@@ -47,6 +47,7 @@ from repro.kernels.registry import (
 )
 from repro.profiling.hot_blocks import classify_hot_blocks
 from repro.profiling.access_profile import profile_trace
+from repro.runtime import CampaignExecutor
 
 __version__ = "1.0.0"
 
@@ -62,6 +63,7 @@ __all__ = [
     "ReproError",
     "Campaign",
     "CampaignConfig",
+    "CampaignExecutor",
     "Outcome",
     "APPLICATIONS",
     "FLAT_APPLICATIONS",

@@ -40,8 +40,13 @@ def tradeoff_curve(
     n_bits: int = 2,
     selection: str = "access-weighted",
     seed: int = 20210621,
+    jobs: int | None = None,
 ) -> list[TradeoffPoint]:
-    """Sweep protection from 0 to all input objects."""
+    """Sweep protection from 0 to all input objects.
+
+    ``jobs`` sets the campaign worker-process count per level
+    (defaults to the manager's setting).
+    """
     from repro.faults.outcomes import Outcome
 
     baseline_sim = manager.simulate_performance("baseline", "none")
@@ -61,6 +66,7 @@ def tradeoff_curve(
             n_bits=n_bits,
             selection=selection,
             seed=seed,
+            jobs=jobs,
         )
         points.append(
             TradeoffPoint(

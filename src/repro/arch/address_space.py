@@ -15,7 +15,9 @@ schemes) interpose.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -41,15 +43,15 @@ class DataObject:
     shape: tuple[int, ...]
     read_only: bool = True
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        return math.prod(self.shape) * self.dtype.itemsize
 
-    @property
+    @cached_property
     def n_blocks(self) -> int:
         return -(-self.nbytes // BLOCK_BYTES)
 
-    @property
+    @cached_property
     def end_addr(self) -> int:
         """One past the last byte of the object's data."""
         return self.base_addr + self.nbytes
@@ -116,7 +118,16 @@ class DeviceMemory:
                 "capacity must be a positive multiple of the block size"
             )
         self.capacity = capacity_bytes
-        self._buf = np.zeros(capacity_bytes, dtype=np.uint8)
+        self._buf: np.ndarray | None = np.zeros(capacity_bytes,
+                                                dtype=np.uint8)
+        #: Copy-on-write state.  A regular memory owns ``_buf`` and has
+        #: ``_base is None``.  A :meth:`cow_clone` twin instead shares
+        #: its source's buffer read-only via ``_base`` (valid for the
+        #: first ``_base_limit`` bytes) and materializes private,
+        #: per-object segments in ``_private`` only when written.
+        self._base: np.ndarray | None = None
+        self._base_limit = 0
+        self._private: dict[str, np.ndarray] = {}
         self._next_free = 0
         self._objects: dict[str, DataObject] = {}
         self._overlays: dict[int, StuckAtOverlay] = {}
@@ -174,11 +185,66 @@ class DeviceMemory:
         twin = DeviceMemory.__new__(DeviceMemory)
         twin.capacity = self.capacity
         twin._buf = np.zeros(self.capacity, dtype=np.uint8)
-        twin._buf[: self._next_free] = self._buf[: self._next_free]
+        if self._next_free:
+            twin._buf[: self._next_free] = self._raw_range(
+                0, self._next_free
+            )
+        twin._base = None
+        twin._base_limit = 0
+        twin._private = {}
         twin._next_free = self._next_free
         twin._objects = dict(self._objects)
         twin._overlays = {}
         return twin
+
+    def cow_clone(self) -> "DeviceMemory":
+        """A copy-on-write twin: reads share this memory's buffer.
+
+        The twin sees the same allocations and contents but copies
+        nothing up front; a private per-object segment is materialized
+        only when the twin *writes* an object.  Fault overlays are
+        per-twin metadata already, so injections never touch the shared
+        buffer.  The source must not be mutated while the twin is
+        alive — exactly the campaign contract, where the prepared
+        per-campaign image is frozen and each run clones it.
+        """
+        if self._base is not None:
+            # Chained COW: flatten through a materialized copy whose
+            # buffer the new twin keeps alive by reference.
+            return self.clone().cow_clone()
+        twin = DeviceMemory.__new__(DeviceMemory)
+        twin.capacity = self.capacity
+        twin._buf = None
+        twin._base = self._buf
+        twin._base_limit = self._next_free
+        twin._private = {}
+        twin._next_free = self._next_free
+        twin._objects = dict(self._objects)
+        twin._overlays = {}
+        return twin
+
+    @property
+    def is_cow(self) -> bool:
+        """Whether this memory is a copy-on-write clone."""
+        return self._base is not None
+
+    @property
+    def cow_dirty_names(self) -> frozenset[str] | None:
+        """Objects whose bytes may differ from the clone-time image.
+
+        ``None`` means writes are not tracked (regular memories);
+        callers needing the guarantee must then assume anything may
+        have been written.  For a COW clone this is exactly the set of
+        privately materialized objects.
+        """
+        if self._base is None:
+            return None
+        return frozenset(self._private)
+
+    @property
+    def private_bytes(self) -> int:
+        """Bytes privately materialized by this COW clone."""
+        return sum(seg.nbytes for seg in self._private.values())
 
     def clone_with_faults(self) -> "DeviceMemory":
         """Like :meth:`clone`, but the stuck-at overlays come along.
@@ -196,6 +262,10 @@ class DeviceMemory:
             return self._objects[name]
         except KeyError:
             raise AddressError(f"no object named {name!r}") from None
+
+    def has_object(self, name: str) -> bool:
+        """Whether an allocation with this name exists."""
+        return name in self._objects
 
     @property
     def objects(self) -> list[DataObject]:
@@ -224,12 +294,12 @@ class DeviceMemory:
         if arr.shape != obj.shape:
             arr = arr.reshape(obj.shape)
         raw = arr.view(np.uint8).reshape(-1)
-        self._buf[obj.base_addr:obj.base_addr + obj.nbytes] = raw
+        self._writable(obj)[:] = raw
 
     def read_object(self, obj: DataObject) -> np.ndarray:
         """Read the object as a fresh ndarray with faults applied."""
         raw = self._read_range(obj.base_addr, obj.nbytes)
-        return raw.view(obj.dtype).reshape(obj.shape).copy()
+        return raw.view(obj.dtype).reshape(obj.shape)
 
     def read_block(self, addr: int, nbytes: int = BLOCK_BYTES) -> np.ndarray:
         """Read raw bytes (with faults applied) starting at ``addr``."""
@@ -237,13 +307,60 @@ class DeviceMemory:
             raise AddressError(f"block read at {addr:#x} out of range")
         return self._read_range(addr, nbytes)
 
+    def read_byte(self, addr: int) -> int:
+        """Read one byte (with faults applied) at ``addr``."""
+        if not 0 <= addr < self.capacity:
+            raise AddressError(f"byte read at {addr:#x} out of range")
+        raw = int(self._raw_range(addr, 1)[0])
+        overlay = self._overlays.get(addr)
+        return overlay.apply(raw) if overlay else raw
+
     def read_pristine(self, obj: DataObject) -> np.ndarray:
         """Ground-truth read that ignores fault overlays (for oracles)."""
-        raw = self._buf[obj.base_addr:obj.base_addr + obj.nbytes]
-        return raw.view(obj.dtype).reshape(obj.shape).copy()
+        raw = self._raw_range(obj.base_addr, obj.nbytes)
+        return raw.view(obj.dtype).reshape(obj.shape)
+
+    def _writable(self, obj: DataObject) -> np.ndarray:
+        """The mutable byte storage of an object's data bytes.
+
+        For a COW clone this materializes (once) a private copy of the
+        object — the copy-on-write step.
+        """
+        if self._base is None:
+            return self._buf[obj.base_addr:obj.base_addr + obj.nbytes]
+        seg = self._private.get(obj.name)
+        if seg is None:
+            if obj.end_addr <= self._base_limit:
+                seg = self._base[
+                    obj.base_addr:obj.base_addr + obj.nbytes
+                ].copy()
+            else:
+                # Allocated after the clone: nothing shared to copy.
+                seg = np.zeros(obj.nbytes, dtype=np.uint8)
+            self._private[obj.name] = seg
+        return seg
+
+    def _raw_range(self, addr: int, nbytes: int) -> np.ndarray:
+        """A fresh copy of raw storage bytes (no overlays applied)."""
+        if self._base is None:
+            return self._buf[addr:addr + nbytes].copy()
+        end = addr + nbytes
+        data = np.zeros(nbytes, dtype=np.uint8)
+        shared_end = min(end, self._base_limit)
+        if shared_end > addr:
+            data[: shared_end - addr] = self._base[addr:shared_end]
+        for name, seg in self._private.items():
+            obj = self._objects[name]
+            lo = max(addr, obj.base_addr)
+            hi = min(end, obj.end_addr)
+            if lo < hi:
+                data[lo - addr:hi - addr] = seg[
+                    lo - obj.base_addr:hi - obj.base_addr
+                ]
+        return data
 
     def _read_range(self, addr: int, nbytes: int) -> np.ndarray:
-        data = self._buf[addr:addr + nbytes].copy()
+        data = self._raw_range(addr, nbytes)
         if self._overlays:
             for byte_addr, overlay in self._overlays.items():
                 off = byte_addr - addr
@@ -290,6 +407,13 @@ class DeviceMemory:
     def faulted_addresses(self) -> list[int]:
         """Byte addresses currently carrying stuck bits."""
         return sorted(self._overlays)
+
+    def overlay_offsets(self, obj: DataObject) -> list[int]:
+        """Sorted object-relative byte offsets carrying stuck bits."""
+        base, end = obj.base_addr, obj.end_addr
+        return sorted(
+            addr - base for addr in self._overlays if base <= addr < end
+        )
 
     # ------------------------------------------------------------------
     # Block enumeration helpers (used by fault-site selection)

@@ -31,7 +31,7 @@ from repro.utils.tables import TextTable
 
 def _manager(args) -> ReliabilityManager:
     app = create_app(args.app, scale=args.scale, seed=args.seed)
-    return ReliabilityManager(app)
+    return ReliabilityManager(app, jobs=getattr(args, "jobs", 1))
 
 
 def _cmd_apps(_args) -> int:
@@ -165,6 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selection", default="access-weighted",
                    choices=("access-weighted", "miss-weighted",
                             "uniform", "hot", "rest"))
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the campaign (default 1)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("perf", help="timing simulation")
@@ -181,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=100)
     p.add_argument("--blocks", type=int, default=1)
     p.add_argument("--bits", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per campaign (default 1)")
     p.set_defaults(func=_cmd_tradeoff)
 
     p = sub.add_parser("export", help="write exhibit data to CSV")

@@ -47,11 +47,15 @@ class ReliabilityManager:
         app: GpuApplication,
         config: GpuConfig = PAPER_CONFIG,
         hot_factor: float = 8.0,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
         app.validate_declarations()
         self.app = app
         self.config = config
         self.hot_factor = hot_factor
+        self.jobs = jobs
         self.budget = HardwareBudget.from_config(config)
 
     # ------------------------------------------------------------------
@@ -168,8 +172,13 @@ class ReliabilityManager:
         selection: str = "access-weighted",
         seed: int = 20210621,
         keep_runs: bool = False,
+        jobs: int | None = None,
     ) -> CampaignResult:
-        """The reliability evaluation (one Fig 9 configuration)."""
+        """The reliability evaluation (one Fig 9 configuration).
+
+        ``jobs`` (worker processes for the campaign) defaults to the
+        manager's own ``jobs`` setting.
+        """
         names = self.protected_names(protect)
         campaign = Campaign(
             self.app,
@@ -180,6 +189,7 @@ class ReliabilityManager:
                 runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
             ),
             keep_runs=keep_runs,
+            jobs=self.jobs if jobs is None else jobs,
         )
         return campaign.run()
 
@@ -190,6 +200,7 @@ class ReliabilityManager:
         n_blocks: int = 1,
         n_bits: int = 2,
         seed: int = 20210621,
+        jobs: int | None = None,
     ) -> CampaignResult:
         """The Fig 6 motivation experiment: unprotected app, faults in
         ``space`` in {"hot", "rest"}."""
@@ -202,6 +213,7 @@ class ReliabilityManager:
             config=CampaignConfig(
                 runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
             ),
+            jobs=self.jobs if jobs is None else jobs,
         )
         return campaign.run()
 

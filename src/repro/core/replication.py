@@ -73,6 +73,12 @@ def create_replicas(
     channel x bank interleaving period would put every copy of a block
     in the same bank (different row), serializing the copy fetches and
     destroying row locality.
+
+    Replicas already present in ``memory`` (same name) are reused
+    as-is instead of re-allocated: a campaign prepares the replica
+    image once on a base memory and copy-on-write clones it per run,
+    so rebuilding the scheme on a clone must bind to the existing
+    allocations rather than grow the address space.
     """
     if extra_copies < 1:
         raise ConfigError("replication needs at least one extra copy")
@@ -83,10 +89,16 @@ def create_replicas(
                 f"cannot protect writable object {obj.name!r}: the "
                 "schemes replicate read-only input data only"
             )
-        pristine = memory.read_pristine(obj)
+        pristine = None
         primary_block = obj.base_addr // BLOCK_BYTES
         replicas = []
         for copy_idx in range(1, extra_copies + 1):
+            name = replica_name(obj.name, copy_idx)
+            if memory.has_object(name):
+                replicas.append(memory.object(name))
+                continue
+            if pristine is None:
+                pristine = memory.read_pristine(obj)
             target_phase = (
                 primary_block + copy_idx * _COLOR_STRIDE_BLOCKS
             ) % _MAPPING_PERIOD_BLOCKS
@@ -94,7 +106,7 @@ def create_replicas(
             pad = (target_phase - current_block) % _MAPPING_PERIOD_BLOCKS
             memory.reserve_blocks(pad)
             replica = memory.alloc(
-                replica_name(obj.name, copy_idx),
+                name,
                 obj.shape,
                 obj.dtype,
                 read_only=True,

@@ -105,6 +105,32 @@ class _ReplicatedScheme:
     def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
         raise NotImplementedError
 
+    def _divergence_offsets(self, replica_set: ReplicaSet) \
+            -> list[int] | None:
+        """Byte offsets at which the copies can possibly differ.
+
+        On a copy-on-write memory whose copies are all still clean
+        (never privately written), every copy's raw bytes equal the
+        shared clone-time image, so the copies can only differ at
+        bytes carrying a fault overlay.  Returns those offsets
+        (object-relative, sorted, padding excluded); ``None`` means no
+        such guarantee exists and the caller must compare in full.
+        """
+        dirty = self.memory.cow_dirty_names
+        if dirty is None:
+            return None
+        copies = replica_set.all_copies()
+        if any(copy.name in dirty for copy in copies):
+            return None
+        nbytes = replica_set.primary.nbytes
+        suspects: set[int] = set()
+        for copy in copies:
+            suspects.update(
+                off for off in self.memory.overlay_offsets(copy)
+                if off < nbytes
+            )
+        return sorted(suspects)
+
 
 class DetectionScheme(_ReplicatedScheme):
     """Duplication + bitwise comparison + terminate on mismatch.
@@ -120,9 +146,21 @@ class DetectionScheme(_ReplicatedScheme):
 
     def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
         primary_obj = replica_set.primary
+        suspects = self._divergence_offsets(replica_set)
+        self.stats.comparisons += 1
+        if suspects is not None:
+            # Fast path: only overlay-carrying bytes can mismatch, so
+            # compare those alone instead of materializing the replica.
+            replica_obj = replica_set.replicas[0]
+            for off in suspects:
+                a = self.memory.read_byte(primary_obj.base_addr + off)
+                b = self.memory.read_byte(replica_obj.base_addr + off)
+                if a != b:
+                    raise FaultDetected(primary_obj.name,
+                                        off // BLOCK_BYTES)
+            return self.memory.read_object(primary_obj)
         primary = self.memory.read_object(primary_obj)
         replica = self.memory.read_object(replica_set.replicas[0])
-        self.stats.comparisons += 1
         a = primary.view(np.uint8).reshape(-1)
         b = replica.view(np.uint8).reshape(-1)
         mismatch = np.nonzero(a != b)[0]
@@ -145,11 +183,33 @@ class CorrectionScheme(_ReplicatedScheme):
 
     def _read_protected(self, replica_set: ReplicaSet) -> np.ndarray:
         primary_obj = replica_set.primary
+        suspects = self._divergence_offsets(replica_set)
+        self.stats.comparisons += 1
+        if suspects is not None:
+            # Fast path: the copies agree everywhere except (possibly)
+            # at overlay bytes, so vote those alone and patch them into
+            # the primary in place of a full three-way materialization.
+            primary = self.memory.read_object(primary_obj)
+            if suspects:
+                flat = primary.view(np.uint8).reshape(-1)
+                corrected = 0
+                for off in suspects:
+                    a, b, c = (
+                        self.memory.read_byte(copy.base_addr + off)
+                        for copy in replica_set.all_copies()
+                    )
+                    voted = (a & b) | (a & c) | (b & c)
+                    if voted != flat[off]:
+                        flat[off] = voted
+                        corrected += 1
+                if corrected:
+                    self.stats.corrected_bytes += corrected
+                    self.stats.corrected_reads += 1
+            return primary
         copies = [
             self.memory.read_object(c).view(np.uint8).reshape(-1)
             for c in replica_set.all_copies()
         ]
-        self.stats.comparisons += 1
         voted, corrected = majority_vote(copies)
         if corrected:
             self.stats.corrected_bytes += corrected

@@ -19,7 +19,9 @@ replica-fault ablation bench exercises the other case).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -34,6 +36,30 @@ from repro.faults.selection import BlockSelection
 from repro.kernels.base import GpuApplication
 from repro.utils.rng import RngStream, derive_seed
 from repro.utils.stats import ConfidenceInterval, confidence_interval
+
+#: Per-run memory strategies: ``"cow"`` clones the prepared (replica-
+#: populated) image copy-on-write; ``"full"`` deep-copies the pristine
+#: memory and rebuilds replicas every run (the original, slow path —
+#: kept as the reference the COW path is tested bit-for-bit against).
+CLONE_MODES = ("cow", "full")
+
+
+def merge_sorted_runs(
+    parts: Iterable[list[RunResult]],
+) -> list[RunResult]:
+    """Merge per-chunk run lists into one list ordered by run index.
+
+    Each part must already be internally ordered (chunks execute their
+    spans in index order); the merge is then linear and stable.
+    """
+    merged = list(heapq.merge(*parts, key=lambda run: run.run_index))
+    for before, after in zip(merged, merged[1:]):
+        if after.run_index <= before.run_index:
+            raise ConfigError(
+                f"duplicate run index {after.run_index} while merging "
+                "campaign chunks"
+            )
+    return merged
 
 
 @dataclass(frozen=True)
@@ -67,7 +93,13 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcomes of a campaign."""
+    """Aggregated outcomes of a campaign.
+
+    Invariant: ``runs`` (populated when ``keep_runs=True``) is ordered
+    by strictly increasing ``run_index`` — chunked parallel execution
+    reassembles it through :func:`merge_sorted_runs`, so the output is
+    order-stable no matter how workers interleave.
+    """
 
     app_name: str
     scheme_name: str
@@ -81,6 +113,59 @@ class CampaignResult:
     @property
     def n_runs(self) -> int:
         return sum(self.counts.values())
+
+    def validate(self) -> None:
+        """Check the result's internal invariants.
+
+        ``runs`` must be strictly ordered by run index and, when kept,
+        must agree in size with the outcome tallies.
+        """
+        for before, after in zip(self.runs, self.runs[1:]):
+            if after.run_index <= before.run_index:
+                raise ConfigError(
+                    f"{self.app_name}: runs out of order "
+                    f"({before.run_index} then {after.run_index})"
+                )
+        if self.runs and len(self.runs) != self.n_runs:
+            raise ConfigError(
+                f"{self.app_name}: {len(self.runs)} kept runs but "
+                f"{self.n_runs} counted outcomes"
+            )
+
+    def _identity(self) -> tuple:
+        return (self.app_name, self.scheme_name, self.selection_name,
+                self.config)
+
+    @classmethod
+    def merge(cls, parts: Iterable["CampaignResult"]) -> "CampaignResult":
+        """Combine chunk results into one campaign result.
+
+        Counts add up; kept runs are merged back into run-index order.
+        All parts must come from the same campaign configuration.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ConfigError("cannot merge zero campaign results")
+        identity = parts[0]._identity()
+        for part in parts[1:]:
+            if part._identity() != identity:
+                raise ConfigError(
+                    "cannot merge results from different campaigns: "
+                    f"{identity} vs {part._identity()}"
+                )
+        merged = cls(
+            app_name=parts[0].app_name,
+            scheme_name=parts[0].scheme_name,
+            selection_name=parts[0].selection_name,
+            config=parts[0].config,
+        )
+        for outcome in Outcome:
+            merged.counts[outcome] = sum(
+                part.counts[outcome] for part in parts
+            )
+        merged.runs = merge_sorted_runs(part.runs for part in parts)
+        merged.validate()
+        return merged
 
     @property
     def sdc_count(self) -> int:
@@ -114,7 +199,17 @@ class CampaignResult:
 
 
 class Campaign:
-    """Runs fault-injection experiments for one configuration."""
+    """Runs fault-injection experiments for one configuration.
+
+    ``jobs`` fans the runs out over that many worker processes (see
+    :class:`~repro.runtime.executor.CampaignExecutor`); the outcome is
+    bit-identical to a serial execution because each run derives
+    entirely from ``(seed, run_index)``.  ``clone_mode`` picks the
+    per-run memory strategy (see :data:`CLONE_MODES`): the default
+    ``"cow"`` clones a once-prepared, replica-populated image
+    copy-on-write, so a run materializes private copies only of the
+    objects it actually writes.
+    """
 
     def __init__(
         self,
@@ -124,45 +219,105 @@ class Campaign:
         protected_names: tuple[str, ...] = (),
         config: CampaignConfig | None = None,
         keep_runs: bool = False,
+        jobs: int = 1,
+        clone_mode: str = "cow",
     ):
+        if clone_mode not in CLONE_MODES:
+            raise ConfigError(
+                f"clone_mode {clone_mode!r} not in {CLONE_MODES}"
+            )
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
         self.app = app
         self.selection = selection
         self.scheme_name = scheme_name
         self.protected_names = tuple(protected_names)
         self.config = config or CampaignConfig()
         self.keep_runs = keep_runs
-        self._pristine = app.fresh_memory()
-        self._golden = app.golden_output()
+        self.jobs = jobs
+        self.clone_mode = clone_mode
+        from repro.runtime.cache import app_context
 
-    def run(self) -> CampaignResult:
-        """Execute every run and aggregate the outcomes."""
+        context = app_context(app)
+        self._pristine = context.pristine
+        self._golden = context.golden
+        #: Prepared per-campaign image: pristine memory plus the
+        #: scheme's replicas, built once and COW-cloned per run.
+        self._base_memory: DeviceMemory | None = None
+        #: live-word candidates per block address; the object layout is
+        #: identical in every clone, so repeats across runs reuse it.
+        self._live_words: dict[int, list[int]] = {}
+
+    def run(self, jobs: int | None = None) -> CampaignResult:
+        """Execute every run and aggregate the outcomes.
+
+        ``jobs`` overrides the campaign's parallelism for this call.
+        """
+        n_jobs = self.jobs if jobs is None else jobs
+        if n_jobs != 1:
+            from repro.runtime.executor import CampaignExecutor
+
+            return CampaignExecutor(self, jobs=n_jobs).run()
+        return self.run_span(0, self.config.runs)
+
+    def run_span(self, start: int, stop: int) -> CampaignResult:
+        """Execute runs ``start..stop`` serially (one parallel chunk)."""
         result = CampaignResult(
             app_name=self.app.name,
             scheme_name=self.scheme_name,
             selection_name=self.selection.name,
             config=self.config,
         )
-        for run_index in range(self.config.runs):
+        for run_index in range(start, stop):
             run_result = self.run_one(run_index)
             result.counts[run_result.outcome] += 1
             if self.keep_runs:
                 result.runs.append(run_result)
         return result
 
+    def _run_memory(self) -> DeviceMemory:
+        """Per-run device memory according to ``clone_mode``."""
+        if self.clone_mode == "full":
+            # Reference path: deep-copy the pristine memory; replicas
+            # are recreated from scratch inside every run.
+            return self._pristine.clone()
+        if self._base_memory is None:
+            if self.scheme_name == "baseline" or not self.protected_names:
+                # No replicas to prepare: COW straight off the shared
+                # pristine image.
+                self._base_memory = self._pristine
+            else:
+                base = self._pristine.clone()
+                make_scheme(
+                    self.scheme_name,
+                    base,
+                    [base.object(n) for n in self.protected_names],
+                )
+                self._base_memory = base
+        return self._base_memory.cow_clone()
+
+    def _live_words_for(self, addr: int) -> list[int]:
+        candidates = self._live_words.get(addr)
+        if candidates is None:
+            candidates = live_words(self._pristine.object_at(addr), addr)
+            self._live_words[addr] = candidates
+        return candidates
+
     def run_one(self, run_index: int) -> RunResult:
         """Execute one reproducible fault-injected run."""
         rng = RngStream(derive_seed(self.config.seed, run_index))
-        memory = self._pristine.clone()
+        memory = self._run_memory()
         protected = [memory.object(n) for n in self.protected_names]
         scheme = make_scheme(self.scheme_name, memory, protected)
 
         block_addrs = self.selection.pick(rng, self.config.n_blocks)
+        children = rng.child_pool(len(block_addrs))
         faults = [
             sample_word_fault(
-                rng.child(i),
+                children[i],
                 addr,
                 self.config.n_bits,
-                word_candidates=live_words(memory.object_at(addr), addr),
+                word_candidates=self._live_words_for(addr),
             )
             for i, addr in enumerate(block_addrs)
         ]

@@ -16,8 +16,58 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.utils.rng import RngStream
+
+
+class UniformSampler:
+    """Uniform without-replacement draws from a fixed address pool.
+
+    A plain picklable class (not a closure) so selections can cross
+    process boundaries when a campaign fans out over workers.
+    """
+
+    def __init__(self, pool: Sequence[int]):
+        self.pool = tuple(pool)
+
+    def __call__(self, rng: RngStream, n_blocks: int) -> list[int]:
+        picks = rng.sample_indices(len(self.pool), n_blocks)
+        return [self.pool[i] for i in picks]
+
+
+class WeightedSampler:
+    """Weighted without-replacement draws from a fixed address pool.
+
+    Normalizes the weight vector once at construction; each draw then
+    consumes the generator exactly like
+    :meth:`~repro.utils.rng.RngStream.weighted_indices`, keeping
+    outcomes bit-identical while skipping the per-run normalization.
+    Picklable, like :class:`UniformSampler`.
+    """
+
+    def __init__(self, pool: Sequence[int], weights: Sequence[int]):
+        self.pool = tuple(pool)
+        self.weights = tuple(weights)
+        w = np.asarray(self.weights, dtype=np.float64)
+        self._nonzero = int(np.count_nonzero(w))
+        self._p = w / w.sum()
+
+    def __getstate__(self):
+        return {"pool": self.pool, "weights": self.weights}
+
+    def __setstate__(self, state):
+        self.__init__(state["pool"], state["weights"])
+
+    def __call__(self, rng: RngStream, n_blocks: int) -> list[int]:
+        if n_blocks > self._nonzero:
+            raise ValueError(
+                f"cannot draw {n_blocks} distinct indices from "
+                f"{self._nonzero} non-zero-weight items"
+            )
+        picks = rng.prepared_weighted_indices(self._p, n_blocks)
+        return [self.pool[i] for i in picks]
 
 
 @dataclass(frozen=True)
@@ -52,12 +102,7 @@ def uniform_selection(addrs: Sequence[int], name: str = "uniform") \
     pool = sorted(set(addrs))
     if not pool:
         raise ConfigError(f"{name}: empty block population")
-
-    def sample(rng: RngStream, n_blocks: int) -> list[int]:
-        picks = rng.sample_indices(len(pool), n_blocks)
-        return [pool[i] for i in picks]
-
-    return BlockSelection(name, sample, len(pool))
+    return BlockSelection(name, UniformSampler(pool), len(pool))
 
 
 def hot_selection(hot_addrs: Sequence[int]) -> BlockSelection:
@@ -78,12 +123,7 @@ def _weighted(counts: dict[int, int], name: str) -> BlockSelection:
         raise ConfigError(f"{name} selection: no weighted blocks")
     pool = [addr for addr, _count in items]
     weights = [count for _addr, count in items]
-
-    def sample(rng: RngStream, n_blocks: int) -> list[int]:
-        picks = rng.weighted_indices(weights, n_blocks)
-        return [pool[i] for i in picks]
-
-    return BlockSelection(name, sample, len(pool))
+    return BlockSelection(name, WeightedSampler(pool, weights), len(pool))
 
 
 def miss_weighted_selection(miss_counts: dict[int, int]) -> BlockSelection:

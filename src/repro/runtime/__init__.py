@@ -1,0 +1,31 @@
+"""Campaign execution engine: parallel fan-out and process-level caching.
+
+* :class:`~repro.runtime.executor.CampaignExecutor` — shards a
+  campaign's run indices into chunks, executes them over a process
+  pool (serial fallback included) and reassembles results
+  deterministically.
+* :mod:`repro.runtime.cache` — per-process cache of pristine device
+  memory, golden outputs and memory traces keyed by application
+  identity, so sweeps and worker processes never recompute them per
+  campaign object.
+"""
+
+from repro.runtime.cache import (
+    AppContext,
+    app_cache_key,
+    app_context,
+    cache_info,
+    clear_app_cache,
+)
+from repro.runtime.executor import CampaignExecutor, CampaignSpec, plan_chunks
+
+__all__ = [
+    "AppContext",
+    "CampaignExecutor",
+    "CampaignSpec",
+    "app_cache_key",
+    "app_context",
+    "cache_info",
+    "clear_app_cache",
+    "plan_chunks",
+]

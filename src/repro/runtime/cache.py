@@ -1,0 +1,104 @@
+"""Process-level cache of per-application derived artifacts.
+
+A fault-injection sweep builds many :class:`~repro.faults.campaign.
+Campaign` objects for the same application (one per scheme x
+protection-level x fault-grid cell), and a parallel campaign rebuilds
+the application once inside every worker process.  The expensive parts
+— pristine device memory, the fault-free golden output, the coalesced
+memory trace — depend only on the application's identity, so they are
+computed once per process and shared.
+
+The cache key is structural: application class plus every scalar
+constructor-derived attribute (seed, input sizes, ...).  Two
+applications constructed with identical parameters are deterministic
+twins, so sharing their artifacts is safe; everything handed out is
+treated as frozen (campaigns clone the pristine memory per run, never
+write it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.arch.address_space import DeviceMemory
+    from repro.kernels.base import GpuApplication
+    from repro.kernels.trace import AppTrace
+
+
+def app_cache_key(app: "GpuApplication") -> tuple:
+    """Structural identity of an application instance.
+
+    Class identity plus every scalar attribute; array attributes are
+    derived deterministically from the scalars (the application seed),
+    so they never need to participate.
+    """
+    scalars = tuple(sorted(
+        (name, value)
+        for name, value in vars(app).items()
+        if isinstance(value, (bool, int, float, str))
+    ))
+    return (type(app).__module__, type(app).__qualname__, scalars)
+
+
+class AppContext:
+    """Lazily computed, process-shared artifacts of one application.
+
+    Everything here must be treated as immutable by consumers: the
+    pristine memory is cloned per run, the golden output is only
+    compared against, and the trace is replayed read-only.
+    """
+
+    def __init__(self, app: "GpuApplication"):
+        self.app = app
+        self._pristine: "DeviceMemory | None" = None
+        self._golden: "np.ndarray | None" = None
+        self._trace: "AppTrace | None" = None
+
+    @property
+    def pristine(self) -> "DeviceMemory":
+        """Pristine device memory with the app's allocations (frozen)."""
+        if self._pristine is None:
+            self._pristine = self.app.fresh_memory()
+        return self._pristine
+
+    @property
+    def golden(self) -> "np.ndarray":
+        """The fault-free baseline output."""
+        if self._golden is None:
+            self._golden = self.app.golden_output()
+        return self._golden
+
+    @property
+    def trace(self) -> "AppTrace":
+        """The validated warp-level memory trace."""
+        if self._trace is None:
+            trace = self.app.build_trace(self.pristine)
+            trace.validate()
+            self._trace = trace
+        return self._trace
+
+
+_CONTEXTS: dict[tuple, AppContext] = {}
+
+
+def app_context(app: "GpuApplication") -> AppContext:
+    """The process-wide :class:`AppContext` for this application."""
+    key = app_cache_key(app)
+    ctx = _CONTEXTS.get(key)
+    if ctx is None:
+        ctx = AppContext(app)
+        _CONTEXTS[key] = ctx
+    return ctx
+
+
+def clear_app_cache() -> None:
+    """Drop every cached context (tests and long-lived services)."""
+    _CONTEXTS.clear()
+
+
+def cache_info() -> dict[str, int]:
+    """Introspection: how many application contexts are resident."""
+    return {"entries": len(_CONTEXTS)}

@@ -1,0 +1,234 @@
+"""Parallel campaign execution: shard run indices over worker processes.
+
+A campaign's runs are embarrassingly parallel — every run is derived
+solely from ``(campaign seed, run index)`` — so the executor shards
+the index space into contiguous chunks, fans the chunks out over a
+:class:`concurrent.futures.ProcessPoolExecutor`, and deterministically
+reassembles the per-chunk tallies regardless of completion order.
+
+Two transport paths feed the workers:
+
+* **fork** (Linux/macOS default): workers inherit the fully prepared
+  campaign object — pristine memory, golden output, replica image and
+  all — through the forked address space, so nothing heavyweight is
+  ever pickled.  Tasks are just ``(start, stop)`` spans.
+* **spawn** (fallback): a picklable :class:`CampaignSpec` travels to
+  each worker, which rebuilds the campaign once and caches it for the
+  remaining chunks; the process-level app cache then makes pristine
+  memory and golden output a once-per-worker cost.
+
+If no worker pool can be created at all (restricted platforms), the
+executor silently degrades to the serial path and records why in
+``fallback_reason``.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.campaign import Campaign, CampaignResult
+
+#: Target chunks per worker: small enough to amortize dispatch, large
+#: enough to balance load when chunk durations vary.
+_CHUNKS_PER_WORKER = 4
+#: Worker-side cap on cached rebuilt campaigns (spawn path).
+_MAX_WORKER_CAMPAIGNS = 8
+
+
+def plan_chunks(
+    runs: int, jobs: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Split ``range(runs)`` into contiguous ``(start, stop)`` spans."""
+    if runs <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(runs / (max(1, jobs)
+                                              * _CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ConfigError("chunk_size must be positive")
+    return [
+        (start, min(start + chunk_size, runs))
+        for start in range(0, runs, chunk_size)
+    ]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to rebuild a campaign, picklable.
+
+    ``token`` identifies the originating campaign so workers can reuse
+    a rebuilt campaign across the chunks they receive.
+    """
+
+    token: str
+    app: Any
+    selection: Any
+    scheme_name: str
+    protected_names: tuple[str, ...]
+    config: Any
+    keep_runs: bool
+    clone_mode: str
+
+    @classmethod
+    def from_campaign(cls, campaign: "Campaign") -> "CampaignSpec":
+        # Ship the app without its cached golden output: each worker
+        # recomputes (or fork-inherits) it via the app-context cache,
+        # keeping task pickles small.
+        app = copy.copy(campaign.app)
+        app._golden = None
+        return cls(
+            token=f"{id(campaign)}-{next(_TOKENS)}",
+            app=app,
+            selection=campaign.selection,
+            scheme_name=campaign.scheme_name,
+            protected_names=campaign.protected_names,
+            config=campaign.config,
+            keep_runs=campaign.keep_runs,
+            clone_mode=campaign.clone_mode,
+        )
+
+
+_TOKENS = count(1)
+
+#: Campaign fork-inherited by workers (set in the parent immediately
+#: before the pool's workers are forked, cleared afterwards).
+_ACTIVE_CAMPAIGN: "Campaign | None" = None
+
+#: Spawn-path worker cache: campaigns rebuilt from specs.
+_WORKER_CAMPAIGNS: dict[str, "Campaign"] = {}
+
+
+def _run_span_inherited(span: tuple[int, int]) -> "CampaignResult":
+    """Worker entry (fork path): run a span of the inherited campaign."""
+    start, stop = span
+    return _ACTIVE_CAMPAIGN.run_span(start, stop)
+
+
+def _run_span_spec(
+    spec: CampaignSpec, span: tuple[int, int]
+) -> "CampaignResult":
+    """Worker entry (spawn path): rebuild-or-reuse, then run a span."""
+    campaign = _WORKER_CAMPAIGNS.get(spec.token)
+    if campaign is None:
+        from repro.faults.campaign import Campaign
+
+        if len(_WORKER_CAMPAIGNS) >= _MAX_WORKER_CAMPAIGNS:
+            _WORKER_CAMPAIGNS.clear()
+        campaign = Campaign(
+            spec.app,
+            spec.selection,
+            scheme_name=spec.scheme_name,
+            protected_names=spec.protected_names,
+            config=spec.config,
+            keep_runs=spec.keep_runs,
+            clone_mode=spec.clone_mode,
+        )
+        _WORKER_CAMPAIGNS[spec.token] = campaign
+    start, stop = span
+    return campaign.run_span(start, stop)
+
+
+class _PoolUnavailable(Exception):
+    """Raised internally when no worker pool can be stood up."""
+
+
+class CampaignExecutor:
+    """Runs one campaign's index space across worker processes.
+
+    Reassembly is deterministic: chunk results are ordered by their
+    start index before merging, so ``counts`` and (with
+    ``keep_runs=True``) the ``runs`` list are bit-identical to a
+    serial execution no matter how the workers interleave.
+    """
+
+    def __init__(
+        self,
+        campaign: "Campaign",
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        self.campaign = campaign
+        self.jobs = campaign.jobs if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        #: Worker processes actually used by the last :meth:`run`.
+        self.used_jobs = 1
+        #: Why the last :meth:`run` degraded to serial, if it did.
+        self.fallback_reason: str | None = None
+
+    def run(self) -> "CampaignResult":
+        """Execute every run and aggregate, fanning out when jobs > 1."""
+        from repro.faults.campaign import CampaignResult
+
+        runs = self.campaign.config.runs
+        jobs = min(self.jobs, runs)
+        if jobs <= 1:
+            self.used_jobs = 1
+            return self.campaign.run_span(0, runs)
+        spans = plan_chunks(runs, jobs, self.chunk_size)
+        try:
+            parts = self._run_parallel(spans, jobs)
+        except _PoolUnavailable as exc:
+            self.used_jobs = 1
+            self.fallback_reason = str(exc.__cause__ or exc)
+            return self.campaign.run_span(0, runs)
+        self.used_jobs = jobs
+        parts.sort(key=lambda item: item[0])
+        return CampaignResult.merge([part for _start, part in parts])
+
+    def _run_parallel(
+        self, spans: list[tuple[int, int]], jobs: int
+    ) -> list[tuple[int, "CampaignResult"]]:
+        global _ACTIVE_CAMPAIGN
+        context = self._mp_context()
+        fork = context.get_start_method() == "fork"
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs,
+                                       mp_context=context)
+        except (OSError, ValueError, RuntimeError,
+                NotImplementedError) as exc:
+            raise _PoolUnavailable("could not create worker pool") from exc
+        parts: list[tuple[int, "CampaignResult"]] = []
+        spec = None if fork else CampaignSpec.from_campaign(self.campaign)
+        if fork:
+            # Workers fork lazily at first submit and inherit this.
+            _ACTIVE_CAMPAIGN = self.campaign
+        try:
+            with pool:
+                futures = {}
+                for span in spans:
+                    if fork:
+                        fut = pool.submit(_run_span_inherited, span)
+                    else:
+                        fut = pool.submit(_run_span_spec, spec, span)
+                    futures[fut] = span
+                try:
+                    for fut, span in futures.items():
+                        parts.append((span[0], fut.result()))
+                except BrokenProcessPool as exc:
+                    raise _PoolUnavailable(
+                        "worker pool died before completing"
+                    ) from exc
+        finally:
+            if fork:
+                _ACTIVE_CAMPAIGN = None
+        return parts
+
+    def _mp_context(self):
+        if self.start_method is not None:
+            return mp.get_context(self.start_method)
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else None)

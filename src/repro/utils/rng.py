@@ -32,10 +32,27 @@ class RngStream:
     def __init__(self, seed: int):
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+        self._child_pool: list["RngStream"] = []
 
     def child(self, *keys: int) -> "RngStream":
         """Independent child stream identified by integer keys."""
         return RngStream(derive_seed(self.seed, *keys))
+
+    def child_pool(self, n: int) -> list["RngStream"]:
+        """The first ``n`` integer-keyed children, derived once.
+
+        ``child_pool(n)[i]`` is seeded identically to ``child(i)``;
+        repeated calls return the *same* stream objects instead of
+        re-deriving them, so a caller that needs child ``i`` more than
+        once (e.g. per fault in a multi-block run) pays the
+        SeedSequence derivation only once.  Because the pooled streams
+        are shared, draws consume state across calls — callers needing
+        a fresh stream must use :meth:`child`.
+        """
+        pool = self._child_pool
+        while len(pool) < n:
+            pool.append(self.child(len(pool)))
+        return pool[:n]
 
     def choice_index(self, n: int) -> int:
         """Uniform index in ``[0, n)``."""
@@ -72,6 +89,18 @@ class RngStream:
             )
         total = w.sum()
         picks = self._rng.choice(w.size, size=k, replace=False, p=w / total)
+        return [int(i) for i in picks]
+
+    def prepared_weighted_indices(self, p: np.ndarray, k: int) -> list[int]:
+        """Like :meth:`weighted_indices` with pre-normalized weights.
+
+        ``p`` must equal ``weights / weights.sum()`` element-for-
+        element; the draw then consumes the generator identically to
+        :meth:`weighted_indices`, so samplers that are called thousands
+        of times per campaign can hoist the normalization out of the
+        loop without perturbing reproducibility.
+        """
+        picks = self._rng.choice(p.size, size=k, replace=False, p=p)
         return [int(i) for i in picks]
 
     def coin(self) -> int:

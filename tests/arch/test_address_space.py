@@ -191,6 +191,117 @@ class TestClone:
             memory.object("extra")
 
 
+class TestCowClone:
+    def _seeded(self, memory):
+        a = memory.alloc("a", (64,), np.float32)
+        b = memory.alloc("b", (32,), np.float32, read_only=False)
+        memory.write_object(a, np.arange(64, dtype=np.float32))
+        memory.write_object(b, np.full(32, 7.0, dtype=np.float32))
+        return a, b
+
+    def test_reads_match_full_clone(self, memory):
+        a, b = self._seeded(memory)
+        cow, full = memory.cow_clone(), memory.clone()
+        for name in ("a", "b"):
+            np.testing.assert_array_equal(
+                cow.read_object(cow.object(name)),
+                full.read_object(full.object(name)),
+            )
+
+    def test_write_isolated_from_source_and_siblings(self, memory):
+        _a, b = self._seeded(memory)
+        cow1, cow2 = memory.cow_clone(), memory.cow_clone()
+        cow1.write_object(cow1.object("b"),
+                          np.zeros(32, dtype=np.float32))
+        assert memory.read_object(b)[0] == 7.0
+        assert cow2.read_object(cow2.object("b"))[0] == 7.0
+        assert cow1.read_object(cow1.object("b"))[0] == 0.0
+
+    def test_dirty_tracking(self, memory):
+        self._seeded(memory)
+        cow = memory.cow_clone()
+        assert cow.is_cow
+        assert cow.cow_dirty_names == frozenset()
+        assert memory.cow_dirty_names is None  # plain memory: untracked
+        cow.write_object(cow.object("b"),
+                         np.zeros(32, dtype=np.float32))
+        assert cow.cow_dirty_names == frozenset({"b"})
+        assert cow.private_bytes > 0
+
+    def test_overlays_stay_private(self, memory):
+        a, _b = self._seeded(memory)
+        cow = memory.cow_clone()
+        cow.inject_stuck_at(a.base_addr, 0, 1)
+        # Faults are overlay metadata, not writes: clone stays clean
+        # and the source never sees them.
+        assert cow.cow_dirty_names == frozenset()
+        assert memory.fault_count == 0
+        assert cow.read_object(cow.object("a"))[0] != \
+            memory.read_object(a)[0]
+
+    def test_clone_drops_source_overlays(self, memory):
+        a, _b = self._seeded(memory)
+        memory.inject_stuck_at(a.base_addr, 0, 1)
+        cow = memory.cow_clone()
+        assert cow.fault_count == 0
+        assert cow.read_object(cow.object("a"))[0] == 0.0
+
+    def test_alloc_after_cow_clone(self, memory):
+        self._seeded(memory)
+        cow = memory.cow_clone()
+        extra = cow.alloc("extra", (8,), np.float32, read_only=False)
+        cow.write_object(extra, np.ones(8, dtype=np.float32))
+        np.testing.assert_array_equal(
+            cow.read_object(extra), np.ones(8, dtype=np.float32))
+        with pytest.raises(AddressError):
+            memory.object("extra")
+
+    def test_read_block_spans_dirty_and_clean(self, memory):
+        a, b = self._seeded(memory)
+        cow = memory.cow_clone()
+        cow.write_object(cow.object("b"),
+                         np.zeros(32, dtype=np.float32))
+        raw = cow.read_block(b.base_addr)
+        assert (raw == 0).all()
+        np.testing.assert_array_equal(
+            cow.read_block(a.base_addr), memory.read_block(a.base_addr))
+
+    def test_chained_cow_clone_flattens(self, memory):
+        _a, b = self._seeded(memory)
+        cow = memory.cow_clone()
+        cow.write_object(cow.object("b"),
+                         np.zeros(32, dtype=np.float32))
+        grand = cow.cow_clone()
+        assert grand.is_cow
+        assert grand.cow_dirty_names == frozenset()
+        assert grand.read_object(grand.object("b"))[0] == 0.0
+        grand.write_object(grand.object("b"),
+                           np.ones(32, dtype=np.float32))
+        assert cow.read_object(cow.object("b"))[0] == 0.0
+
+    def test_full_clone_of_cow_twin(self, memory):
+        self._seeded(memory)
+        cow = memory.cow_clone()
+        cow.write_object(cow.object("b"),
+                         np.zeros(32, dtype=np.float32))
+        full = cow.clone()
+        assert full.cow_dirty_names is None
+        assert full.read_object(full.object("b"))[0] == 0.0
+
+    def test_read_byte_applies_overlay(self, memory):
+        a, _b = self._seeded(memory)
+        cow = memory.cow_clone()
+        cow.inject_stuck_at(a.base_addr, 0, 1)
+        assert cow.read_byte(a.base_addr) == 1
+        assert memory.read_byte(a.base_addr) == 0
+
+    def test_overlay_offsets(self, memory):
+        a, _b = self._seeded(memory)
+        memory.inject_stuck_at(a.base_addr + 9, 3, 1)
+        memory.inject_stuck_at(a.base_addr + 2, 0, 0)
+        assert memory.overlay_offsets(a) == [2, 9]
+
+
 class TestOverlayAlgebra:
     def test_apply(self):
         ov = StuckAtOverlay(or_mask=0b0001, and_mask=0b1000)

@@ -150,6 +150,45 @@ class TestUnprotectedSpace:
         assert result.count(Outcome.MASKED) + result.sdc_count > 0
 
 
+class TestRunMemoization:
+    def test_live_words_memo_matches_direct(self):
+        from repro.faults.model import live_words
+
+        campaign = make_campaign(runs=5)
+        addr = campaign._pristine.object("Filter").base_addr
+        direct = live_words(campaign._pristine.object_at(addr), addr)
+        assert campaign._live_words_for(addr) == direct
+        # Second lookup must come from the memo, not a recomputation.
+        assert campaign._live_words_for(addr) is \
+            campaign._live_words_for(addr)
+
+    def test_memoized_campaign_reproduces_fresh_one(self):
+        first = make_campaign(runs=15, keep_runs=True)
+        warmed = first.run()  # memo populated across the 15 runs
+        fresh = make_campaign(runs=15, keep_runs=True).run()
+        assert [r.outcome for r in warmed.runs] == \
+            [r.outcome for r in fresh.runs]
+
+    def test_secded_cow_matches_full_clone(self):
+        def tallies(clone_mode):
+            app = create_app("A-Laplacian", scale="small")
+            memory = app.fresh_memory()
+            pool = [
+                a for n in app.hot_object_names
+                for a in memory.object(n).block_addrs()
+            ]
+            return Campaign(
+                app, uniform_selection(pool),
+                config=CampaignConfig(runs=25, seed=77, secded=True),
+                clone_mode=clone_mode, keep_runs=True,
+            ).run()
+
+        full, cow = tallies("full"), tallies("cow")
+        assert full.counts == cow.counts
+        assert [(r.run_index, r.outcome) for r in full.runs] == \
+            [(r.run_index, r.outcome) for r in cow.runs]
+
+
 class TestMultiBlockMultiBit:
     def test_more_faults_more_damage(self):
         # The hot pool has only 3 blocks, so the 5-block configuration

@@ -1,0 +1,226 @@
+"""Tests for the parallel campaign execution engine.
+
+The engine's contract is bit-reproducibility: any worker count, chunk
+size and clone mode must produce the exact serial reference result,
+because each run derives solely from (campaign seed, run index).
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    merge_sorted_runs,
+)
+from repro.faults.outcomes import Outcome, RunResult
+from repro.faults.selection import uniform_selection
+from repro.kernels.registry import create_app
+from repro.runtime import (
+    CampaignExecutor,
+    CampaignSpec,
+    app_cache_key,
+    app_context,
+    plan_chunks,
+)
+
+
+def make_campaign(app_name="A-Laplacian", scheme="baseline",
+                  runs=12, **kwargs):
+    app = create_app(app_name, scale="small")
+    memory = app.fresh_memory()
+    protected = kwargs.pop("protected", None)
+    if protected is None and scheme != "baseline":
+        protected = tuple(app.hot_object_names)
+    pool = [
+        a for n in app.hot_object_names
+        for a in memory.object(n).block_addrs()
+    ]
+    return Campaign(
+        app,
+        uniform_selection(pool),
+        scheme_name=scheme,
+        protected_names=protected or (),
+        config=CampaignConfig(runs=runs, seed=77),
+        **kwargs,
+    )
+
+
+def run_signature(result):
+    return [
+        (r.run_index, r.outcome, r.error, r.detail) for r in result.runs
+    ]
+
+
+class TestPlanChunks:
+    def test_covers_index_space_exactly(self):
+        spans = plan_chunks(100, 4)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 100
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert start == stop
+
+    def test_chunk_size_override(self):
+        assert plan_chunks(10, 4, chunk_size=3) == [
+            (0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_degenerate_cases(self):
+        assert plan_chunks(0, 4) == []
+        assert plan_chunks(1, 8) == [(0, 1)]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigError):
+            plan_chunks(10, 2, chunk_size=0)
+
+
+class TestMerge:
+    def _result(self, indices):
+        res = CampaignResult(
+            app_name="app", scheme_name="baseline",
+            selection_name="uniform", config=CampaignConfig(runs=4),
+        )
+        for i in indices:
+            res.counts[Outcome.MASKED] += 1
+            res.runs.append(RunResult(i, Outcome.MASKED, 0.0))
+        return res
+
+    def test_merge_restores_run_order(self):
+        merged = CampaignResult.merge(
+            [self._result([2, 3]), self._result([0, 1])])
+        assert [r.run_index for r in merged.runs] == [0, 1, 2, 3]
+        assert merged.counts[Outcome.MASKED] == 4
+
+    def test_merge_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            merge_sorted_runs([[RunResult(1, Outcome.MASKED, 0.0)],
+                               [RunResult(1, Outcome.MASKED, 0.0)]])
+
+    def test_merge_rejects_mixed_campaigns(self):
+        other = self._result([0])
+        other.scheme_name = "correction"
+        with pytest.raises(ConfigError):
+            CampaignResult.merge([self._result([1]), other])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            CampaignResult.merge([])
+
+    def test_validate_catches_disorder(self):
+        res = self._result([1])
+        res.runs.insert(0, RunResult(5, Outcome.MASKED, 0.0))
+        res.counts[Outcome.MASKED] += 1
+        with pytest.raises(ConfigError):
+            res.validate()
+
+
+class TestCampaignValidation:
+    def test_bad_clone_mode(self):
+        with pytest.raises(ConfigError):
+            make_campaign(clone_mode="magic")
+
+    def test_bad_jobs(self):
+        with pytest.raises(ConfigError):
+            make_campaign(jobs=0)
+
+
+@pytest.mark.parametrize("app_name", ["A-Laplacian", "P-BICG"])
+@pytest.mark.parametrize("scheme", ["detection", "correction"])
+class TestParallelDeterminism:
+    def test_jobs4_matches_serial(self, app_name, scheme):
+        serial = make_campaign(app_name, scheme, runs=16,
+                               keep_runs=True).run()
+        parallel = make_campaign(app_name, scheme, runs=16,
+                                 keep_runs=True, jobs=4).run()
+        assert parallel.counts == serial.counts
+        assert run_signature(parallel) == run_signature(serial)
+
+    def test_cow_matches_full_clone(self, app_name, scheme):
+        full = make_campaign(app_name, scheme, runs=16, keep_runs=True,
+                             clone_mode="full").run()
+        cow = make_campaign(app_name, scheme, runs=16, keep_runs=True,
+                            clone_mode="cow").run()
+        assert cow.counts == full.counts
+        assert run_signature(cow) == run_signature(full)
+
+
+class TestParallelBaseline:
+    def test_jobs4_matches_serial(self):
+        serial = make_campaign(runs=16, keep_runs=True).run()
+        parallel = make_campaign(runs=16, keep_runs=True, jobs=4).run()
+        assert parallel.counts == serial.counts
+        assert run_signature(parallel) == run_signature(serial)
+
+    def test_run_jobs_override(self):
+        campaign = make_campaign(runs=16, keep_runs=True)
+        serial = campaign.run()
+        parallel = make_campaign(runs=16, keep_runs=True).run(jobs=3)
+        assert run_signature(parallel) == run_signature(serial)
+
+
+class TestExecutor:
+    def test_serial_when_one_job(self):
+        executor = CampaignExecutor(make_campaign(runs=6), jobs=1)
+        result = executor.run()
+        assert result.n_runs == 6
+        assert executor.used_jobs == 1
+        assert executor.fallback_reason is None
+
+    def test_jobs_capped_by_runs(self):
+        campaign = make_campaign(runs=1)
+        executor = CampaignExecutor(campaign, jobs=8)
+        result = executor.run()
+        assert result.n_runs == 1
+        assert executor.used_jobs == 1
+
+    def test_explicit_chunk_size(self):
+        campaign = make_campaign(runs=10, keep_runs=True)
+        reference = make_campaign(runs=10, keep_runs=True).run()
+        executor = CampaignExecutor(campaign, jobs=2, chunk_size=3)
+        assert run_signature(executor.run()) == run_signature(reference)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignExecutor(make_campaign(runs=4), jobs=0)
+
+
+class TestCampaignSpec:
+    def test_pickle_roundtrip_runs_identically(self):
+        campaign = make_campaign("A-Laplacian", "correction", runs=8,
+                                 keep_runs=True)
+        reference = campaign.run()
+        spec = CampaignSpec.from_campaign(campaign)
+        spec = pickle.loads(pickle.dumps(spec))
+        rebuilt = Campaign(
+            spec.app, spec.selection, scheme_name=spec.scheme_name,
+            protected_names=spec.protected_names, config=spec.config,
+            keep_runs=spec.keep_runs, clone_mode=spec.clone_mode,
+        )
+        assert run_signature(rebuilt.run()) == run_signature(reference)
+
+    def test_tokens_unique(self):
+        campaign = make_campaign(runs=4)
+        a = CampaignSpec.from_campaign(campaign)
+        b = CampaignSpec.from_campaign(campaign)
+        assert a.token != b.token
+
+
+class TestAppCache:
+    def test_identical_apps_share_context(self):
+        a = create_app("A-Laplacian", scale="small")
+        b = create_app("A-Laplacian", scale="small")
+        assert app_cache_key(a) == app_cache_key(b)
+        assert app_context(a) is app_context(b)
+
+    def test_different_scale_distinct(self):
+        a = create_app("P-BICG", scale="small")
+        b = create_app("P-BICG", scale="default")
+        assert app_cache_key(a) != app_cache_key(b)
+
+    def test_campaigns_share_pristine_memory(self):
+        first = make_campaign(runs=4)
+        second = make_campaign(runs=4)
+        assert first._pristine is second._pristine
+        assert first._golden is second._golden

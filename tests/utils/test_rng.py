@@ -98,6 +98,45 @@ class TestWeighted:
             RngStream(1).weighted_indices([1.0, 0.0], 2)
 
 
+class TestChildPool:
+    def test_matches_individual_children(self):
+        a = RngStream(23)
+        b = RngStream(23)
+        pool = a.child_pool(5)
+        assert [c.choice_index(10**6) for c in pool] == \
+            [b.child(i).choice_index(10**6) for i in range(5)]
+
+    def test_grows_monotonically(self):
+        rng = RngStream(29)
+        first = rng.child_pool(2)
+        second = rng.child_pool(4)
+        assert second[:2] == first
+        assert len(second) == 4
+
+    def test_shorter_request_reuses_pool(self):
+        rng = RngStream(31)
+        four = rng.child_pool(4)
+        two = rng.child_pool(2)
+        assert two == four[:2]
+
+    def test_independent_of_parent_state(self):
+        a = RngStream(37)
+        a.choice_index(10)
+        b = RngStream(37)
+        assert a.child_pool(3)[2].choice_index(1000) == \
+            b.child_pool(3)[2].choice_index(1000)
+
+
+class TestPreparedWeights:
+    def test_matches_weighted_indices(self):
+        weights = [1.0, 5.0, 0.0, 3.0, 2.0]
+        p = np.asarray(weights) / np.sum(weights)
+        a = RngStream(41)
+        b = RngStream(41)
+        assert list(a.prepared_weighted_indices(p, 3)) == \
+            list(b.weighted_indices(weights, 3))
+
+
 @given(st.integers(min_value=0, max_value=10**6),
        st.integers(min_value=0, max_value=100))
 def test_derive_seed_stable(root, key):

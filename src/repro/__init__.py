@@ -17,7 +17,10 @@ The package builds, in pure Python:
   detection and detection-and-correction schemes plus the end-to-end
   :class:`~repro.core.manager.ReliabilityManager`,
 * :mod:`repro.analysis` — statistics, reports, and the per-figure data
-  generators the benchmark harness prints.
+  generators the benchmark harness prints,
+* :mod:`repro.obs` — observability: a metrics registry shared by the
+  simulator, campaigns and the executor, plus deterministic per-run
+  telemetry records (JSONL) with a validating reader and summarizer.
 
 Quickstart::
 
@@ -45,6 +48,7 @@ from repro.kernels.registry import (
     create_app,
     resilience_apps,
 )
+from repro.obs import MetricsRegistry, RunRecord, TelemetryWriter
 from repro.profiling.hot_blocks import classify_hot_blocks
 from repro.profiling.access_profile import profile_trace
 from repro.runtime import CampaignExecutor
@@ -65,6 +69,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignExecutor",
     "Outcome",
+    "MetricsRegistry",
+    "RunRecord",
+    "TelemetryWriter",
     "APPLICATIONS",
     "FLAT_APPLICATIONS",
     "create_app",

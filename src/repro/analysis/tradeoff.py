@@ -41,15 +41,23 @@ def tradeoff_curve(
     selection: str = "access-weighted",
     seed: int = 20210621,
     jobs: int | None = None,
+    telemetry=None,
+    metrics=None,
 ) -> list[TradeoffPoint]:
     """Sweep protection from 0 to all input objects.
 
     ``jobs`` sets the campaign worker-process count per level
-    (defaults to the manager's setting).
+    (defaults to the manager's setting).  ``telemetry`` is an optional
+    :class:`~repro.obs.records.TelemetryWriter`: each level's campaign
+    then collects per-run records and appends them, in level order, to
+    the writer (one sweep -> one JSONL file).  ``metrics`` optionally
+    receives campaign and simulator observability.
     """
     from repro.faults.outcomes import Outcome
 
-    baseline_sim = manager.simulate_performance("baseline", "none")
+    baseline_sim = manager.simulate_performance(
+        "baseline", "none", metrics=metrics
+    )
     points = []
     n_objects = len(manager.app.object_importance)
     for level in range(n_objects + 1):
@@ -57,7 +65,9 @@ def tradeoff_curve(
         if level == 0:
             sim = baseline_sim
         else:
-            sim = manager.simulate_performance(scheme, level)
+            sim = manager.simulate_performance(
+                scheme, level, metrics=metrics
+            )
         campaign = manager.evaluate(
             scheme=scheme if level else "baseline",
             protect=level,
@@ -67,7 +77,11 @@ def tradeoff_curve(
             selection=selection,
             seed=seed,
             jobs=jobs,
+            collect_records=telemetry is not None,
+            metrics=metrics,
         )
+        if telemetry is not None:
+            telemetry.write_result(campaign)
         points.append(
             TradeoffPoint(
                 n_protected=level,

@@ -40,6 +40,9 @@ class DramStats:
     row_hits: int = 0
     row_misses: int = 0
     bank_queue_cycles: int = 0
+    #: Cycles lines sat ready in a bank's row buffer waiting for the
+    #: shared data bus to free up.
+    bus_queue_cycles: int = 0
 
 
 class _Bank:
@@ -105,9 +108,14 @@ class DramChannel:
             bank.open_row = row
         data_ready = start + latency
         bus_start = max(data_ready, self._bus_next_free)
-        self._bus_next_free = bus_start + self.timings.bus_cycles_per_line
-        bank.next_free = data_ready
-        return bus_start + self.timings.bus_cycles_per_line
+        bus_done = bus_start + self.timings.bus_cycles_per_line
+        self._bus_next_free = bus_done
+        self.stats.bus_queue_cycles += bus_start - data_ready
+        # The line occupies the bank's row buffer until the bus has
+        # carried it out, so the bank cannot accept its next request
+        # before ``bus_done`` — not at ``data_ready``.
+        bank.next_free = bus_done
+        return bus_done
 
     @property
     def row_hit_rate(self) -> float:

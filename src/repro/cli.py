@@ -11,7 +11,13 @@ Commands mirror the paper's workflow:
 * ``tradeoff`` — the Section V-C sweep across protection levels.
 * ``export``   — write every exhibit's data for one application to
   CSV files (re-plottable with any tool).
+* ``stats``    — validate and summarize a telemetry JSONL file.
 * ``apps``     — list the available applications.
+
+``campaign`` and ``tradeoff`` accept ``--telemetry PATH`` to stream
+one per-run :class:`~repro.obs.records.RunRecord` JSON line per
+fault-injection run; the file is byte-identical for any ``--jobs``
+setting and is what ``repro stats`` consumes.
 """
 
 from __future__ import annotations
@@ -71,10 +77,17 @@ def _cmd_campaign(args) -> int:
         n_blocks=args.blocks,
         n_bits=args.bits,
         selection=args.selection,
+        collect_records=args.telemetry is not None,
     )
     print(campaign_table([result]).render())
     print()
     print(f"SDC rate: {result.sdc_interval()}")
+    if args.telemetry is not None:
+        from repro.obs.records import TelemetryWriter
+
+        with TelemetryWriter(args.telemetry) as writer:
+            n = writer.write_result(result)
+        print(f"wrote {n} run record(s) to {args.telemetry}")
     return 0
 
 
@@ -96,10 +109,22 @@ def _cmd_tradeoff(args) -> int:
     from repro.analysis.tradeoff import knee_point, tradeoff_curve
 
     manager = _manager(args)
-    points = tradeoff_curve(
-        manager, scheme=args.scheme, runs=args.runs,
-        n_blocks=args.blocks, n_bits=args.bits,
-    )
+    if args.telemetry is not None:
+        from repro.obs.records import TelemetryWriter
+
+        with TelemetryWriter(args.telemetry) as writer:
+            points = tradeoff_curve(
+                manager, scheme=args.scheme, runs=args.runs,
+                n_blocks=args.blocks, n_bits=args.bits,
+                telemetry=writer,
+            )
+        print(f"wrote {writer.n_written} run record(s) to "
+              f"{args.telemetry}")
+    else:
+        points = tradeoff_curve(
+            manager, scheme=args.scheme, runs=args.runs,
+            n_blocks=args.blocks, n_bits=args.bits,
+        )
     table = TextTable(
         ["protected", "objects", "norm-time", "norm-missed", "SDC",
          "detected", "corrected"],
@@ -117,6 +142,13 @@ def _cmd_tradeoff(args) -> int:
           f"({','.join(knee.protected_names) or 'none'}) -> "
           f"{knee.sdc_count} SDCs at {100 * (knee.slowdown - 1):+.1f}% "
           "time")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.summary import summarize_file
+
+    print(summarize_file(args.file).render())
     return 0
 
 
@@ -167,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "uniform", "hot", "rest"))
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign (default 1)")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write one JSONL run record per fault-injection"
+                        " run to PATH")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("perf", help="timing simulation")
@@ -185,7 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=2)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes per campaign (default 1)")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write the whole sweep's run records to one "
+                        "JSONL file at PATH")
     p.set_defaults(func=_cmd_tradeoff)
+
+    p = sub.add_parser("stats",
+                       help="summarize a telemetry JSONL file")
+    p.add_argument("file", help="telemetry JSONL written by "
+                                "--telemetry")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("export", help="write exhibit data to CSV")
     _add_common(p)

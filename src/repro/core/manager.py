@@ -173,11 +173,16 @@ class ReliabilityManager:
         seed: int = 20210621,
         keep_runs: bool = False,
         jobs: int | None = None,
+        collect_records: bool = False,
+        metrics=None,
     ) -> CampaignResult:
         """The reliability evaluation (one Fig 9 configuration).
 
         ``jobs`` (worker processes for the campaign) defaults to the
-        manager's own ``jobs`` setting.
+        manager's own ``jobs`` setting.  ``collect_records=True`` fills
+        the result's per-run telemetry records; ``metrics`` names the
+        :class:`~repro.obs.metrics.MetricsRegistry` observability
+        accumulates into.
         """
         names = self.protected_names(protect)
         campaign = Campaign(
@@ -190,6 +195,8 @@ class ReliabilityManager:
             ),
             keep_runs=keep_runs,
             jobs=self.jobs if jobs is None else jobs,
+            collect_records=collect_records,
+            metrics=metrics,
         )
         return campaign.run()
 
@@ -218,11 +225,14 @@ class ReliabilityManager:
         return campaign.run()
 
     def simulate_performance(
-        self, scheme: str = "baseline", protect: int | str = "none"
+        self, scheme: str = "baseline", protect: int | str = "none",
+        metrics=None,
     ):
         """One timing run (a Fig 7 bar): returns a SimReport.
 
         Imported lazily to keep the functional pipeline import-light.
+        ``metrics`` optionally receives the simulator's observability
+        counters (see :func:`~repro.sim.simulator.simulate_trace`).
         """
         from repro.sim.simulator import simulate_app
 
@@ -235,4 +245,5 @@ class ReliabilityManager:
             scheme_name=scheme if names else "baseline",
             protected_names=names,
             budget=self.budget,
+            metrics=metrics,
         )

@@ -59,6 +59,7 @@ def create_replicas(
     memory: DeviceMemory,
     objects: list[DataObject],
     extra_copies: int,
+    populate: bool = True,
 ) -> dict[str, ReplicaSet]:
     """Allocate and populate ``extra_copies`` replicas per object.
 
@@ -79,6 +80,11 @@ def create_replicas(
     image once on a base memory and copy-on-write clones it per run,
     so rebuilding the scheme on a clone must bind to the existing
     allocations rather than grow the address space.
+
+    ``populate=False`` runs the allocator dry: replica objects are
+    allocated (and colored) but their data is never copied in.  The
+    timing model's :func:`~repro.sim.simulator.build_protection` only
+    needs the address offsets, so it skips the population writes.
     """
     if extra_copies < 1:
         raise ConfigError("replication needs at least one extra copy")
@@ -97,7 +103,7 @@ def create_replicas(
             if memory.has_object(name):
                 replicas.append(memory.object(name))
                 continue
-            if pristine is None:
+            if populate and pristine is None:
                 pristine = memory.read_pristine(obj)
             target_phase = (
                 primary_block + copy_idx * _COLOR_STRIDE_BLOCKS
@@ -111,7 +117,8 @@ def create_replicas(
                 obj.dtype,
                 read_only=True,
             )
-            memory.write_object(replica, pristine)
+            if populate:
+                memory.write_object(replica, pristine)
             replicas.append(replica)
         replica_sets[obj.name] = ReplicaSet(obj, tuple(replicas))
     return replica_sets

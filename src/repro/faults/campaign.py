@@ -20,6 +20,7 @@ replica-fault ablation bench exercises the other case).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -34,6 +35,8 @@ from repro.faults.model import FaultSpec, live_words, sample_word_fault
 from repro.faults.outcomes import Outcome, RunResult
 from repro.faults.selection import BlockSelection
 from repro.kernels.base import GpuApplication
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.records import RunRecord
 from repro.utils.rng import RngStream, derive_seed
 from repro.utils.stats import ConfidenceInterval, confidence_interval
 
@@ -44,13 +47,14 @@ from repro.utils.stats import ConfidenceInterval, confidence_interval
 CLONE_MODES = ("cow", "full")
 
 
-def merge_sorted_runs(
-    parts: Iterable[list[RunResult]],
-) -> list[RunResult]:
+def merge_sorted_runs(parts: Iterable[list]) -> list:
     """Merge per-chunk run lists into one list ordered by run index.
 
     Each part must already be internally ordered (chunks execute their
-    spans in index order); the merge is then linear and stable.
+    spans in index order); the merge is then linear and stable.  Works
+    on anything carrying a ``run_index`` — both
+    :class:`~repro.faults.outcomes.RunResult` and
+    :class:`~repro.obs.records.RunRecord` streams go through here.
     """
     merged = list(heapq.merge(*parts, key=lambda run: run.run_index))
     for before, after in zip(merged, merged[1:]):
@@ -109,6 +113,13 @@ class CampaignResult:
         default_factory=lambda: {o: 0 for o in Outcome}
     )
     runs: list[RunResult] = field(default_factory=list)
+    #: Per-run telemetry (populated with ``collect_records=True``),
+    #: ordered by strictly increasing run index like ``runs``.
+    records: list[RunRecord] = field(default_factory=list)
+    #: Picklable :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of
+    #: the metrics gathered while producing this (chunk) result.  Not
+    #: part of result equality — wall-clock data is observability only.
+    metrics_snapshot: dict | None = field(default=None, compare=False)
 
     @property
     def n_runs(self) -> int:
@@ -117,20 +128,21 @@ class CampaignResult:
     def validate(self) -> None:
         """Check the result's internal invariants.
 
-        ``runs`` must be strictly ordered by run index and, when kept,
-        must agree in size with the outcome tallies.
+        ``runs`` and ``records`` must be strictly ordered by run index
+        and, when kept, must agree in size with the outcome tallies.
         """
-        for before, after in zip(self.runs, self.runs[1:]):
-            if after.run_index <= before.run_index:
+        for kind, items in (("runs", self.runs), ("records", self.records)):
+            for before, after in zip(items, items[1:]):
+                if after.run_index <= before.run_index:
+                    raise ConfigError(
+                        f"{self.app_name}: {kind} out of order "
+                        f"({before.run_index} then {after.run_index})"
+                    )
+            if items and len(items) != self.n_runs:
                 raise ConfigError(
-                    f"{self.app_name}: runs out of order "
-                    f"({before.run_index} then {after.run_index})"
+                    f"{self.app_name}: {len(items)} kept {kind} but "
+                    f"{self.n_runs} counted outcomes"
                 )
-        if self.runs and len(self.runs) != self.n_runs:
-            raise ConfigError(
-                f"{self.app_name}: {len(self.runs)} kept runs but "
-                f"{self.n_runs} counted outcomes"
-            )
 
     def _identity(self) -> tuple:
         return (self.app_name, self.scheme_name, self.selection_name,
@@ -140,8 +152,10 @@ class CampaignResult:
     def merge(cls, parts: Iterable["CampaignResult"]) -> "CampaignResult":
         """Combine chunk results into one campaign result.
 
-        Counts add up; kept runs are merged back into run-index order.
-        All parts must come from the same campaign configuration.
+        Counts add up; kept runs and telemetry records are merged back
+        into run-index order; metrics snapshots fold together
+        additively.  All parts must come from the same campaign
+        configuration.
         """
         parts = list(parts)
         if not parts:
@@ -164,6 +178,14 @@ class CampaignResult:
                 part.counts[outcome] for part in parts
             )
         merged.runs = merge_sorted_runs(part.runs for part in parts)
+        merged.records = merge_sorted_runs(
+            part.records for part in parts
+        )
+        if any(part.metrics_snapshot for part in parts):
+            registry = MetricsRegistry()
+            for part in parts:
+                registry.merge_snapshot(part.metrics_snapshot)
+            merged.metrics_snapshot = registry.snapshot()
         merged.validate()
         return merged
 
@@ -209,6 +231,13 @@ class Campaign:
     ``"cow"`` clones a once-prepared, replica-populated image
     copy-on-write, so a run materializes private copies only of the
     objects it actually writes.
+
+    ``collect_records=True`` makes every run emit a deterministic
+    :class:`~repro.obs.records.RunRecord` into the result; ``metrics``
+    names the :class:`~repro.obs.metrics.MetricsRegistry` that
+    wall-clock observability (per-outcome run latency, fault
+    placement, executor utilization) accumulates into — one is created
+    if not supplied.
     """
 
     def __init__(
@@ -221,6 +250,8 @@ class Campaign:
         keep_runs: bool = False,
         jobs: int = 1,
         clone_mode: str = "cow",
+        collect_records: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if clone_mode not in CLONE_MODES:
             raise ConfigError(
@@ -236,6 +267,11 @@ class Campaign:
         self.keep_runs = keep_runs
         self.jobs = jobs
         self.clone_mode = clone_mode
+        self.collect_records = collect_records
+        #: Observability sink for this campaign (and, when run through
+        #: the executor, for the executor's own chunk/utilization
+        #: metrics).  Never feeds back into results.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         from repro.runtime.cache import app_context
 
         context = app_context(app)
@@ -258,21 +294,42 @@ class Campaign:
             from repro.runtime.executor import CampaignExecutor
 
             return CampaignExecutor(self, jobs=n_jobs).run()
-        return self.run_span(0, self.config.runs)
+        result = self.run_span(0, self.config.runs)
+        self.metrics.merge_snapshot(result.metrics_snapshot)
+        return result
 
     def run_span(self, start: int, stop: int) -> CampaignResult:
-        """Execute runs ``start..stop`` serially (one parallel chunk)."""
+        """Execute runs ``start..stop`` serially (one parallel chunk).
+
+        Metrics accumulate into a span-local registry whose snapshot is
+        attached to the chunk result — worker processes ship it home
+        that way, and serial callers fold it into ``self.metrics``.
+        """
         result = CampaignResult(
             app_name=self.app.name,
             scheme_name=self.scheme_name,
             selection_name=self.selection.name,
             config=self.config,
         )
+        span_metrics = MetricsRegistry()
+        record_sink = result.records if self.collect_records else None
+        span_begin = time.perf_counter()
         for run_index in range(start, stop):
-            run_result = self.run_one(run_index)
+            run_begin = time.perf_counter()
+            run_result = self.run_one(
+                run_index, metrics=span_metrics, record_sink=record_sink
+            )
+            span_metrics.observe(
+                f"campaign.run_ms.{run_result.outcome.value}",
+                (time.perf_counter() - run_begin) * 1e3,
+            )
             result.counts[run_result.outcome] += 1
             if self.keep_runs:
                 result.runs.append(run_result)
+        span_metrics.observe(
+            "campaign.span_ms", (time.perf_counter() - span_begin) * 1e3
+        )
+        result.metrics_snapshot = span_metrics.snapshot()
         return result
 
     def _run_memory(self) -> DeviceMemory:
@@ -303,9 +360,21 @@ class Campaign:
             self._live_words[addr] = candidates
         return candidates
 
-    def run_one(self, run_index: int) -> RunResult:
-        """Execute one reproducible fault-injected run."""
-        rng = RngStream(derive_seed(self.config.seed, run_index))
+    def run_one(
+        self,
+        run_index: int,
+        metrics: MetricsRegistry | None = None,
+        record_sink: list[RunRecord] | None = None,
+    ) -> RunResult:
+        """Execute one reproducible fault-injected run.
+
+        ``metrics`` receives observability counters (fault placement by
+        object, outcome tallies); ``record_sink`` receives the run's
+        deterministic :class:`~repro.obs.records.RunRecord`.  Both are
+        optional so ad-hoc single-run calls stay cheap.
+        """
+        seed = derive_seed(self.config.seed, run_index)
+        rng = RngStream(seed)
         memory = self._run_memory()
         protected = [memory.object(n) for n in self.protected_names]
         scheme = make_scheme(self.scheme_name, memory, protected)
@@ -321,6 +390,47 @@ class Campaign:
             )
             for i, addr in enumerate(block_addrs)
         ]
+        result = self._classify(run_index, memory, scheme, faults)
+        if metrics is not None:
+            for fault in faults:
+                obj = self._pristine.object_at(fault.block_addr)
+                metrics.inc(f"campaign.faults.object.{obj.name}")
+            metrics.inc(f"campaign.outcome.{result.outcome.value}")
+        if record_sink is not None:
+            record_sink.append(RunRecord(
+                run_index=run_index,
+                seed=seed,
+                app=self.app.name,
+                scheme=self.scheme_name,
+                selection=self.selection.name,
+                n_blocks=self.config.n_blocks,
+                n_bits=self.config.n_bits,
+                outcome=result.outcome.value,
+                error=float(result.error),
+                detail=result.detail,
+                faults=tuple(faults),
+                counters=self._scheme_counters(scheme),
+            ))
+        return result
+
+    @staticmethod
+    def _scheme_counters(scheme) -> tuple[tuple[str, int], ...]:
+        """The scheme's post-run stats as sorted (name, value) pairs."""
+        stats = getattr(scheme, "stats", None)
+        if stats is None:
+            return ()
+        return tuple(sorted(
+            (name, int(value)) for name, value in vars(stats).items()
+        ))
+
+    def _classify(
+        self,
+        run_index: int,
+        memory: DeviceMemory,
+        scheme,
+        faults: list[FaultSpec],
+    ) -> RunResult:
+        """Inject ``faults``, execute the app, classify the outcome."""
         if self.config.secded:
             _verdicts, due = apply_filtered_faults(memory, faults)
             if due:

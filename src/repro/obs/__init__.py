@@ -1,0 +1,52 @@
+"""Run-level observability: metrics registry + per-run telemetry.
+
+Two complementary surfaces:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — in-process counters
+  and histograms that the timing simulator, the campaign runner and
+  the parallel executor report into (pressure, latency, utilization —
+  things that may vary run to run and machine to machine);
+* :class:`~repro.obs.records.RunRecord` — the deterministic per-run
+  JSONL telemetry (seed, faults, outcome, error, scheme counters)
+  whose byte-identity across worker counts is itself a tested
+  invariant.
+
+``repro stats <file>`` (see :mod:`repro.obs.summary`) summarizes a
+telemetry file from the command line.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.records import (
+    RUN_RECORD_VERSION,
+    RunRecord,
+    TelemetryError,
+    TelemetryWriter,
+    iter_records,
+    read_records,
+    records_in_order,
+    validate_record,
+)
+from repro.obs.summary import (
+    GroupSummary,
+    TelemetrySummary,
+    summarize_file,
+    summarize_records,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_RECORD_VERSION",
+    "RunRecord",
+    "TelemetryError",
+    "TelemetryWriter",
+    "iter_records",
+    "read_records",
+    "records_in_order",
+    "validate_record",
+    "GroupSummary",
+    "TelemetrySummary",
+    "summarize_file",
+    "summarize_records",
+]

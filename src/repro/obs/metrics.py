@@ -1,0 +1,199 @@
+"""Counters and histograms for run-level observability.
+
+A :class:`MetricsRegistry` is the sink that the simulator (SM stalls,
+MSHR/compare-queue pressure, DRAM bank-queue and row-hit
+distributions), the campaign runner (per-outcome latency, fault
+placement) and the parallel executor (chunk timings, worker
+utilization, app-cache hits) all report into.  Registries live per
+process; a worker serializes its registry to a plain-dict *snapshot*
+(:meth:`MetricsRegistry.snapshot`) that travels home with the chunk
+result and is folded into the parent's registry with
+:meth:`MetricsRegistry.merge_snapshot` — so parallel campaigns end up
+with the same aggregate metrics a serial run would produce.
+
+Metrics are observability only: nothing in the registry feeds back
+into simulation or campaign results, and the deterministic telemetry
+records (:mod:`repro.obs.records`) never include registry values, so
+wall-clock noise cannot break run-for-run reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default histogram bucket upper bounds: exponential, base 2, from 1
+#: to ~1M — wide enough for cycle counts and millisecond latencies
+#: alike.  The last bucket is the +inf overflow.
+DEFAULT_BUCKET_BOUNDS = tuple(2 ** i for i in range(21))
+
+
+@dataclass
+class Counter:
+    """A monotonically adjustable integer metric."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += int(n)
+
+    def set(self, value: int) -> None:
+        """Overwrite the counter (for gauges sampled from elsewhere)."""
+        self.value = int(value)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with exact count/total/min/max.
+
+    ``bounds[i]`` is the inclusive upper edge of bucket ``i``; one
+    extra overflow bucket catches everything above the last bound.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError("cannot merge histograms with different bounds")
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.vmin = min(self.vmin, other.vmin)
+            self.vmax = max(self.vmax, other.vmax)
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    Names are dotted paths (``"sim.stalls.mshr_full"``); both metric
+    kinds are created on first use, so reporting code never has to
+    pre-register anything.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at zero if absent."""
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter()
+            self._counters[name] = c
+        return c
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram called ``name``, created empty if absent."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = Histogram(bounds=bounds or DEFAULT_BUCKET_BOUNDS)
+            self._histograms[name] = h
+        return h
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Shorthand for ``counter(name).inc(n)``."""
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand for ``histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> dict[str, int]:
+        """Current counter values, keyed by name."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """The live histogram objects, keyed by name."""
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> dict:
+        """A picklable plain-dict image of every metric.
+
+        The inverse is :meth:`merge_snapshot`; worker processes ship
+        snapshots home inside their chunk results.
+        """
+        return {
+            "counters": self.counters,
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "vmin": h.vmin,
+                    "vmax": h.vmax,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snap: dict | None) -> None:
+        """Fold a :meth:`snapshot` dict into this registry (additive)."""
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, data in snap.get("histograms", {}).items():
+            other = Histogram(
+                bounds=tuple(data["bounds"]),
+                counts=list(data["counts"]),
+                count=data["count"],
+                total=data["total"],
+                vmin=data["vmin"],
+                vmax=data["vmax"],
+            )
+            self.histogram(name, bounds=other.bounds).merge(other)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (additive)."""
+        self.merge_snapshot(other.snapshot())
+
+    def render(self) -> str:
+        """Human-readable multi-line dump of every metric."""
+        lines = []
+        for name, value in self.counters.items():
+            lines.append(f"{name} = {value}")
+        for name, h in self.histograms.items():
+            if not h.count:
+                continue
+            lines.append(
+                f"{name}: n={h.count} mean={h.mean:.3g} "
+                f"min={h.vmin:.3g} max={h.vmax:.3g}"
+            )
+        return "\n".join(lines)

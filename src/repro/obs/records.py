@@ -1,0 +1,268 @@
+"""Per-run telemetry records: schema, JSONL writer, validating reader.
+
+One :class:`RunRecord` captures everything reproducible about a single
+fault-injection run — its index and derived seed, the campaign
+identity, the injected fault specs, the outcome and error metric, and
+the scheme's counters.  Records are built inside
+:meth:`~repro.faults.campaign.Campaign.run_one`, travel back through
+the parallel executor inside the chunk results, and are merged into
+run-index order, so a telemetry file is byte-identical for any worker
+count.
+
+Serialization is canonical JSON (sorted keys, fixed separators, one
+record per line) precisely so that byte-level comparison is a valid
+determinism check.  Wall-clock data never enters a record; latency and
+utilization live in the :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.faults.model import FaultSpec
+from repro.faults.outcomes import Outcome
+
+#: Bumped whenever the record shape changes incompatibly.
+RUN_RECORD_VERSION = 1
+
+#: Required top-level keys and their JSON types, the wire schema that
+#: :func:`validate_record` enforces.
+RUN_RECORD_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "version": int,
+    "run_index": int,
+    "seed": int,
+    "app": str,
+    "scheme": str,
+    "selection": str,
+    "n_blocks": int,
+    "n_bits": int,
+    "outcome": str,
+    "error": (int, float),
+    "detail": str,
+    "faults": list,
+    "counters": dict,
+}
+
+#: Required keys of each entry of a record's ``faults`` list.
+FAULT_SCHEMA: dict[str, type] = {
+    "block_addr": int,
+    "word_index": int,
+    "bit_positions": list,
+    "stuck_values": list,
+}
+
+
+class TelemetryError(ConfigError):
+    """A telemetry record failed schema validation."""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The deterministic telemetry of one fault-injection run."""
+
+    run_index: int
+    seed: int
+    app: str
+    scheme: str
+    selection: str
+    n_blocks: int
+    n_bits: int
+    outcome: str
+    error: float
+    detail: str
+    faults: tuple[FaultSpec, ...]
+    #: Scheme counters (sorted name/value pairs) observed after the run.
+    counters: tuple[tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """The record as a JSON-ready plain dict."""
+        return {
+            "version": RUN_RECORD_VERSION,
+            "run_index": self.run_index,
+            "seed": self.seed,
+            "app": self.app,
+            "scheme": self.scheme,
+            "selection": self.selection,
+            "n_blocks": self.n_blocks,
+            "n_bits": self.n_bits,
+            "outcome": self.outcome,
+            "error": self.error,
+            "detail": self.detail,
+            "faults": [
+                {
+                    "block_addr": f.block_addr,
+                    "word_index": f.word_index,
+                    "bit_positions": list(f.bit_positions),
+                    "stuck_values": list(f.stuck_values),
+                }
+                for f in self.faults
+            ],
+            "counters": {name: value for name, value in self.counters},
+        }
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, fixed separators)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Rebuild a record from a validated :meth:`to_dict` image."""
+        validate_record(data)
+        return cls(
+            run_index=data["run_index"],
+            seed=data["seed"],
+            app=data["app"],
+            scheme=data["scheme"],
+            selection=data["selection"],
+            n_blocks=data["n_blocks"],
+            n_bits=data["n_bits"],
+            outcome=data["outcome"],
+            error=float(data["error"]),
+            detail=data["detail"],
+            faults=tuple(
+                FaultSpec(
+                    f["block_addr"],
+                    f["word_index"],
+                    tuple(f["bit_positions"]),
+                    tuple(f["stuck_values"]),
+                )
+                for f in data["faults"]
+            ),
+            counters=tuple(sorted(data["counters"].items())),
+        )
+
+
+_OUTCOME_VALUES = frozenset(o.value for o in Outcome)
+
+
+def validate_record(data: dict) -> None:
+    """Check one decoded record against :data:`RUN_RECORD_SCHEMA`.
+
+    Raises :class:`TelemetryError` on any missing key, wrong type,
+    unknown outcome, or malformed fault entry.
+    """
+    if not isinstance(data, dict):
+        raise TelemetryError(f"record must be an object, got {type(data)}")
+    for key, typ in RUN_RECORD_SCHEMA.items():
+        if key not in data:
+            raise TelemetryError(f"record missing key {key!r}")
+        if not isinstance(data[key], typ) or isinstance(data[key], bool):
+            raise TelemetryError(
+                f"record key {key!r} has type {type(data[key]).__name__}"
+            )
+    if data["version"] != RUN_RECORD_VERSION:
+        raise TelemetryError(
+            f"unsupported record version {data['version']} "
+            f"(expected {RUN_RECORD_VERSION})"
+        )
+    if data["run_index"] < 0:
+        raise TelemetryError("run_index must be non-negative")
+    if data["outcome"] not in _OUTCOME_VALUES:
+        raise TelemetryError(f"unknown outcome {data['outcome']!r}")
+    for entry in data["faults"]:
+        if not isinstance(entry, dict):
+            raise TelemetryError("fault entry must be an object")
+        for key, typ in FAULT_SCHEMA.items():
+            if key not in entry or not isinstance(entry[key], typ):
+                raise TelemetryError(f"fault entry key {key!r} bad/missing")
+        if len(entry["bit_positions"]) != len(entry["stuck_values"]):
+            raise TelemetryError("fault bit/value length mismatch")
+    for name, value in data["counters"].items():
+        if not isinstance(name, str) or not isinstance(value, int):
+            raise TelemetryError("counters must map str -> int")
+
+
+class TelemetryWriter:
+    """Append-only JSONL sink for :class:`RunRecord` streams.
+
+    Use as a context manager; records are written one canonical JSON
+    line each, in the order given — callers hand over result records
+    that are already in run-index order.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: IO[str] | None = None
+        self.n_written = 0
+
+    def __enter__(self) -> "TelemetryWriter":
+        self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def write(self, record: RunRecord) -> None:
+        """Append one record as a JSON line."""
+        if self._fh is None:
+            self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
+        self._fh.write(record.to_json() + "\n")
+        self.n_written += 1
+
+    def write_result(self, result) -> int:
+        """Append every record of a campaign result; returns the count.
+
+        ``result`` is a :class:`~repro.faults.campaign.CampaignResult`
+        executed with ``collect_records=True``; its ``records`` list is
+        already merged into run-index order by the executor.
+        """
+        if not result.records:
+            raise TelemetryError(
+                f"{result.app_name}: no telemetry records collected "
+                "(campaign must run with collect_records=True)"
+            )
+        for record in result.records:
+            self.write(record)
+        return len(result.records)
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def iter_records(path: str) -> Iterator[dict]:
+    """Yield validated record dicts from a telemetry JSONL file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            try:
+                validate_record(data)
+            except TelemetryError as exc:
+                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            yield data
+
+
+def read_records(path: str) -> list[dict]:
+    """Load and validate every record of a telemetry JSONL file."""
+    return list(iter_records(path))
+
+
+def records_in_order(records: Iterable[RunRecord]) -> list[RunRecord]:
+    """Sort records by run index, rejecting duplicates.
+
+    The executor's merge path keeps chunk outputs ordered already; this
+    is the defensive re-check used when records from multiple sources
+    are combined.
+    """
+    ordered = sorted(records, key=lambda r: r.run_index)
+    for before, after in zip(ordered, ordered[1:]):
+        if after.run_index == before.run_index:
+            raise TelemetryError(
+                f"duplicate telemetry record for run {after.run_index}"
+            )
+    return ordered

@@ -1,0 +1,116 @@
+"""Telemetry-file summarization backing ``repro stats``.
+
+Groups the records of a JSONL telemetry file by campaign identity
+(app, scheme, selection, fault grid), tallies outcomes, and reports
+the SDC rate with its confidence interval plus error-magnitude and
+fault-placement statistics — a compact audit of what a campaign (or a
+whole tradeoff sweep) actually did, reproducible from the file alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.outcomes import Outcome
+from repro.obs.records import read_records
+from repro.utils.stats import ConfidenceInterval, confidence_interval
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class GroupSummary:
+    """Aggregated statistics of one campaign's records."""
+
+    app: str
+    scheme: str
+    selection: str
+    n_blocks: int
+    n_bits: int
+    runs: int = 0
+    outcome_counts: dict[str, int] = field(
+        default_factory=lambda: {o.value: 0 for o in Outcome}
+    )
+    error_total: float = 0.0
+    error_max: float = 0.0
+    fault_bits: int = 0
+    fault_blocks: set[int] = field(default_factory=set)
+
+    @property
+    def sdc_count(self) -> int:
+        """Number of silent-data-corruption runs in the group."""
+        return self.outcome_counts[Outcome.SDC.value]
+
+    @property
+    def sdc_rate(self) -> float:
+        """Fraction of runs ending in SDC."""
+        return self.sdc_count / self.runs if self.runs else 0.0
+
+    def sdc_interval(self, level: float = 0.95) -> ConfidenceInterval:
+        """Confidence interval on the group's SDC rate."""
+        return confidence_interval(self.sdc_count, self.runs, level)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean error metric over the group's runs."""
+        return self.error_total / self.runs if self.runs else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Everything ``repro stats`` reports about one telemetry file."""
+
+    path: str
+    n_records: int
+    groups: list[GroupSummary]
+
+    def render(self) -> str:
+        """Multi-line human-readable summary table + per-group notes."""
+        lines = [f"{self.path}: {self.n_records} run record(s), "
+                 f"{len(self.groups)} campaign(s)"]
+        table = TextTable(
+            ["app", "scheme", "grid", "runs"]
+            + [o.value for o in Outcome]
+            + ["SDC rate", "distinct blocks"],
+        )
+        for g in self.groups:
+            table.add_row(
+                [g.app, g.scheme, f"{g.n_blocks}x{g.n_bits}b", g.runs]
+                + [g.outcome_counts[o.value] for o in Outcome]
+                + [f"{g.sdc_rate:.3f}", len(g.fault_blocks)]
+            )
+        lines.append(table.render())
+        for g in self.groups:
+            lines.append(
+                f"  {g.app}/{g.scheme}: SDC {g.sdc_interval()}, "
+                f"mean error {g.mean_error:.4g} "
+                f"(max {g.error_max:.4g}), "
+                f"{g.fault_bits} stuck bit(s) injected"
+            )
+        return "\n".join(lines)
+
+
+def summarize_records(path: str, records: list[dict]) -> TelemetrySummary:
+    """Build a :class:`TelemetrySummary` from validated record dicts."""
+    groups: dict[tuple, GroupSummary] = {}
+    for rec in records:
+        key = (rec["app"], rec["scheme"], rec["selection"],
+               rec["n_blocks"], rec["n_bits"])
+        group = groups.get(key)
+        if group is None:
+            group = GroupSummary(*key)
+            groups[key] = group
+        group.runs += 1
+        group.outcome_counts[rec["outcome"]] += 1
+        group.error_total += rec["error"]
+        group.error_max = max(group.error_max, rec["error"])
+        for fault in rec["faults"]:
+            group.fault_bits += len(fault["bit_positions"])
+            group.fault_blocks.add(fault["block_addr"])
+    return TelemetrySummary(
+        path=path, n_records=len(records), groups=list(groups.values())
+    )
+
+
+def summarize_file(path: str) -> TelemetrySummary:
+    """Validate and summarize a telemetry JSONL file."""
+    return summarize_records(path, read_records(path))

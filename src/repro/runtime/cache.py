@@ -82,23 +82,32 @@ class AppContext:
 
 
 _CONTEXTS: dict[tuple, AppContext] = {}
+_HITS = 0
+_MISSES = 0
 
 
 def app_context(app: "GpuApplication") -> AppContext:
     """The process-wide :class:`AppContext` for this application."""
+    global _HITS, _MISSES
     key = app_cache_key(app)
     ctx = _CONTEXTS.get(key)
     if ctx is None:
+        _MISSES += 1
         ctx = AppContext(app)
         _CONTEXTS[key] = ctx
+    else:
+        _HITS += 1
     return ctx
 
 
 def clear_app_cache() -> None:
-    """Drop every cached context (tests and long-lived services)."""
+    """Drop every cached context and reset the hit/miss tallies."""
+    global _HITS, _MISSES
     _CONTEXTS.clear()
+    _HITS = 0
+    _MISSES = 0
 
 
 def cache_info() -> dict[str, int]:
-    """Introspection: how many application contexts are resident."""
-    return {"entries": len(_CONTEXTS)}
+    """Introspection: resident contexts plus lookup hit/miss tallies."""
+    return {"entries": len(_CONTEXTS), "hits": _HITS, "misses": _MISSES}

@@ -78,6 +78,7 @@ class CampaignSpec:
     config: Any
     keep_runs: bool
     clone_mode: str
+    collect_records: bool = False
 
     @classmethod
     def from_campaign(cls, campaign: "Campaign") -> "CampaignSpec":
@@ -95,6 +96,7 @@ class CampaignSpec:
             config=campaign.config,
             keep_runs=campaign.keep_runs,
             clone_mode=campaign.clone_mode,
+            collect_records=campaign.collect_records,
         )
 
 
@@ -132,6 +134,7 @@ def _run_span_spec(
             config=spec.config,
             keep_runs=spec.keep_runs,
             clone_mode=spec.clone_mode,
+            collect_records=spec.collect_records,
         )
         _WORKER_CAMPAIGNS[spec.token] = campaign
     start, stop = span
@@ -170,24 +173,68 @@ class CampaignExecutor:
         self.fallback_reason: str | None = None
 
     def run(self) -> "CampaignResult":
-        """Execute every run and aggregate, fanning out when jobs > 1."""
+        """Execute every run and aggregate, fanning out when jobs > 1.
+
+        Chunk metric snapshots fold into the campaign's registry along
+        with the executor's own observability: chunk count, wall time,
+        worker utilization, and the parent's app-cache hit/miss tally.
+        """
+        import time
+
         from repro.faults.campaign import CampaignResult
 
         runs = self.campaign.config.runs
         jobs = min(self.jobs, runs)
+        wall_begin = time.perf_counter()
         if jobs <= 1:
             self.used_jobs = 1
-            return self.campaign.run_span(0, runs)
-        spans = plan_chunks(runs, jobs, self.chunk_size)
-        try:
-            parts = self._run_parallel(spans, jobs)
-        except _PoolUnavailable as exc:
-            self.used_jobs = 1
-            self.fallback_reason = str(exc.__cause__ or exc)
-            return self.campaign.run_span(0, runs)
-        self.used_jobs = jobs
-        parts.sort(key=lambda item: item[0])
-        return CampaignResult.merge([part for _start, part in parts])
+            result = self.campaign.run_span(0, runs)
+        else:
+            spans = plan_chunks(runs, jobs, self.chunk_size)
+            try:
+                parts = self._run_parallel(spans, jobs)
+            except _PoolUnavailable as exc:
+                self.used_jobs = 1
+                self.fallback_reason = str(exc.__cause__ or exc)
+                result = self.campaign.run_span(0, runs)
+            else:
+                self.used_jobs = jobs
+                parts.sort(key=lambda item: item[0])
+                result = CampaignResult.merge(
+                    [part for _start, part in parts]
+                )
+        self._publish_metrics(
+            result, (time.perf_counter() - wall_begin) * 1e3
+        )
+        return result
+
+    def _publish_metrics(
+        self, result: "CampaignResult", wall_ms: float
+    ) -> None:
+        """Fold chunk metrics plus executor stats into the campaign."""
+        from repro.runtime.cache import cache_info
+
+        metrics = self.campaign.metrics
+        metrics.merge_snapshot(result.metrics_snapshot)
+        metrics.inc("executor.chunks",
+                     result.metrics_snapshot["histograms"]
+                     .get("campaign.span_ms", {}).get("count", 0)
+                     if result.metrics_snapshot else 0)
+        metrics.counter("executor.used_jobs").set(self.used_jobs)
+        metrics.observe("executor.wall_ms", wall_ms)
+        busy_ms = 0.0
+        if result.metrics_snapshot:
+            busy_ms = result.metrics_snapshot["histograms"] \
+                .get("campaign.span_ms", {}).get("total", 0.0)
+        if wall_ms > 0 and self.used_jobs > 0:
+            metrics.observe(
+                "executor.worker_utilization_pct",
+                100.0 * busy_ms / (wall_ms * self.used_jobs),
+            )
+        info = cache_info()
+        metrics.counter("runtime.app_cache.entries").set(info["entries"])
+        metrics.counter("runtime.app_cache.hits").set(info["hits"])
+        metrics.counter("runtime.app_cache.misses").set(info["misses"])
 
     def _run_parallel(
         self, spans: list[tuple[int, int]], jobs: int

@@ -119,9 +119,15 @@ class LdstUnit:
         Returns ``(ready_time, None)`` when issued, or
         ``(0, stall_until)`` on a structural stall (MSHR or compare
         queue full) — the caller retries at ``stall_until``.
+
+        The L1 probe happens *after* every structural-stall check: a
+        stalled load is retried by the scheduler, and probing first
+        would re-count the access and touch LRU state on each retry,
+        skewing the very hit-rate counters the overhead results use.
+        Stall returns are side-effect-free, so ``l1_accesses`` and
+        ``l1_hits`` are invariant under retries.
         """
         self._drain(now)
-        hit = self.l1.access(addr)
         pending = self._pending.get(addr)
         if pending is not None:
             # Merged miss: data is already on its way.
@@ -130,9 +136,14 @@ class LdstUnit:
                 self.stats.stalls.mshr_full += 1
                 self.mshr.record_stall(addr)
                 return 0, pending[0]
+            self.l1.access(addr)
             self.mshr.add(addr)
-            return pending[1], None
-        if hit:
+            # The line's demand-ready time can predate a late-arriving
+            # warp's own L1 read-port turnaround; data is never
+            # delivered faster than an L1 hit at ``now`` would be.
+            return max(pending[1], now + self.config.l1_hit_latency), None
+        if self.l1.lookup(addr):
+            self.l1.access(addr)
             return now + self.config.l1_hit_latency, None
 
         # True miss: need an MSHR slot and, for lazy detection, room in
@@ -155,6 +166,7 @@ class LdstUnit:
                 self.stats.stalls.compare_queue_full += 1
                 return 0, self._compare_heap[0]
 
+        self.l1.access(addr)
         fill = self.subsystem.read(now, addr)
         self.stats.demand_misses += 1
         demand_ready = fill

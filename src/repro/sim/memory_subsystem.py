@@ -96,3 +96,13 @@ class MemorySubsystem:
     @property
     def dram_row_hits(self) -> int:
         return sum(c.stats.row_hits for c in self.dram_channels)
+
+    @property
+    def dram_bank_queue_cycles(self) -> int:
+        """Total cycles requests waited for a busy bank, all channels."""
+        return sum(c.stats.bank_queue_cycles for c in self.dram_channels)
+
+    @property
+    def dram_bus_queue_cycles(self) -> int:
+        """Total cycles lines waited for the channel data bus."""
+        return sum(c.stats.bus_queue_cycles for c in self.dram_channels)

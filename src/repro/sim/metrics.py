@@ -37,6 +37,10 @@ class SimReport:
     dram_requests: int
     dram_row_hits: int
     stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    #: Total cycles requests queued behind busy DRAM banks.
+    dram_bank_queue_cycles: int = 0
+    #: Total cycles ready lines waited for the channel data bus.
+    dram_bus_queue_cycles: int = 0
 
     @property
     def l1_missed_accesses(self) -> int:

@@ -22,6 +22,7 @@ from repro.core.replication import create_replicas
 from repro.errors import ConfigError
 from repro.kernels.base import GpuApplication
 from repro.kernels.trace import AppTrace
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
 from repro.sim.memory_subsystem import MemorySubsystem
 from repro.sim.metrics import SimReport
@@ -34,19 +35,24 @@ def build_protection(
     protected_names: tuple[str, ...],
     lazy: bool = True,
 ) -> ProtectionSpec:
-    """Allocate replicas in a memory clone and derive address offsets.
+    """Allocate replicas in a shadow memory and derive address offsets.
 
-    The clone keeps the simulated address map faithful (replicas really
-    occupy distinct DRAM regions) without mutating the caller's memory.
+    The shadow is a copy-on-write clone and the replica allocation runs
+    the allocator *dry* (``populate=False``): the timing model needs
+    only the address offsets, so no device-memory bytes are ever copied
+    — large applications used to pay a full deep copy per
+    :func:`simulate_app` call just to compute this arithmetic.  The
+    simulated address map stays faithful (replicas really occupy
+    distinct DRAM regions) and the caller's memory is never mutated.
     """
     if scheme_name == "baseline" or not protected_names:
         return ProtectionSpec.baseline()
     if scheme_name not in ("detection", "correction"):
         raise ConfigError(f"unknown scheme {scheme_name!r}")
     extra = 1 if scheme_name == "detection" else 2
-    shadow = memory.clone()
+    shadow = memory.cow_clone()
     objects = [shadow.object(name) for name in protected_names]
-    replica_sets = create_replicas(shadow, objects, extra)
+    replica_sets = create_replicas(shadow, objects, extra, populate=False)
     offsets = {
         name: tuple(
             replica.base_addr - rs.primary.base_addr
@@ -57,13 +63,65 @@ def build_protection(
     return ProtectionSpec(scheme_name, lazy=lazy, offsets=offsets)
 
 
+def _publish_sim_metrics(
+    metrics: MetricsRegistry,
+    stats: SimStats,
+    ldsts: list[LdstUnit],
+    subsystem: MemorySubsystem,
+    report: SimReport,
+) -> None:
+    """Report one simulation's counters into an observability registry.
+
+    Covers the tentpole's simulator signals: SM stall breakdown, MSHR
+    and compare-queue pressure, cache counters, and per-channel DRAM
+    bank-queue / bus-queue / row-hit distributions.
+    """
+    metrics.inc("sim.runs")
+    metrics.inc("sim.cycles", report.cycles)
+    metrics.inc("sim.instructions", report.instructions)
+    metrics.inc("sim.stalls.memory_wait", stats.stalls.memory_wait)
+    metrics.inc("sim.stalls.mshr_full", stats.stalls.mshr_full)
+    metrics.inc("sim.stalls.compare_queue_full",
+                stats.stalls.compare_queue_full)
+    for unit in ldsts:
+        metrics.inc("sim.mshr.allocations", unit.mshr.stats.allocations)
+        metrics.inc("sim.mshr.merges", unit.mshr.stats.merges)
+        metrics.inc("sim.mshr.full_stalls", unit.mshr.stats.full_stalls)
+        metrics.inc("sim.mshr.merge_stalls",
+                    unit.mshr.stats.merge_stalls)
+    metrics.inc("sim.l1.accesses", report.l1_accesses)
+    metrics.inc("sim.l1.hits", report.l1_hits)
+    metrics.inc("sim.l2.accesses", report.l2_accesses)
+    metrics.inc("sim.l2.hits", report.l2_hits)
+    metrics.inc("sim.dram.requests", report.dram_requests)
+    metrics.inc("sim.dram.row_hits", report.dram_row_hits)
+    metrics.inc("sim.dram.bank_queue_cycles",
+                report.dram_bank_queue_cycles)
+    metrics.inc("sim.dram.bus_queue_cycles",
+                report.dram_bus_queue_cycles)
+    for channel in subsystem.dram_channels:
+        metrics.observe("sim.dram.channel_bank_queue_cycles",
+                        channel.stats.bank_queue_cycles)
+        metrics.observe("sim.dram.channel_bus_queue_cycles",
+                        channel.stats.bus_queue_cycles)
+        if channel.stats.requests:
+            metrics.observe("sim.dram.channel_row_hit_pct",
+                            100.0 * channel.row_hit_rate)
+
+
 def simulate_trace(
     trace: AppTrace,
     config: GpuConfig = PAPER_CONFIG,
     protection: ProtectionSpec | None = None,
     budget: HardwareBudget | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimReport:
-    """Run the timing simulation of one application trace."""
+    """Run the timing simulation of one application trace.
+
+    ``metrics``, when given, receives the simulator's observability
+    counters and per-channel DRAM distributions (additively — one
+    registry can aggregate many simulations).
+    """
     protection = protection or ProtectionSpec.baseline()
     budget = budget or HardwareBudget.from_config(config)
     stats = SimStats()
@@ -104,7 +162,7 @@ def simulate_trace(
 
     l1_accesses = sum(u.l1.stats.accesses for u in ldsts)
     l1_hits = sum(u.l1.stats.hits for u in ldsts)
-    return SimReport(
+    report = SimReport(
         app_name=trace.app_name,
         scheme_name=protection.scheme_name,
         protected_names=tuple(sorted(protection.offsets)),
@@ -121,7 +179,12 @@ def simulate_trace(
         dram_requests=subsystem.dram_requests,
         dram_row_hits=subsystem.dram_row_hits,
         stalls=stats.stalls,
+        dram_bank_queue_cycles=subsystem.dram_bank_queue_cycles,
+        dram_bus_queue_cycles=subsystem.dram_bus_queue_cycles,
     )
+    if metrics is not None:
+        _publish_sim_metrics(metrics, stats, ldsts, subsystem, report)
+    return report
 
 
 def simulate_app(
@@ -133,6 +196,7 @@ def simulate_app(
     protected_names: tuple[str, ...] = (),
     budget: HardwareBudget | None = None,
     lazy: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> SimReport:
     """Simulate an application under a protection configuration."""
     if memory is None:
@@ -142,4 +206,5 @@ def simulate_app(
     protection = build_protection(
         memory, scheme_name, tuple(protected_names), lazy=lazy
     )
-    return simulate_trace(trace, config, protection, budget)
+    return simulate_trace(trace, config, protection, budget,
+                          metrics=metrics)

@@ -85,6 +85,42 @@ class TestBusOccupancy:
         t2 = ch.access(0, LINE * 2)
         assert t2 - t1 >= 12
 
+    def test_bank_busy_until_bus_done(self):
+        """A bank's row buffer holds the line until the bus carried it
+        out, so the next request to that bank waits for the *transfer*
+        end (142), not merely the array read (130)."""
+        ch = channel(n_banks=1)
+        t0 = ch.access(0, 0)
+        assert t0 == 130 + 12
+        # Arrive at 135: bank is still draining onto the bus until 142.
+        # Row hit then completes at 142 + 60 + 12 = 214; the pre-fix
+        # model freed the bank at 130 and returned 207.
+        t1 = ch.access(135, LINE)
+        assert t1 == 142 + 60 + 12
+        assert ch.stats.bank_queue_cycles == 142 - 135
+
+    def test_bus_queue_wait_recorded(self):
+        """Two banks finish their array reads together; the second line
+        waits a full transfer for the shared data bus, and that wait is
+        accounted in ``bus_queue_cycles``."""
+        ch = channel(n_banks=2)
+        bank0, _ = ch._map(0)
+        addr = LINE
+        while ch._map(addr)[0] == bank0:
+            addr += LINE
+        ch.access(0, 0)
+        ch.access(0, addr)
+        assert ch.stats.bus_queue_cycles == 12
+        assert ch.stats.bank_queue_cycles == 0
+
+    def test_reset_clears_bus_accounting(self):
+        ch = channel(n_banks=1)
+        ch.access(0, 0)
+        ch.access(135, LINE)
+        ch.reset()
+        assert ch.stats.bus_queue_cycles == 0
+        assert ch.access(0, 0) == 130 + 12
+
 
 class TestXorHash:
     def test_large_strides_spread_over_banks(self):

@@ -1,0 +1,116 @@
+"""Tests for the observability metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set(2)
+        assert c.value == 2
+
+
+class TestHistogram:
+    def test_observe_tracks_exact_stats(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 8.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.vmin == 1.0
+        assert h.vmax == 8.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_bucketing_and_overflow(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+
+    def test_merge_adds_everything(self):
+        a, b = Histogram(), Histogram()
+        a.observe(2.0)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.vmin == 2.0
+        assert a.vmax == 100.0
+        assert a.total == 102.0
+
+    def test_merge_rejects_bound_mismatch(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_with_empty_keeps_extrema(self):
+        a, b = Histogram(), Histogram()
+        a.observe(7.0)
+        a.merge(b)
+        assert a.vmin == 7.0 and a.vmax == 7.0
+
+
+class TestRegistry:
+    def test_created_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b", 3)
+        reg.observe("lat", 2.5)
+        assert reg.counters == {"a.b": 3}
+        assert reg.histogram("lat").count == 1
+
+    def test_counter_identity_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_snapshot_roundtrip_is_additive(self):
+        a = MetricsRegistry()
+        a.inc("n", 2)
+        a.observe("lat", 1.0)
+        b = MetricsRegistry()
+        b.merge_snapshot(a.snapshot())
+        b.merge_snapshot(a.snapshot())
+        assert b.counters["n"] == 4
+        assert b.histogram("lat").count == 2
+
+    def test_merge_snapshot_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(None)
+        assert reg.counters == {}
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n")
+        b.inc("n", 9)
+        a.merge(b)
+        assert a.counters["n"] == 10
+
+    def test_counters_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        assert list(reg.counters) == ["a", "z"]
+
+    def test_render_mentions_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("sim.runs", 2)
+        reg.observe("lat_ms", 3.0)
+        text = reg.render()
+        assert "sim.runs = 2" in text
+        assert "lat_ms" in text
+
+    def test_default_bounds_are_powers_of_two(self):
+        assert DEFAULT_BUCKET_BOUNDS[0] == 1
+        assert DEFAULT_BUCKET_BOUNDS[-1] == 2 ** 20

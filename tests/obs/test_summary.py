@@ -1,0 +1,83 @@
+"""Tests for telemetry summarization (``repro stats``)."""
+
+from repro.faults.model import FaultSpec
+from repro.obs.records import RunRecord, TelemetryWriter
+from repro.obs.summary import summarize_file, summarize_records
+
+
+def record(run_index, scheme="baseline", outcome="masked", error=0.0,
+           block_addr=4096):
+    return RunRecord(
+        run_index=run_index,
+        seed=run_index * 7,
+        app="P-BICG",
+        scheme=scheme,
+        selection="uniform",
+        n_blocks=1,
+        n_bits=2,
+        outcome=outcome,
+        error=error,
+        detail="",
+        faults=(FaultSpec(block_addr, 0, (1, 2), (1, 0)),),
+    )
+
+
+def write_file(tmp_path, records):
+    path = str(tmp_path / "t.jsonl")
+    with TelemetryWriter(path) as writer:
+        for rec in records:
+            writer.write(rec)
+    return path
+
+
+class TestGrouping:
+    def test_groups_by_campaign_identity(self, tmp_path):
+        path = write_file(tmp_path, [
+            record(0, scheme="baseline", outcome="sdc", error=3.0),
+            record(1, scheme="baseline"),
+            record(0, scheme="correction", outcome="corrected"),
+        ])
+        summary = summarize_file(path)
+        assert summary.n_records == 3
+        assert len(summary.groups) == 2
+        by_scheme = {g.scheme: g for g in summary.groups}
+        assert by_scheme["baseline"].runs == 2
+        assert by_scheme["baseline"].sdc_count == 1
+        assert by_scheme["correction"].outcome_counts["corrected"] == 1
+
+    def test_error_and_fault_stats(self, tmp_path):
+        path = write_file(tmp_path, [
+            record(0, outcome="sdc", error=4.0, block_addr=4096),
+            record(1, error=2.0, block_addr=8192),
+        ])
+        group = summarize_file(path).groups[0]
+        assert group.mean_error == 3.0
+        assert group.error_max == 4.0
+        assert group.fault_bits == 4
+        assert group.fault_blocks == {4096, 8192}
+
+    def test_sdc_rate_and_interval(self, tmp_path):
+        path = write_file(tmp_path, [
+            record(i, outcome="sdc" if i < 2 else "masked")
+            for i in range(4)
+        ])
+        group = summarize_file(path).groups[0]
+        assert group.sdc_rate == 0.5
+        interval = group.sdc_interval()
+        assert interval.low <= 0.5 <= interval.high
+
+
+class TestRender:
+    def test_render_mentions_everything(self, tmp_path):
+        path = write_file(tmp_path, [record(0, outcome="sdc", error=9.0)])
+        text = summarize_file(path).render()
+        assert "P-BICG" in text
+        assert "1x2b" in text
+        assert "SDC" in text
+        assert path in text
+
+    def test_summarize_records_empty(self):
+        summary = summarize_records("x.jsonl", [])
+        assert summary.n_records == 0
+        assert summary.groups == []
+        assert "0 run record(s)" in summary.render()

@@ -1,0 +1,140 @@
+"""End-to-end telemetry: campaign records, executor merge, determinism.
+
+The tentpole guarantee under test: a telemetry file is *byte-identical*
+for any worker count, because records capture only deterministic run
+facts and the executor merges chunk records back into run-index order.
+"""
+
+import pytest
+
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.selection import uniform_selection
+from repro.kernels.registry import create_app
+from repro.obs.records import TelemetryWriter, read_records
+from repro.runtime.cache import cache_info, clear_app_cache
+
+
+def make_campaign(runs=16, scheme="baseline", protected=(), **kwargs):
+    app = create_app("A-Laplacian", scale="small")
+    memory = app.fresh_memory()
+    pool = [a for o in memory.objects for a in o.block_addrs()]
+    return Campaign(
+        app,
+        uniform_selection(pool),
+        scheme_name=scheme,
+        protected_names=protected,
+        config=CampaignConfig(runs=runs, seed=77),
+        collect_records=True,
+        **kwargs,
+    )
+
+
+def telemetry_bytes(tmp_path, name, result):
+    path = tmp_path / name
+    with TelemetryWriter(str(path)) as writer:
+        writer.write_result(result)
+    return path.read_bytes()
+
+
+class TestRecordCollection:
+    def test_one_record_per_run_in_order(self):
+        result = make_campaign(runs=10).run()
+        assert len(result.records) == 10
+        assert [r.run_index for r in result.records] == list(range(10))
+
+    def test_records_match_outcome_counts(self):
+        result = make_campaign(runs=20).run()
+        for outcome, n in result.counts.items():
+            got = sum(1 for r in result.records
+                      if r.outcome == outcome.value)
+            assert got == n
+
+    def test_records_off_by_default(self):
+        campaign = make_campaign(runs=4)
+        campaign.collect_records = False
+        assert campaign.run().records == []
+
+    def test_scheme_counters_captured(self):
+        result = make_campaign(
+            runs=10, scheme="correction",
+            protected=("Filter",),
+        ).run()
+        names = dict(result.records[0].counters)
+        assert "corrected_reads" in names
+
+
+class TestByteIdenticalAcrossJobs:
+    @pytest.mark.parametrize("scheme,protected", [
+        ("baseline", ()),
+        ("correction", ("Filter",)),
+    ])
+    def test_jobs1_vs_jobs4(self, tmp_path, scheme, protected):
+        serial = make_campaign(runs=16, scheme=scheme,
+                               protected=protected).run()
+        parallel = make_campaign(runs=16, scheme=scheme,
+                                 protected=protected, jobs=4).run()
+        a = telemetry_bytes(tmp_path, "serial.jsonl", serial)
+        b = telemetry_bytes(tmp_path, "parallel.jsonl", parallel)
+        assert a == b
+
+    def test_file_is_valid_jsonl(self, tmp_path):
+        result = make_campaign(runs=8, jobs=4).run()
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(str(path)) as writer:
+            writer.write_result(result)
+        loaded = read_records(str(path))
+        assert [r["run_index"] for r in loaded] == list(range(8))
+
+
+class TestMetricsFlow:
+    def test_serial_metrics_accumulate(self):
+        campaign = make_campaign(runs=6)
+        result = campaign.run()
+        counters = campaign.metrics.counters
+        outcome_total = sum(
+            v for k, v in counters.items()
+            if k.startswith("campaign.outcome.")
+        )
+        assert outcome_total == 6
+        assert campaign.metrics.histogram("campaign.span_ms").count == 1
+        assert result.metrics_snapshot is not None
+
+    def test_parallel_metrics_match_serial_outcomes(self):
+        serial = make_campaign(runs=12)
+        serial.run()
+        parallel = make_campaign(runs=12, jobs=3)
+        parallel.run()
+        pick = lambda reg: {
+            k: v for k, v in reg.counters.items()
+            if k.startswith(("campaign.outcome.", "campaign.faults."))
+        }
+        assert pick(serial.metrics) == pick(parallel.metrics)
+
+    def test_executor_observability_published(self):
+        campaign = make_campaign(runs=12, jobs=3)
+        campaign.run()
+        counters = campaign.metrics.counters
+        assert counters["executor.used_jobs"] >= 1
+        assert counters["executor.chunks"] >= 1
+        assert "runtime.app_cache.entries" in counters
+        assert campaign.metrics.histogram("executor.wall_ms").count == 1
+
+    def test_fault_placement_counters(self):
+        campaign = make_campaign(runs=8)
+        campaign.run()
+        placements = {
+            k: v for k, v in campaign.metrics.counters.items()
+            if k.startswith("campaign.faults.object.")
+        }
+        assert sum(placements.values()) == 8  # n_blocks=1 per run
+
+
+class TestAppCacheCounters:
+    def test_hits_and_misses_tallied(self):
+        clear_app_cache()
+        make_campaign(runs=2).run()
+        make_campaign(runs=2).run()
+        info = cache_info()
+        assert info["misses"] >= 1
+        assert info["hits"] >= 1
+        assert info["entries"] >= 1

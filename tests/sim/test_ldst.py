@@ -149,6 +149,72 @@ class TestCorrectionReplication:
         assert ready_e > ready_l
 
 
+class TestRetryInvariance:
+    """Structural stalls must be side-effect-free: the scheduler
+    retries a stalled load, and pre-fix the early L1 probe allocated
+    the line on each attempt — the retry then saw a phantom hit and
+    never issued the demand miss."""
+
+    def _stalled_unit(self):
+        unit, stats, _ = make_unit()
+        for i in range(CFG.l1_mshr_entries):
+            _ready, stall = unit.load(0, "obj", i * 128)
+            assert stall is None
+        return unit, stats
+
+    def test_mshr_stall_does_not_touch_l1(self):
+        unit, stats = self._stalled_unit()
+        accesses_before = unit.l1.stats.accesses
+        new_addr = 9999 * 128
+        _ready, stall = unit.load(0, "obj", new_addr)
+        assert stall is not None
+        assert unit.l1.stats.accesses == accesses_before
+        # The phantom-hit regression: the stalled miss must not have
+        # allocated the line.
+        assert not unit.l1.lookup(new_addr)
+
+    def test_retry_after_stall_issues_real_miss(self):
+        unit, stats = self._stalled_unit()
+        new_addr = 9999 * 128
+        _ready, stall = unit.load(0, "obj", new_addr)
+        misses_before = stats.demand_misses
+        _ready, stall2 = unit.load(stall, "obj", new_addr)
+        assert stall2 is None
+        assert stats.demand_misses == misses_before + 1
+
+    def test_repeated_stalls_keep_access_count_invariant(self):
+        unit, _stats = self._stalled_unit()
+        accesses = unit.l1.stats.accesses
+        for _ in range(5):
+            _ready, stall = unit.load(0, "obj", 9999 * 128)
+            assert stall is not None
+        assert unit.l1.stats.accesses == accesses
+
+    def test_compare_queue_stall_does_not_touch_l1(self):
+        cfg = CFG.scaled(pending_compare_entries=1,
+                         l1_mshr_entries=64)
+        unit, stats, _ = make_unit(detection_spec(), config=cfg)
+        unit.load(0, "hot", 0)
+        accesses_before = unit.l1.stats.accesses
+        _ready, stall = unit.load(0, "hot", 256)
+        assert stall is not None
+        assert unit.l1.stats.accesses == accesses_before
+        assert not unit.l1.lookup(256)
+
+    def test_merged_miss_never_beats_hit_latency(self):
+        """A warp merging into a pending line one cycle before the fill
+        still pays the L1 read-port turnaround — data cannot arrive
+        faster than a hit issued at the same cycle would deliver it."""
+        unit, _stats, _ = make_unit()
+        fill, stall = unit.load(0, "obj", 0)
+        assert stall is None
+        late = fill - 1
+        ready, stall = unit.load(late, "obj", 0)
+        assert stall is None
+        assert ready == late + CFG.l1_hit_latency
+        assert ready > fill
+
+
 class TestProtectionSpec:
     def test_baseline_inactive(self):
         assert not ProtectionSpec.baseline().active

@@ -134,3 +134,29 @@ class Cache:
     def reset_stats(self) -> None:
         """Zero the counters without touching cache contents."""
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        """Instrument *this instance* for a trace session.
+
+        ``access`` is rebound to a wrapper that emits (sampled)
+        eviction instants on the given track; timestamps come from the
+        session's request-context cycle, which the LD/ST unit stamps
+        before descending.  Un-attached caches keep the plain method —
+        the disabled-tracer path has no tracing branches at all.
+        """
+        orig_access = self.access
+
+        def traced_access(addr: int, allocate: bool = True) -> bool:
+            evictions = self.stats.evictions
+            hit = orig_access(addr, allocate)
+            if self.stats.evictions != evictions and tracer.sampled():
+                tracer.instant(
+                    "cache", f"{self.name} evict", tracer.now, pid, tid,
+                    obj=tracer.attribute(addr),
+                )
+            return hit
+
+        self.access = traced_access

@@ -123,6 +123,58 @@ class DramChannel:
             return 0.0
         return self.stats.row_hits / self.stats.requests
 
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer, pid: int, bus_tid: int) -> None:
+        """Instrument this channel for a trace session.
+
+        ``access`` is rebound to a wrapper that re-derives the bank and
+        bus schedule from pre-call state (the mapping and timing are
+        pure functions of it), then emits one bank-busy span on the
+        bank's thread track and one bus-transfer span on ``bus_tid`` —
+        both tagged with the owning data object.  Attribution totals
+        (requests, busy/bus cycles, bytes) accumulate per object even
+        when the sampled span itself is thinned out.
+        """
+        orig_access = self.access
+
+        def traced_access(now: int, addr: int) -> int:
+            bank_idx, row = self._map(addr)
+            bank = self._banks[bank_idx]
+            bank_free = bank.next_free
+            open_row = bank.open_row
+            bus_free = self._bus_next_free
+            done = orig_access(now, addr)
+            start = max(now, bank_free)
+            row_hit = open_row == row
+            data_ready = start + (
+                self.timings.row_hit_cycles if row_hit
+                else self.timings.row_miss_cycles
+            )
+            bus_start = max(data_ready, bus_free)
+            obj = tracer.attribute(addr)
+            stats = tracer.obj(obj)
+            stats.dram_reads += 1
+            stats.dram_busy_cycles += done - start
+            stats.dram_bus_cycles += done - bus_start
+            tracer.account_read_bytes(obj, self.line_bytes)
+            if tracer.sampled():
+                tracer.emit(
+                    "dram",
+                    "row-hit" if row_hit else "row-miss",
+                    start, done - start, pid, bank_idx, obj=obj,
+                    args={"bank_queue": start - now, "row": row},
+                )
+                tracer.emit(
+                    "dram", "bus", bus_start, done - bus_start, pid,
+                    bus_tid, obj=obj,
+                    args={"bus_queue": bus_start - data_ready},
+                )
+            return done
+
+        self.access = traced_access
+
     def reset(self) -> None:
         """Close all rows, clear timing state and counters."""
         self.stats = DramStats()

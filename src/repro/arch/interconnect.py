@@ -58,6 +58,36 @@ class Link:
         self._next_free = 0
         self.stats = LinkStats()
 
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer, pid: int, tid: int) -> None:
+        """Instrument this link for a trace session.
+
+        ``transfer`` is rebound to a wrapper that emits one (sampled)
+        occupancy span per transfer on the given track — ``ts`` is the
+        cycle the transfer actually claims the link (after queueing),
+        ``dur`` its occupancy.  The object tag comes from the session's
+        request context, stamped by the LD/ST unit before descending.
+        """
+        orig_transfer = self.transfer
+
+        def traced_transfer(now: int, nbytes: int) -> int:
+            free = self._next_free
+            done = orig_transfer(now, nbytes)
+            start = max(now, free)
+            obj = tracer.attribute(-1)
+            tracer.obj(obj).noc_bytes += nbytes
+            if tracer.sampled():
+                tracer.emit(
+                    "noc", self.name, start, self._next_free - start,
+                    pid, tid, obj=obj,
+                    args={"bytes": nbytes, "queue": start - now},
+                )
+            return done
+
+        self.transfer = traced_transfer
+
 
 class Crossbar:
     """Request/response links for every memory partition.

@@ -87,3 +87,50 @@ class MshrFile:
     @property
     def is_empty(self) -> bool:
         return not self._entries
+
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer, pid: int, tid: int = 0) -> None:
+        """Instrument this MSHR file for a trace session.
+
+        ``add``/``release`` are rebound to wrappers that emit (sampled)
+        occupancy counter samples, and ``record_stall`` to one that
+        emits a structural-stall instant — all on the owning SM's
+        track, timestamped with the session's request-context cycle.
+        Un-attached files keep the plain methods.
+        """
+        orig_add = self.add
+        orig_release = self.release
+        orig_record_stall = self.record_stall
+
+        def traced_add(line_addr: int) -> bool:
+            new_request = orig_add(line_addr)
+            if tracer.sampled():
+                tracer.counter(
+                    "mshr", f"mshr[{pid}]", tracer.now, pid,
+                    {"outstanding": len(self._entries)},
+                )
+            return new_request
+
+        def traced_release(line_addr: int) -> int:
+            merged = orig_release(line_addr)
+            if tracer.sampled():
+                tracer.counter(
+                    "mshr", f"mshr[{pid}]", tracer.now, pid,
+                    {"outstanding": len(self._entries)},
+                )
+            return merged
+
+        def traced_record_stall(line_addr: int) -> None:
+            orig_record_stall(line_addr)
+            tracer.instant(
+                "mshr",
+                "merge-stall" if line_addr in self._entries
+                else "full-stall",
+                tracer.now, pid, tid,
+            )
+
+        self.add = traced_add
+        self.release = traced_release
+        self.record_stall = traced_record_stall

@@ -9,6 +9,8 @@ Commands mirror the paper's workflow:
 * ``perf``     — timing simulation of a protection configuration
   (Fig 7 bars).
 * ``tradeoff`` — the Section V-C sweep across protection levels.
+* ``trace``    — cycle-level trace of one timing run, exported as
+  Perfetto/Chrome ``trace_events`` JSON with per-object attribution.
 * ``export``   — write every exhibit's data for one application to
   CSV files (re-plottable with any tool).
 * ``stats``    — validate and summarize a telemetry JSONL file.
@@ -17,7 +19,13 @@ Commands mirror the paper's workflow:
 ``campaign`` and ``tradeoff`` accept ``--telemetry PATH`` to stream
 one per-run :class:`~repro.obs.records.RunRecord` JSON line per
 fault-injection run; the file is byte-identical for any ``--jobs``
-setting and is what ``repro stats`` consumes.
+setting and is what ``repro stats`` consumes.  ``campaign`` and
+``perf`` accept ``--trace PATH`` to additionally capture the golden
+(fault-free) timing run as a trace file.
+
+Output honors the global ``-q/--quiet`` and ``-v/--verbose`` flags:
+result tables always print, progress lines are silenced by ``-q``,
+and diagnostics appear on stderr under ``-v``.
 """
 
 from __future__ import annotations
@@ -32,7 +40,11 @@ from repro.kernels.registry import (
     FLAT_APPLICATIONS,
     create_app,
 )
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
 from repro.utils.tables import TextTable
+
+log = get_logger("cli")
 
 
 def _manager(args) -> ReliabilityManager:
@@ -40,13 +52,17 @@ def _manager(args) -> ReliabilityManager:
     return ReliabilityManager(app, jobs=getattr(args, "jobs", 1))
 
 
+def _protect_level(value: str) -> int | str:
+    return value if value in ("none", "hot", "all") else int(value)
+
+
 def _cmd_apps(_args) -> int:
-    print("Resilience-study applications (Table II):")
+    log.result("Resilience-study applications (Table II):")
     for name in APPLICATIONS:
-        print(f"  {name}")
-    print("Flat-profile applications (Fig 3(g)-(h)):")
+        log.result(f"  {name}")
+    log.result("Flat-profile applications (Fig 3(g)-(h)):")
     for name in FLAT_APPLICATIONS:
-        print(f"  {name}")
+        log.result(f"  {name}")
     return 0
 
 
@@ -55,39 +71,72 @@ def _cmd_profile(args) -> int:
     profile = manager.profile
     t3 = manager.table3()
     discovery = manager.discover_hot_objects()
-    print(f"{manager.app.name}: {profile.total_reads} read transactions "
-          f"over {profile.n_blocks} blocks")
-    print(f"  max/min per-block access ratio: "
-          f"{profile.max_min_ratio():.1f}x")
-    print(f"  hot blocks: {len(manager.hot_blocks.hot_addrs)}")
-    print(f"  hot objects (declared): {t3.hot_objects}")
-    print(f"  hot objects (discovered): {discovery.hot_objects}")
-    print(f"  hot footprint: {t3.hot_footprint_pct:.3f}% of app memory")
-    print(f"  hot accesses:  {t3.hot_access_pct:.2f}% of all reads")
+    log.result(
+        f"{manager.app.name}: {profile.total_reads} read transactions "
+        f"over {profile.n_blocks} blocks")
+    log.result(f"  max/min per-block access ratio: "
+               f"{profile.max_min_ratio():.1f}x")
+    log.result(f"  hot blocks: {len(manager.hot_blocks.hot_addrs)}")
+    log.result(f"  hot objects (declared): {t3.hot_objects}")
+    log.result(f"  hot objects (discovered): {discovery.hot_objects}")
+    log.result(f"  hot footprint: {t3.hot_footprint_pct:.3f}% "
+               "of app memory")
+    log.result(f"  hot accesses:  {t3.hot_access_pct:.2f}% of all reads")
     return 0
+
+
+def _write_golden_trace(
+    manager: ReliabilityManager,
+    scheme: str,
+    protect: int | str,
+    path: str,
+    args,
+) -> None:
+    """Capture the golden (fault-free) timing run as a trace file.
+
+    The trace is recorded parent-side as one single-threaded timing
+    simulation, so the output is byte-identical for any ``--jobs``
+    setting — the campaign workers never touch the trace session.
+    """
+    from repro.obs.perfetto import write_chrome_trace
+    from repro.obs.trace import TraceConfig, TraceSession
+
+    tracer = TraceSession(TraceConfig(
+        max_events=args.trace_max_events,
+        interval_cycles=args.trace_interval,
+    ))
+    log.debug("capturing golden-run trace (%s, protect=%s)",
+              scheme, protect)
+    manager.simulate_performance(scheme, protect, tracer=tracer)
+    n = write_chrome_trace(
+        tracer, path, label=f"{manager.app.name} {scheme} golden run")
+    log.info(f"wrote {n} trace event(s) to {path}")
 
 
 def _cmd_campaign(args) -> int:
     manager = _manager(args)
+    protect = _protect_level(args.protect)
     result = manager.evaluate(
         scheme=args.scheme,
-        protect=args.protect if args.protect in ("none", "hot", "all")
-        else int(args.protect),
+        protect=protect,
         runs=args.runs,
         n_blocks=args.blocks,
         n_bits=args.bits,
         selection=args.selection,
         collect_records=args.telemetry is not None,
     )
-    print(campaign_table([result]).render())
-    print()
-    print(f"SDC rate: {result.sdc_interval()}")
+    log.result(campaign_table([result]).render())
+    log.result("")
+    log.result(f"SDC rate: {result.sdc_interval()}")
     if args.telemetry is not None:
         from repro.obs.records import TelemetryWriter
 
         with TelemetryWriter(args.telemetry) as writer:
             n = writer.write_result(result)
-        print(f"wrote {n} run record(s) to {args.telemetry}")
+        log.info(f"wrote {n} run record(s) to {args.telemetry}")
+    if args.trace is not None:
+        _write_golden_trace(manager, args.scheme, protect,
+                            args.trace, args)
     return 0
 
 
@@ -96,12 +145,14 @@ def _cmd_perf(args) -> int:
     baseline = manager.simulate_performance("baseline", "none")
     reports = [baseline]
     if args.scheme != "baseline":
-        protect = (
-            args.protect if args.protect in ("none", "hot", "all")
-            else int(args.protect)
-        )
+        protect = _protect_level(args.protect)
         reports.append(manager.simulate_performance(args.scheme, protect))
-    print(performance_table(reports, baseline).render())
+    else:
+        protect = "none"
+    log.result(performance_table(reports, baseline).render())
+    if args.trace is not None:
+        _write_golden_trace(manager, args.scheme, protect,
+                            args.trace, args)
     return 0
 
 
@@ -118,8 +169,8 @@ def _cmd_tradeoff(args) -> int:
                 n_blocks=args.blocks, n_bits=args.bits,
                 telemetry=writer,
             )
-        print(f"wrote {writer.n_written} run record(s) to "
-              f"{args.telemetry}")
+        log.info(f"wrote {writer.n_written} run record(s) to "
+                 f"{args.telemetry}")
     else:
         points = tradeoff_curve(
             manager, scheme=args.scheme, runs=args.runs,
@@ -136,19 +187,91 @@ def _cmd_tradeoff(args) -> int:
             p.slowdown, p.missed_accesses_ratio, p.sdc_count,
             p.detected_count, p.corrected_count,
         ])
-    print(table.render())
+    log.result(table.render())
     knee = knee_point(points)
-    print(f"\nsweet spot: protect {knee.n_protected} object(s) "
-          f"({','.join(knee.protected_names) or 'none'}) -> "
-          f"{knee.sdc_count} SDCs at {100 * (knee.slowdown - 1):+.1f}% "
-          "time")
+    log.result(
+        f"\nsweet spot: protect {knee.n_protected} object(s) "
+        f"({','.join(knee.protected_names) or 'none'}) -> "
+        f"{knee.sdc_count} SDCs at {100 * (knee.slowdown - 1):+.1f}% "
+        "time")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.perfetto import validate_trace_file, write_chrome_trace
+    from repro.obs.trace import TraceConfig, TraceSession
+
+    if args.app is None:
+        args.app = args.app_opt
+    if args.app is None:
+        log.error("trace: an application is required "
+                  "(positional or --app)")
+        return 2
+    manager = _manager(args)
+    protect = _protect_level(args.protect)
+    tracer = TraceSession(TraceConfig(
+        max_events=args.max_events,
+        interval_cycles=args.interval,
+        sample_rate=args.sample_rate,
+        seed=args.sample_seed,
+    ))
+    report = manager.simulate_performance(args.scheme, protect,
+                                          tracer=tracer)
+    out = args.out or f"{args.app}.trace.json"
+    n = write_chrome_trace(
+        tracer, out, label=f"{manager.app.name} {args.scheme}")
+    validate_trace_file(out)
+    log.info(f"wrote {n} trace event(s) to {out} "
+             f"(emitted {tracer.emitted}, dropped {tracer.dropped}, "
+             f"{len(tracer.samples)} interval samples)")
+    log.info(f"load at https://ui.perfetto.dev (1 us = 1 core cycle)")
+    log.result(f"{manager.app.name}: {report.cycles} cycles, "
+               f"{report.instructions} instructions "
+               f"({args.scheme}, protect={args.protect})")
+    summary = tracer.object_summary()
+    if summary:
+        table = TextTable(
+            ["object", "loads", "l1-miss", "stall-cyc", "l2-acc",
+             "dram-rd", "read-bytes"],
+        )
+        for name, stats in summary.items():
+            table.add_row([
+                name, stats["loads"], stats["l1_misses"],
+                stats["stall_cycles"], stats["l2_accesses"],
+                stats["dram_reads"], stats["read_bytes"],
+            ])
+        log.result(table.render())
+    if args.objects_out is not None:
+        import json
+
+        with open(args.objects_out, "w", encoding="utf-8") as fh:
+            json.dump({"app": manager.app.name,
+                       "scheme": args.scheme,
+                       "objects": summary}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        log.info(f"wrote object-attribution summary to "
+                 f"{args.objects_out}")
     return 0
 
 
 def _cmd_stats(args) -> int:
+    from repro.errors import ReproError
     from repro.obs.summary import summarize_file
 
-    print(summarize_file(args.file).render())
+    try:
+        summary = summarize_file(args.file)
+    except FileNotFoundError:
+        log.error(f"stats: telemetry file not found: {args.file}")
+        return 2
+    except IsADirectoryError:
+        log.error(f"stats: {args.file} is a directory, not a "
+                  "telemetry file")
+        return 2
+    except ReproError as exc:
+        log.error(f"stats: {exc}")
+        return 2
+    log.result(summary.render())
     return 0
 
 
@@ -158,15 +281,34 @@ def _cmd_export(args) -> int:
     manager = _manager(args)
     paths = export_all(manager, args.out, runs=args.runs)
     for path in paths:
-        print(f"wrote {path}")
+        log.result(f"wrote {path}")
     return 0
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("app", help="application name, e.g. P-BICG")
+def _add_common(parser: argparse.ArgumentParser,
+                app_optional: bool = False) -> None:
+    if app_optional:
+        parser.add_argument("app", nargs="?", default=None,
+                            help="application name, e.g. P-BICG")
+    else:
+        parser.add_argument("app", help="application name, e.g. P-BICG")
     parser.add_argument("--scale", default="default",
                         choices=("default", "small"))
     parser.add_argument("--seed", type=int, default=1234)
+
+
+def _add_trace_capture(parser: argparse.ArgumentParser) -> None:
+    """The golden-run ``--trace`` capture knobs (campaign / perf)."""
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also capture the golden (fault-free) "
+                             "timing run as Perfetto trace_events "
+                             "JSON at PATH")
+    parser.add_argument("--trace-interval", type=int, default=1024,
+                        help="time-series sampling period in cycles "
+                             "(default 1024)")
+    parser.add_argument("--trace-max-events", type=int, default=65536,
+                        help="trace ring-buffer capacity "
+                             "(default 65536)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Data-centric GPU reliability management (DSN'21) "
                     "reproduction",
     )
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress output (results and "
+                             "errors still print)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print diagnostics to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list applications").set_defaults(
@@ -202,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", metavar="PATH", default=None,
                    help="write one JSONL run record per fault-injection"
                         " run to PATH")
+    _add_trace_capture(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("perf", help="timing simulation")
@@ -209,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="detection",
                    choices=("baseline", "detection", "correction"))
     p.add_argument("--protect", default="hot")
+    _add_trace_capture(p)
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("tradeoff", help="Section V-C sweep")
@@ -224,6 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the whole sweep's run records to one "
                         "JSONL file at PATH")
     p.set_defaults(func=_cmd_tradeoff)
+
+    p = sub.add_parser(
+        "trace",
+        help="cycle-level trace of one timing run (Perfetto JSON)")
+    _add_common(p, app_optional=True)
+    p.add_argument("--app", dest="app_opt", default=None,
+                   help="application name (alias for the positional)")
+    p.add_argument("--scheme", default="baseline",
+                   choices=("baseline", "detection", "correction"))
+    p.add_argument("--protect", default="hot",
+                   help="none | hot | all | <N objects>")
+    p.add_argument("--out", default=None,
+                   help="output path (default: <app>.trace.json)")
+    p.add_argument("--objects-out", metavar="PATH", default=None,
+                   help="also write the per-object attribution "
+                        "summary as JSON to PATH")
+    p.add_argument("--interval", type=int, default=1024,
+                   help="time-series sampling period in cycles "
+                        "(default 1024)")
+    p.add_argument("--max-events", type=int, default=65536,
+                   help="trace ring-buffer capacity (default 65536)")
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="keep fraction for high-frequency events "
+                        "(default 1.0)")
+    p.add_argument("--sample-seed", type=int, default=20210621,
+                   help="RNG seed of the sampling coin flips")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("stats",
                        help="summarize a telemetry JSONL file")
@@ -244,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     return args.func(args)
 
 

@@ -226,13 +226,15 @@ class ReliabilityManager:
 
     def simulate_performance(
         self, scheme: str = "baseline", protect: int | str = "none",
-        metrics=None,
+        metrics=None, tracer=None,
     ):
         """One timing run (a Fig 7 bar): returns a SimReport.
 
         Imported lazily to keep the functional pipeline import-light.
         ``metrics`` optionally receives the simulator's observability
-        counters (see :func:`~repro.sim.simulator.simulate_trace`).
+        counters (see :func:`~repro.sim.simulator.simulate_trace`);
+        ``tracer`` a :class:`~repro.obs.trace.TraceSession` recording
+        the cycle-level event trace of this run.
         """
         from repro.sim.simulator import simulate_app
 
@@ -246,4 +248,5 @@ class ReliabilityManager:
             protected_names=names,
             budget=self.budget,
             metrics=metrics,
+            tracer=tracer,
         )

@@ -13,9 +13,35 @@ Two complementary surfaces:
 
 ``repro stats <file>`` (see :mod:`repro.obs.summary`) summarizes a
 telemetry file from the command line.
+
+A third surface is the cycle-level trace subsystem
+(:mod:`repro.obs.trace` / :mod:`repro.obs.perfetto`): a
+:class:`~repro.obs.trace.TraceSession` records typed, data-object-
+attributed events from an instrumented timing simulation into a
+bounded ring buffer and exports them as Perfetto/Chrome
+``trace_events`` JSON (``repro trace``).  :mod:`repro.obs.log` is the
+CLI's verbosity-aware structured logger.
 """
 
+from repro.obs.log import Logger, configure, get_logger
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.perfetto import (
+    TraceExportError,
+    chrome_trace,
+    render_chrome_trace,
+    validate_trace_events,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    TRACE_CATEGORIES,
+    UNATTRIBUTED,
+    ObjectMap,
+    ObjectTraceStats,
+    TraceConfig,
+    TraceEvent,
+    TraceSession,
+)
 from repro.obs.records import (
     RUN_RECORD_VERSION,
     RunRecord,
@@ -49,4 +75,20 @@ __all__ = [
     "TelemetrySummary",
     "summarize_file",
     "summarize_records",
+    "Logger",
+    "configure",
+    "get_logger",
+    "TRACE_CATEGORIES",
+    "UNATTRIBUTED",
+    "ObjectMap",
+    "ObjectTraceStats",
+    "TraceConfig",
+    "TraceEvent",
+    "TraceSession",
+    "TraceExportError",
+    "chrome_trace",
+    "render_chrome_trace",
+    "validate_trace_events",
+    "validate_trace_file",
+    "write_chrome_trace",
 ]

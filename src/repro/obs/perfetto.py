@@ -1,0 +1,199 @@
+"""Perfetto / Chrome ``trace_events`` export of a trace session.
+
+The exported file is the JSON object format of the Trace Event spec
+(``{"traceEvents": [...], ...}``): load it at https://ui.perfetto.dev
+or ``chrome://tracing``.  Timestamps are simulated GPU cycles carried
+in the microsecond field, so 1 µs in the viewer reads as 1 core cycle.
+
+Every span and instant carries the owning data object in
+``args["obj"]`` — select a track and filter by the argument to see
+which object's traffic occupies an SM, a DRAM bank or a NoC link.
+
+Serialization is canonical (sorted keys, fixed separators), so two
+exports of deterministic sessions are byte-comparable — the jobs=1
+vs jobs=N golden-trace equivalence test relies on this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.trace import (
+    PID_COUNTERS,
+    TID_MAIN,
+    TraceSession,
+)
+
+#: Phase codes this exporter emits (and the validator accepts).
+_PHASES = frozenset({"X", "i", "C", "M"})
+
+#: Keys every exported event must carry, per phase.
+_REQUIRED_KEYS = {
+    "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid"),
+    "i": ("name", "cat", "ph", "ts", "pid", "tid", "s"),
+    "C": ("name", "ph", "ts", "pid", "args"),
+    "M": ("name", "ph", "pid", "args"),
+}
+
+#: Counter-track names derived from interval samples.
+INTERVAL_COUNTERS = ("ipc", "mshr_occupancy", "row_hit_rate")
+
+
+class TraceExportError(ReproError):
+    """An exported trace document failed validation."""
+
+
+def chrome_trace(session: TraceSession, label: str = "") -> dict:
+    """Render a session as a Chrome/Perfetto ``trace_events`` document."""
+    events: list[dict[str, Any]] = []
+    for pid, name in sorted(session.process_names.items()):
+        events.append({
+            "ph": "M", "pid": pid, "tid": TID_MAIN,
+            "name": "process_name", "args": {"name": name},
+        })
+    for (pid, tid), name in sorted(session.thread_names.items()):
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid,
+            "name": "thread_name", "args": {"name": name},
+        })
+    for ev in session.events:
+        args: dict[str, Any] = dict(ev.args) if ev.args else {}
+        if ev.obj is not None:
+            args["obj"] = ev.obj
+        entry: dict[str, Any] = {
+            "ph": ev.ph, "ts": ev.ts, "pid": ev.pid, "tid": ev.tid,
+            "cat": ev.cat, "name": ev.name,
+        }
+        if ev.ph == "X":
+            entry["dur"] = ev.dur
+        elif ev.ph == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        if args or ev.ph == "C":
+            entry["args"] = args
+        events.append(entry)
+    for sample in session.samples:
+        ts = sample["cycle"]
+        for name in INTERVAL_COUNTERS:
+            if name in sample:
+                events.append({
+                    "ph": "C", "ts": ts, "pid": PID_COUNTERS,
+                    "tid": TID_MAIN, "name": name,
+                    "args": {"value": sample[name]},
+                })
+        obj_bytes = sample.get("object_read_bytes") or {}
+        if obj_bytes:
+            events.append({
+                "ph": "C", "ts": ts, "pid": PID_COUNTERS,
+                "tid": TID_MAIN, "name": "object_read_bytes",
+                "args": dict(obj_bytes),
+            })
+    if session.samples and PID_COUNTERS not in session.process_names:
+        events.insert(0, {
+            "ph": "M", "pid": PID_COUNTERS, "tid": TID_MAIN,
+            "name": "process_name", "args": {"name": "interval counters"},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "clock": "gpu-core-cycles",
+            "events_emitted": session.emitted,
+            "events_dropped": session.dropped,
+            "interval_cycles": session.config.interval_cycles,
+            "sample_rate": session.config.sample_rate,
+            "sample_seed": session.config.seed,
+        },
+    }
+
+
+def render_chrome_trace(session: TraceSession, label: str = "") -> str:
+    """Canonical JSON text of :func:`chrome_trace` (byte-comparable)."""
+    return json.dumps(
+        chrome_trace(session, label=label),
+        sort_keys=True, separators=(",", ":"),
+    ) + "\n"
+
+
+def write_chrome_trace(
+    session: TraceSession, path: str, label: str = ""
+) -> int:
+    """Write the session's trace to ``path``; returns the event count."""
+    doc = chrome_trace(session, label=label)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+def validate_trace_events(doc: Any) -> int:
+    """Check a trace document against the subset of the Trace Event
+    format this exporter produces; returns the number of events.
+
+    Raises :class:`TraceExportError` on a malformed document — used by
+    the export tests and the CI trace smoke step.
+    """
+    if not isinstance(doc, dict):
+        raise TraceExportError(f"trace must be an object, got {type(doc)}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise TraceExportError("traceEvents must be a non-empty list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise TraceExportError(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise TraceExportError(f"event {i}: unknown phase {ph!r}")
+        for key in _REQUIRED_KEYS[ph]:
+            if key not in ev:
+                raise TraceExportError(
+                    f"event {i} (ph={ph}): missing key {key!r}"
+                )
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                raise TraceExportError(f"event {i}: {key} must be int")
+        if "ts" in ev:
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                raise TraceExportError(
+                    f"event {i}: ts must be a non-negative number"
+                )
+        if ph == "X":
+            dur = ev["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceExportError(
+                    f"event {i}: dur must be a non-negative number"
+                )
+        if ph == "C":
+            args = ev["args"]
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise TraceExportError(
+                    f"event {i}: counter args must map name -> number"
+                )
+        if ph == "M":
+            if ev["name"] not in ("process_name", "thread_name"):
+                raise TraceExportError(
+                    f"event {i}: unknown metadata {ev['name']!r}"
+                )
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                raise TraceExportError(
+                    f"event {i}: metadata args.name must be a string"
+                )
+    return len(events)
+
+
+def validate_trace_file(path: str) -> int:
+    """Load and validate an exported trace file; returns event count."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceExportError(f"{path}: not valid JSON ({exc})") \
+                from None
+    try:
+        return validate_trace_events(doc)
+    except TraceExportError as exc:
+        raise TraceExportError(f"{path}: {exc}") from None

@@ -1,0 +1,382 @@
+"""Cycle-level event tracing for the timing simulator.
+
+A :class:`TraceSession` records typed events and spans emitted by the
+instrumented simulator — warp issue and stall spans per SM, the
+L1 access→miss→MSHR→fill lifecycle, L2 service spans, DRAM bank-busy
+and bus-transfer spans per channel, interconnect link occupancy — into
+a bounded ring buffer, each tagged with the *data object* whose
+traffic caused it.  Attribution uses two complementary mechanisms:
+
+* the **request context** — the LD/ST unit stamps the session with the
+  owning object's name before descending into the shared memory
+  hierarchy, so every event the nested calls emit inherits an exact
+  label (replica transactions included);
+* the **address-space map** (:class:`ObjectMap`) — a sorted-interval
+  resolver built from the application's :class:`DeviceMemory`
+  allocations, used when no context is active (e.g. stores).
+
+Alongside discrete events, an interval sampler captures per-N-cycle
+time series (IPC, MSHR occupancy, DRAM row-hit rate, per-object read
+bandwidth); the series both exports as Perfetto counter tracks (see
+:mod:`repro.obs.perfetto`) and folds into a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Instrumentation is *attach-time*: components are wrapped only when a
+session is installed (see ``_attach_tracer`` hooks in the ``sim`` and
+``arch`` modules), so a simulation without a tracer runs byte-for-byte
+the uninstrumented code — no hook branches, no allocations.
+
+Everything recorded is deterministic for a given (trace, config,
+sampling seed): timestamps are simulated cycles, sampling uses a
+dedicated seeded RNG, and no wall-clock value ever enters an event —
+which makes byte-comparison of exported traces a valid reproducibility
+check.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Iterable, NamedTuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.arch.address_space import DataObject, DeviceMemory
+    from repro.obs.metrics import MetricsRegistry
+
+#: Event categories a session can record (``TraceConfig.categories``
+#: filters against these).
+TRACE_CATEGORIES = (
+    "kernel",   # per-kernel timeline spans
+    "warp",     # warp issue instants and stall spans
+    "cache",    # L1 lifecycle: misses, fills, merges, evictions
+    "l2",       # L2 slice service spans
+    "dram",     # bank-busy and bus-transfer spans
+    "noc",      # interconnect link occupancy
+    "mshr",     # MSHR occupancy counters and structural stalls
+)
+
+#: Attribution label for traffic that resolves to no known data object
+#: (e.g. replica regions when no request context is active).
+UNATTRIBUTED = "(unattributed)"
+
+# ----------------------------------------------------------------------
+# Track numbering (Perfetto pid/tid space).  Processes group tracks:
+# one per SM, one per L2 slice / DRAM channel / NoC partition, plus a
+# timeline and a counter process.
+PID_TIMELINE = 1
+PID_COUNTERS = 2
+PID_SM_BASE = 100
+PID_L2_BASE = 300
+PID_DRAM_BASE = 400
+PID_NOC_BASE = 500
+
+TID_MAIN = 0
+#: Thread track of an SM's LD/ST unit (L1/MSHR lifecycle events).
+TID_LDST = 9000
+#: Thread track of a DRAM channel's shared data bus.
+TID_DRAM_BUS = 9001
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event, directly mappable to a ``trace_events`` entry.
+
+    ``ph`` follows the Chrome trace-event phase codes this subsystem
+    emits: ``"X"`` (complete span, ``dur`` cycles), ``"i"`` (instant)
+    or ``"C"`` (counter sample; values live in ``args``).
+    """
+
+    ts: int
+    dur: int
+    ph: str
+    cat: str
+    name: str
+    pid: int
+    tid: int
+    obj: str | None
+    args: dict[str, Any] | None
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of one :class:`TraceSession`.
+
+    ``max_events`` bounds the ring buffer (oldest events are evicted
+    first and counted in ``TraceSession.dropped``).  ``sample_rate``
+    thins the high-frequency event classes (cache lifecycle, DRAM and
+    NoC spans, issue instants) with a dedicated RNG seeded by
+    ``seed`` — structural events (kernel spans, stalls) are always
+    kept.  ``interval_cycles`` is the time-series sampling period.
+    """
+
+    max_events: int = 65536
+    interval_cycles: int = 1024
+    sample_rate: float = 1.0
+    seed: int = 20210621
+    categories: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ConfigError("max_events must be positive")
+        if self.interval_cycles <= 0:
+            raise ConfigError("interval_cycles must be positive")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ConfigError("sample_rate must be in [0, 1]")
+        if self.categories is not None:
+            unknown = set(self.categories) - set(TRACE_CATEGORIES)
+            if unknown:
+                raise ConfigError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"known: {TRACE_CATEGORIES}"
+                )
+
+
+class ObjectMap:
+    """Sorted-interval resolver from device addresses to object names.
+
+    Built from the application's address space; replica regions and
+    alignment pads resolve to ``None``.  Lookups are O(log n) bisects —
+    only ever paid while tracing is enabled.
+    """
+
+    def __init__(self, objects: Iterable["DataObject"]):
+        from repro.arch.address_space import BLOCK_BYTES
+
+        spans = sorted(
+            (obj.base_addr,
+             obj.base_addr + obj.n_blocks * BLOCK_BYTES,
+             obj.name)
+            for obj in objects
+        )
+        self._bases = [s[0] for s in spans]
+        self._ends = [s[1] for s in spans]
+        self._names = [s[2] for s in spans]
+
+    @classmethod
+    def from_memory(cls, memory: "DeviceMemory") -> "ObjectMap":
+        return cls(memory.objects)
+
+    def resolve(self, addr: int) -> str | None:
+        """Name of the object whose (block-padded) span covers ``addr``."""
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0 and addr < self._ends[i]:
+            return self._names[i]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+@dataclass
+class ObjectTraceStats:
+    """Per-object traffic attribution accumulated by a session.
+
+    Unlike the ring buffer these totals are never evicted, so the
+    attribution summary covers the *whole* run even when the event
+    buffer wrapped.
+    """
+
+    loads: int = 0
+    l1_misses: int = 0
+    mshr_merges: int = 0
+    stall_cycles: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    dram_busy_cycles: int = 0
+    dram_bus_cycles: int = 0
+    noc_bytes: int = 0
+    read_bytes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (JSON-summary shape)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class TraceSession:
+    """Bounded, sampled, object-attributed event recorder.
+
+    One session instruments one simulation (``simulate_trace`` /
+    ``simulate_app`` with ``tracer=...``).  The hooks communicate
+    through three tiny pieces of shared state:
+
+    * :attr:`now` — the cycle of the load/store currently descending
+      the hierarchy (components below the LD/ST unit have their own
+      precise times and ignore it);
+    * :attr:`ctx_obj` — the data object owning the in-flight request;
+    * :attr:`last_stall_reason` — set by the LD/ST unit on structural
+      stalls so the SM-level hook can label the warp's stall span.
+    """
+
+    def __init__(self, config: TraceConfig | None = None):
+        self.config = config or TraceConfig()
+        self.events: deque[TraceEvent] = deque(maxlen=self.config.max_events)
+        self.emitted = 0
+        self.dropped = 0
+        # Hook-shared request context.
+        self.now = 0
+        self.ctx_obj: str | None = None
+        self.last_stall_reason: str | None = None
+        self._rng = random.Random(self.config.seed)
+        self._object_map: ObjectMap | None = None
+        self._categories = (
+            set(self.config.categories)
+            if self.config.categories is not None else None
+        )
+        self.object_stats: dict[str, ObjectTraceStats] = {}
+        #: Interval time-series samples, in cycle order.
+        self.samples: list[dict[str, Any]] = []
+        self._interval_obj_bytes: dict[str, int] = {}
+        self._process_names: dict[int, str] = {}
+        self._thread_names: dict[tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def set_object_map(self, memory: "DeviceMemory") -> None:
+        """Install the address-space map used to attribute raw addresses."""
+        self._object_map = ObjectMap.from_memory(memory)
+
+    @property
+    def object_map(self) -> ObjectMap | None:
+        return self._object_map
+
+    def attribute(self, addr: int) -> str:
+        """Owning object of ``addr``: request context first, then the
+        address-space map, then :data:`UNATTRIBUTED`."""
+        if self.ctx_obj is not None:
+            return self.ctx_obj
+        if self._object_map is not None:
+            name = self._object_map.resolve(addr)
+            if name is not None:
+                return name
+        return UNATTRIBUTED
+
+    def obj(self, name: str) -> ObjectTraceStats:
+        """The attribution accumulator for object ``name``."""
+        stats = self.object_stats.get(name)
+        if stats is None:
+            stats = ObjectTraceStats()
+            self.object_stats[name] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Sampling and emission
+    # ------------------------------------------------------------------
+    def sampled(self) -> bool:
+        """Deterministic coin flip for high-frequency event classes."""
+        rate = self.config.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def register_track(
+        self, pid: int, name: str,
+        tid: int | None = None, tid_name: str | None = None,
+    ) -> None:
+        """Name a process (and optionally one of its threads)."""
+        self._process_names.setdefault(pid, name)
+        if tid is not None and tid_name is not None:
+            self._thread_names.setdefault((pid, tid), tid_name)
+
+    @property
+    def process_names(self) -> dict[int, str]:
+        return dict(self._process_names)
+
+    @property
+    def thread_names(self) -> dict[tuple[int, int], str]:
+        return dict(self._thread_names)
+
+    def emit(
+        self,
+        cat: str,
+        name: str,
+        ts: int,
+        dur: int,
+        pid: int,
+        tid: int,
+        obj: str | None = None,
+        args: dict[str, Any] | None = None,
+        ph: str = "X",
+    ) -> None:
+        """Record one event; oldest events are evicted when the ring is
+        full (and counted in :attr:`dropped`)."""
+        if self._categories is not None and cat not in self._categories:
+            return
+        self.emitted += 1
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(
+            TraceEvent(ts, dur, ph, cat, name, pid, tid, obj, args)
+        )
+
+    def instant(
+        self, cat: str, name: str, ts: int, pid: int, tid: int,
+        obj: str | None = None, args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a zero-duration event."""
+        self.emit(cat, name, ts, 0, pid, tid, obj, args, ph="i")
+
+    def counter(
+        self, cat: str, name: str, ts: int, pid: int,
+        values: dict[str, float],
+    ) -> None:
+        """Record a counter sample (one series per ``values`` key)."""
+        self.emit(cat, name, ts, 0, pid, TID_MAIN, None, values, ph="C")
+
+    # ------------------------------------------------------------------
+    # Interval time series
+    # ------------------------------------------------------------------
+    def account_read_bytes(self, obj_name: str, nbytes: int) -> None:
+        """Credit DRAM read bytes to ``obj_name`` for the current
+        sampling interval (and the whole-run attribution totals)."""
+        self.obj(obj_name).read_bytes += nbytes
+        bucket = self._interval_obj_bytes
+        bucket[obj_name] = bucket.get(obj_name, 0) + nbytes
+
+    def add_sample(self, cycle: int, **series: float) -> None:
+        """Close the current interval: record one time-series sample and
+        the per-object read-bandwidth bucket, then reset the bucket."""
+        obj_bytes = dict(sorted(self._interval_obj_bytes.items()))
+        self._interval_obj_bytes = {}
+        sample = {"cycle": int(cycle)}
+        sample.update(series)
+        sample["object_read_bytes"] = obj_bytes
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def object_summary(self) -> dict[str, dict[str, int]]:
+        """Whole-run per-object attribution, sorted by object name."""
+        return {
+            name: stats.to_dict()
+            for name, stats in sorted(self.object_stats.items())
+        }
+
+    def publish_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Fold the session's aggregates into a metrics registry."""
+        metrics.inc("trace.events.emitted", self.emitted)
+        metrics.inc("trace.events.kept", len(self.events))
+        metrics.inc("trace.events.dropped", self.dropped)
+        metrics.inc("trace.samples", len(self.samples))
+        for sample in self.samples:
+            metrics.observe("trace.interval.ipc", sample.get("ipc", 0.0))
+            metrics.observe(
+                "trace.interval.mshr_occupancy",
+                sample.get("mshr_occupancy", 0.0),
+            )
+            if sample.get("dram_requests", 0):
+                metrics.observe(
+                    "trace.interval.row_hit_pct",
+                    100.0 * sample.get("row_hit_rate", 0.0),
+                )
+        for name, stats in sorted(self.object_stats.items()):
+            metrics.inc(f"trace.object.{name}.read_bytes",
+                        stats.read_bytes)
+            metrics.inc(f"trace.object.{name}.loads", stats.loads)

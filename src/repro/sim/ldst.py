@@ -199,3 +199,76 @@ class LdstUnit:
         """Write-through, no-allocate, fire-and-forget."""
         self.subsystem.write(now, addr)
         self.stats.store_transactions += 1
+
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer, pid: int) -> None:
+        """Instrument this unit for a trace session.
+
+        The LD/ST unit is the request-context layer: ``load`` stamps the
+        session's ``now``/``ctx_obj`` before descending the synchronous
+        hierarchy, so every component below (L1, MSHR, crossbar, L2,
+        DRAM) attributes its events to the exact owning object — replica
+        traffic included, which the address-map fallback alone cannot
+        resolve.  Outcomes are classified from stats deltas: the L1 tag
+        array is touched exactly once per issued primary access, so a
+        miss delta means a true miss and an MSHR merge delta a merged
+        one.  On structural stalls it records the reason for the SM-level
+        hook to label the warp's stall span.
+        """
+        from repro.obs.trace import TID_LDST
+
+        orig_load = self.load
+        orig_store = self.store
+        self.l1._attach_tracer(tracer, pid, TID_LDST)
+        self.mshr._attach_tracer(tracer, pid, TID_LDST)
+
+        def traced_load(now: int, obj_name: str, addr: int) \
+                -> tuple[int, int | None]:
+            tracer.now = now
+            tracer.ctx_obj = obj_name
+            misses_before = self.l1.stats.misses
+            merges_before = self.mshr.stats.merges
+            mshr_stalls_before = self.stats.stalls.mshr_full
+            try:
+                ready, stall_until = orig_load(now, obj_name, addr)
+            finally:
+                tracer.ctx_obj = None
+            stats = tracer.obj(obj_name)
+            if stall_until is not None:
+                stats.stall_cycles += stall_until - now
+                tracer.last_stall_reason = (
+                    "mshr_full"
+                    if self.stats.stalls.mshr_full != mshr_stalls_before
+                    else "compare_queue_full"
+                )
+                return ready, stall_until
+            tracer.last_stall_reason = None
+            stats.loads += 1
+            if self.l1.stats.misses != misses_before:
+                stats.l1_misses += 1
+                if tracer.sampled():
+                    tracer.emit(
+                        "cache", "l1-miss-fill", now, ready - now,
+                        pid, TID_LDST, obj=obj_name,
+                    )
+            elif self.mshr.stats.merges != merges_before:
+                stats.mshr_merges += 1
+                if tracer.sampled():
+                    tracer.instant(
+                        "mshr", "miss-merge", now, pid, TID_LDST,
+                        obj=obj_name,
+                    )
+            return ready, None
+
+        def traced_store(now: int, addr: int) -> None:
+            tracer.now = now
+            tracer.ctx_obj = tracer.attribute(addr)
+            try:
+                orig_store(now, addr)
+            finally:
+                tracer.ctx_obj = None
+
+        self.load = traced_load
+        self.store = traced_store

@@ -79,6 +79,88 @@ class MemorySubsystem:
         self.l2_slices[part].access(addr, allocate=False)
 
     # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer) -> None:
+        """Instrument the shared hierarchy for a trace session.
+
+        ``read``/``write`` are rebound to wrappers that emit per-request
+        L2-slice service spans (hit/miss from the slice's stats delta)
+        and accumulate per-object L2 attribution; the crossbar links and
+        DRAM channels attach their own wrappers underneath.  Nothing is
+        rebound when no tracer is attached — the plain methods run
+        byte-identical to the un-instrumented build.
+        """
+        from repro.obs.trace import (
+            PID_DRAM_BASE,
+            PID_L2_BASE,
+            PID_NOC_BASE,
+            TID_DRAM_BUS,
+            TID_MAIN,
+        )
+
+        for i, channel in enumerate(self.dram_channels):
+            pid = PID_DRAM_BASE + i
+            tracer.register_track(
+                pid, f"DRAM channel {i}", TID_DRAM_BUS, "data bus")
+            for bank in range(channel.n_banks):
+                tracer.register_track(pid, f"DRAM channel {i}",
+                                      bank, f"bank {bank}")
+            channel._attach_tracer(tracer, pid, TID_DRAM_BUS)
+        for i, (req, rsp) in enumerate(
+            zip(self.crossbar.request_links, self.crossbar.response_links)
+        ):
+            pid = PID_NOC_BASE + i
+            tracer.register_track(pid, f"NoC partition {i}", 0, "request")
+            tracer.register_track(pid, f"NoC partition {i}", 1, "response")
+            req._attach_tracer(tracer, pid, 0)
+            rsp._attach_tracer(tracer, pid, 1)
+        for i in range(self.config.n_mem_channels):
+            tracer.register_track(
+                PID_L2_BASE + i, f"L2 slice {i}", TID_MAIN, "service")
+
+        orig_read = self.read
+        orig_write = self.write
+
+        def traced_read(now: int, addr: int) -> int:
+            part = self.config.channel_of_address(addr)
+            slice_stats = self.l2_slices[part].stats
+            hits_before = slice_stats.hits
+            l2_free = self._l2_next_free[part]
+            done = orig_read(now, addr)
+            hit = slice_stats.hits != hits_before
+            obj = tracer.attribute(addr)
+            stats = tracer.obj(obj)
+            stats.l2_accesses += 1
+            if not hit:
+                stats.l2_misses += 1
+            if tracer.sampled():
+                # Lower bound of the slice's service start (the exact
+                # value also folds in request-link queueing, which the
+                # NoC track shows separately).
+                start = max(l2_free, now)
+                tracer.emit(
+                    "l2", "l2-hit" if hit else "l2-miss",
+                    start, self.config.l2_service_cycles,
+                    PID_L2_BASE + part, TID_MAIN, obj=obj,
+                )
+            return done
+
+        def traced_write(now: int, addr: int) -> None:
+            orig_write(now, addr)
+            part = self.config.channel_of_address(addr)
+            obj = tracer.attribute(addr)
+            tracer.obj(obj).l2_accesses += 1
+            if tracer.sampled():
+                tracer.instant(
+                    "l2", "l2-write", tracer.now,
+                    PID_L2_BASE + part, TID_MAIN, obj=obj,
+                )
+
+        self.read = traced_read
+        self.write = traced_write
+
+    # ------------------------------------------------------------------
     # Aggregated stats
     # ------------------------------------------------------------------
     @property

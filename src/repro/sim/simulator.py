@@ -23,6 +23,7 @@ from repro.errors import ConfigError
 from repro.kernels.base import GpuApplication
 from repro.kernels.trace import AppTrace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import PID_TIMELINE, TID_MAIN, TraceSession
 from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
 from repro.sim.memory_subsystem import MemorySubsystem
 from repro.sim.metrics import SimReport
@@ -109,18 +110,106 @@ def _publish_sim_metrics(
                             100.0 * channel.row_hit_rate)
 
 
+class _IntervalSampler:
+    """Per-N-cycle time-series sampler driven by the drain loop.
+
+    The popped heap cycle is the global low-water mark — every SM's
+    local clock is at or past it — so crossing a sampling boundary
+    there guarantees all work before the boundary has been simulated.
+    Series are deltas over the interval (IPC, DRAM requests, row-hit
+    rate) plus point-in-time MSHR occupancy; per-object read-bandwidth
+    buckets are folded in by the session itself.
+    """
+
+    def __init__(
+        self,
+        tracer: TraceSession,
+        stats: SimStats,
+        ldsts: list[LdstUnit],
+        subsystem: MemorySubsystem,
+    ):
+        self.tracer = tracer
+        self.stats = stats
+        self.ldsts = ldsts
+        self.subsystem = subsystem
+        self.interval = tracer.config.interval_cycles
+        self.next_boundary = self.interval
+        self._instructions = 0
+        self._dram_requests = 0
+        self._dram_row_hits = 0
+
+    def advance(self, cycle: int) -> None:
+        while cycle >= self.next_boundary:
+            self._sample(self.next_boundary, self.interval)
+            self.next_boundary += self.interval
+
+    def flush(self, end: int) -> None:
+        """Close any boundary-aligned intervals plus the trailing
+        partial one at a kernel barrier."""
+        self.advance(end)
+        partial = end - (self.next_boundary - self.interval)
+        if partial > 0 and self.stats.instructions != self._instructions:
+            self._sample(end, partial)
+            # Re-anchor so the next kernel's intervals stay aligned.
+            self.next_boundary = (
+                end // self.interval + 1
+            ) * self.interval
+
+    def _sample(self, cycle: int, length: int) -> None:
+        instructions = self.stats.instructions
+        requests = self.subsystem.dram_requests
+        row_hits = self.subsystem.dram_row_hits
+        d_instr = instructions - self._instructions
+        d_req = requests - self._dram_requests
+        d_hits = row_hits - self._dram_row_hits
+        self._instructions = instructions
+        self._dram_requests = requests
+        self._dram_row_hits = row_hits
+        self.tracer.add_sample(
+            cycle,
+            ipc=d_instr / length,
+            mshr_occupancy=sum(u.mshr.outstanding for u in self.ldsts),
+            row_hit_rate=(d_hits / d_req) if d_req else 0.0,
+            instructions=d_instr,
+            dram_requests=d_req,
+        )
+
+
+def _attach_trace_hooks(
+    tracer: TraceSession,
+    sms: list[SmCore],
+    subsystem: MemorySubsystem,
+) -> None:
+    """Instrument every component of one simulation for ``tracer``.
+
+    Instance methods are rebound only on these objects — the classes
+    (and therefore every un-traced simulation, including ones running
+    concurrently in the same process) are untouched.
+    """
+    tracer.register_track(
+        PID_TIMELINE, "kernel timeline", TID_MAIN, "kernels")
+    subsystem._attach_tracer(tracer)
+    for sm in sms:
+        sm._attach_tracer(tracer)
+
+
 def simulate_trace(
     trace: AppTrace,
     config: GpuConfig = PAPER_CONFIG,
     protection: ProtectionSpec | None = None,
     budget: HardwareBudget | None = None,
     metrics: MetricsRegistry | None = None,
+    tracer: TraceSession | None = None,
 ) -> SimReport:
     """Run the timing simulation of one application trace.
 
     ``metrics``, when given, receives the simulator's observability
     counters and per-channel DRAM distributions (additively — one
-    registry can aggregate many simulations).
+    registry can aggregate many simulations).  ``tracer``, when given,
+    records the cycle-level event trace and interval time series; the
+    un-traced path executes exactly the code it did before tracing
+    existed (hooks are attached per instance, never installed on the
+    classes).
     """
     protection = protection or ProtectionSpec.baseline()
     budget = budget or HardwareBudget.from_config(config)
@@ -134,6 +223,10 @@ def simulate_trace(
     sms = [
         SmCore(i, config, ldsts[i], stats) for i in range(config.n_sms)
     ]
+    sampler: _IntervalSampler | None = None
+    if tracer is not None:
+        _attach_trace_hooks(tracer, sms, subsystem)
+        sampler = _IntervalSampler(tracer, stats, ldsts, subsystem)
 
     global_time = 0
     kernel_cycles: dict[str, int] = {}
@@ -146,17 +239,35 @@ def simulate_trace(
             if ctas:
                 sm.start_kernel(ctas, global_time)
                 heapq.heappush(heap, (sm.cycle, sm.sm_id))
-        while heap:
-            _cycle, sm_id = heapq.heappop(heap)
-            sm = sms[sm_id]
-            if not sm.active:
-                continue
-            sm.step()
-            if sm.active:
-                heapq.heappush(heap, (sm.cycle, sm.sm_id))
+        if sampler is None:
+            while heap:
+                _cycle, sm_id = heapq.heappop(heap)
+                sm = sms[sm_id]
+                if not sm.active:
+                    continue
+                sm.step()
+                if sm.active:
+                    heapq.heappush(heap, (sm.cycle, sm.sm_id))
+        else:
+            while heap:
+                _cycle, sm_id = heapq.heappop(heap)
+                sampler.advance(_cycle)
+                sm = sms[sm_id]
+                if not sm.active:
+                    continue
+                sm.step()
+                if sm.active:
+                    heapq.heappush(heap, (sm.cycle, sm.sm_id))
         kernel_end = max(
             (sm.cycle for sm in sms), default=global_time
         )
+        if tracer is not None:
+            sampler.flush(kernel_end)
+            tracer.emit(
+                "kernel", kernel.name, global_time,
+                kernel_end - global_time, PID_TIMELINE, TID_MAIN,
+                args={"ctas": len(kernel.ctas)},
+            )
         kernel_cycles[kernel.name] = kernel_end - global_time
         global_time = kernel_end
 
@@ -184,6 +295,8 @@ def simulate_trace(
     )
     if metrics is not None:
         _publish_sim_metrics(metrics, stats, ldsts, subsystem, report)
+        if tracer is not None:
+            tracer.publish_metrics(metrics)
     return report
 
 
@@ -197,14 +310,17 @@ def simulate_app(
     budget: HardwareBudget | None = None,
     lazy: bool = True,
     metrics: MetricsRegistry | None = None,
+    tracer: TraceSession | None = None,
 ) -> SimReport:
     """Simulate an application under a protection configuration."""
     if memory is None:
         memory = app.fresh_memory()
     if trace is None:
         trace = app.build_trace(memory)
+    if tracer is not None:
+        tracer.set_object_map(memory)
     protection = build_protection(
         memory, scheme_name, tuple(protected_names), lazy=lazy
     )
     return simulate_trace(trace, config, protection, budget,
-                          metrics=metrics)
+                          metrics=metrics, tracer=tracer)

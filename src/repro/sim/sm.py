@@ -172,6 +172,55 @@ class SmCore:
 
         raise TypeError(f"unknown instruction {inst!r}")
 
+    # ------------------------------------------------------------------
+    # Cycle-level tracing (attach-time instrumentation)
+    # ------------------------------------------------------------------
+    def _attach_tracer(self, tracer) -> None:
+        """Instrument this SM for a trace session.
+
+        ``_issue`` is rebound to a wrapper that emits per-warp stall
+        spans (always kept — stalls are the structural events the
+        paper's overhead analysis cares about) and sampled issue
+        instants, each on the warp's own thread track inside this SM's
+        process group.  The stall reason comes from the stats delta for
+        compute waits and from the LD/ST unit's shared context for
+        structural (MSHR / compare-queue) stalls.
+        """
+        from repro.obs.trace import PID_SM_BASE, TID_LDST
+
+        pid = PID_SM_BASE + self.sm_id
+        tracer.register_track(pid, f"SM {self.sm_id}", TID_LDST, "LD/ST")
+        self.ldst._attach_tracer(tracer, pid)
+        orig_issue = self._issue
+
+        def traced_issue(warp, slots: int) -> int:
+            waits_before = self.stats.stalls.memory_wait
+            tracer.now = self.cycle
+            used = orig_issue(warp, slots)
+            stall_reason = None
+            if self.stats.stalls.memory_wait != waits_before:
+                stall_reason = "memory_wait"
+            elif tracer.last_stall_reason is not None:
+                stall_reason = tracer.last_stall_reason
+                tracer.last_stall_reason = None
+            if stall_reason is not None:
+                # A stalled warp has not advanced, so its current
+                # instruction names the object it is blocked on.
+                tracer.emit(
+                    "warp", f"stall:{stall_reason}", self.cycle,
+                    max(warp.resume_time - self.cycle, 1), pid,
+                    warp.warp_id,
+                    obj=getattr(warp.current(), "obj", None),
+                )
+            elif used and tracer.sampled():
+                tracer.instant(
+                    "warp", "issue", self.cycle, pid, warp.warp_id,
+                    args={"slots": used},
+                )
+            return used
+
+        self._issue = traced_issue
+
     def _retire(self) -> None:
         finished_ctas = set()
         for warp in self._warps:

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.perfetto import validate_trace_file
 
 
 class TestParser:
@@ -70,6 +73,96 @@ class TestTradeoffCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "sweet spot" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_perfetto_json(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        objects = tmp_path / "run.objects.json"
+        code = main([
+            "trace", "P-ATAX", "--scale", "small",
+            "--scheme", "detection", "--protect", "hot",
+            "--out", str(out), "--objects-out", str(objects),
+        ])
+        assert code == 0
+        assert validate_trace_file(str(out)) > 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        spans = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and "obj" in e.get("args", {})]
+        assert spans, "no data-object-labeled spans in the export"
+        summary = json.loads(objects.read_text(encoding="utf-8"))
+        assert summary["app"] == "P-ATAX"
+        assert summary["objects"]
+        captured = capsys.readouterr().out
+        assert "trace event(s)" in captured
+        assert "object" in captured
+
+    def test_app_flag_alias(self, tmp_path):
+        out = tmp_path / "alias.trace.json"
+        code = main([
+            "trace", "--app", "P-ATAX", "--scale", "small",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert validate_trace_file(str(out)) > 0
+
+    def test_missing_app_rejected(self, capsys):
+        assert main(["trace"]) == 2
+        assert "application is required" in capsys.readouterr().err
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        out = tmp_path / "q.trace.json"
+        code = main([
+            "-q", "trace", "P-ATAX", "--scale", "small",
+            "--out", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "trace event(s)" not in captured  # progress silenced
+        assert "cycles" in captured  # results still print
+
+
+class TestGoldenTraceCapture:
+    def test_perf_trace_capture(self, tmp_path, capsys):
+        out = tmp_path / "golden.trace.json"
+        code = main([
+            "perf", "A-Meanfilter", "--scale", "small",
+            "--scheme", "detection", "--protect", "hot",
+            "--trace", str(out),
+        ])
+        assert code == 0
+        assert validate_trace_file(str(out)) > 0
+
+    def test_campaign_trace_identical_across_jobs(self, tmp_path):
+        """The golden-run trace is captured parent-side, so the export
+        must be byte-identical for any --jobs setting."""
+        outs = []
+        for jobs in ("1", "2"):
+            out = tmp_path / f"jobs{jobs}.trace.json"
+            code = main([
+                "-q", "campaign", "A-Laplacian", "--scale", "small",
+                "--scheme", "detection", "--protect", "hot",
+                "--runs", "4", "--jobs", jobs, "--trace", str(out),
+            ])
+            assert code == 0
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+
+class TestStatsErrors:
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/no/such/telemetry.jsonl"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n", encoding="utf-8")
+        assert main(["stats", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_directory_argument(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestExportCommand:

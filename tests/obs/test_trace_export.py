@@ -1,0 +1,156 @@
+"""Tests for the Perfetto/Chrome ``trace_events`` exporter.
+
+Validates the emitted schema (phases, required keys, metadata), the
+canonical-serialization byte determinism the golden-trace equivalence
+check relies on, and the validator's rejection of malformed documents.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import (
+    TraceExportError,
+    chrome_trace,
+    render_chrome_trace,
+    validate_trace_events,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    PID_COUNTERS,
+    PID_TIMELINE,
+    TID_MAIN,
+    TraceConfig,
+    TraceSession,
+)
+
+
+def _session() -> TraceSession:
+    session = TraceSession(TraceConfig(max_events=64))
+    session.register_track(PID_TIMELINE, "timeline", TID_MAIN, "kernels")
+    session.emit("kernel", "k0", ts=0, dur=100, pid=PID_TIMELINE,
+                 tid=TID_MAIN, obj="A", args={"ctas": 4})
+    session.instant("mshr", "full-stall", ts=10, pid=100, tid=3)
+    session.counter("mshr", "mshr[100]", ts=12, pid=100,
+                    values={"outstanding": 5})
+    session.account_read_bytes("A", 256)
+    session.add_sample(1024, ipc=1.5, mshr_occupancy=2.0,
+                       row_hit_rate=0.75, dram_requests=3)
+    return session
+
+
+class TestChromeTrace:
+    def test_document_validates(self):
+        doc = chrome_trace(_session(), label="t")
+        n = validate_trace_events(doc)
+        assert n == len(doc["traceEvents"])
+
+    def test_span_shape(self):
+        doc = chrome_trace(_session())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (span,) = spans
+        assert span["name"] == "k0"
+        assert span["ts"] == 0 and span["dur"] == 100
+        assert span["args"]["obj"] == "A"
+        assert span["args"]["ctas"] == 4
+
+    def test_instant_is_thread_scoped(self):
+        doc = chrome_trace(_session())
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        assert instant["ts"] == 10
+
+    def test_counters_include_interval_series(self):
+        doc = chrome_trace(_session())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert {"mshr[100]", "ipc", "mshr_occupancy",
+                "row_hit_rate", "object_read_bytes"} <= names
+        (obj_bytes,) = [e for e in counters
+                        if e["name"] == "object_read_bytes"]
+        assert obj_bytes["args"] == {"A": 256}
+        assert obj_bytes["pid"] == PID_COUNTERS
+
+    def test_metadata_names_tracks(self):
+        doc = chrome_trace(_session())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "timeline") in names
+        assert ("thread_name", "kernels") in names
+        # The counter process is auto-named when samples exist.
+        assert ("process_name", "interval counters") in names
+
+    def test_other_data_carries_session_config(self):
+        session = _session()
+        doc = chrome_trace(session, label="lbl")
+        other = doc["otherData"]
+        assert other["label"] == "lbl"
+        assert other["clock"] == "gpu-core-cycles"
+        assert other["events_emitted"] == session.emitted
+        assert other["sample_seed"] == session.config.seed
+
+
+class TestCanonicalRender:
+    def test_identical_sessions_render_identical_bytes(self):
+        assert render_chrome_trace(_session()) == \
+            render_chrome_trace(_session())
+
+    def test_render_is_loadable_json(self):
+        doc = json.loads(render_chrome_trace(_session()))
+        assert validate_trace_events(doc) > 0
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = str(tmp_path / "s.trace.json")
+        n = write_chrome_trace(_session(), path, label="file")
+        assert validate_trace_file(path) == n
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceExportError):
+            validate_trace_events([1, 2, 3])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(TraceExportError):
+            validate_trace_events({"traceEvents": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TraceExportError, match="phase"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "Z", "name": "x", "pid": 1, "tid": 0},
+            ]})
+
+    def test_rejects_missing_required_key(self):
+        with pytest.raises(TraceExportError, match="missing key"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "X", "name": "x", "cat": "kernel",
+                 "ts": 0, "pid": 1, "tid": 0},  # no dur
+            ]})
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(TraceExportError, match="ts"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "X", "name": "x", "cat": "kernel", "ts": -1,
+                 "dur": 1, "pid": 1, "tid": 0},
+            ]})
+
+    def test_rejects_non_numeric_counter(self):
+        with pytest.raises(TraceExportError, match="counter"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "C", "name": "c", "ts": 0, "pid": 1,
+                 "args": {"v": "high"}},
+            ]})
+
+    def test_rejects_unknown_metadata(self):
+        with pytest.raises(TraceExportError, match="metadata"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "M", "name": "color", "pid": 1,
+                 "args": {"name": "red"}},
+            ]})
+
+    def test_file_error_paths(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(TraceExportError, match="not valid JSON"):
+            validate_trace_file(str(bad))

@@ -51,8 +51,8 @@ def _time_arm(manager, clone_mode: str, jobs: int):
     campaign = Campaign(
         manager.app,
         manager.selection("access-weighted"),
-        scheme_name=_SCHEME,
-        protected_names=manager.protected_names(_PROTECT),
+        scheme=_SCHEME,
+        protect=manager.protected_names(_PROTECT),
         config=CampaignConfig(runs=BENCH_RUNS, seed=SEED),
         clone_mode=clone_mode,
         jobs=jobs,

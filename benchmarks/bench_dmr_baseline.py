@@ -56,8 +56,8 @@ def _scheme_campaign(manager, scheme, runs, n_bits=3):
     )
     return Campaign(
         app, uniform_selection(pool),
-        scheme_name=scheme,
-        protected_names=manager.protected_names("hot"),
+        scheme=scheme,
+        protect=manager.protected_names("hot"),
         config=CampaignConfig(runs=runs, n_bits=n_bits, seed=SEED),
     ).run()
 

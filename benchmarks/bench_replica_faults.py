@@ -39,8 +39,8 @@ def _replica_campaign(manager, scheme, copy_index, runs):
     return Campaign(
         app,
         uniform_selection(pool, name=f"replica-{copy_index}"),
-        scheme_name=scheme,
-        protected_names=protected,
+        scheme=scheme,
+        protect=protected,
         config=CampaignConfig(runs=runs, n_blocks=1, n_bits=3,
                               seed=SEED),
     ).run()

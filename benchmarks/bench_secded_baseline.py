@@ -27,7 +27,7 @@ def _campaign(manager, n_bits, secded, scheme="baseline",
     ]
     return Campaign(
         manager.app, uniform_selection(pool),
-        scheme_name=scheme, protected_names=protect,
+        scheme=scheme, protect=protect,
         config=CampaignConfig(runs=runs, n_bits=n_bits, seed=SEED,
                               secded=secded),
     ).run()

@@ -57,8 +57,8 @@ def run_dmr_arm(manager):
 def run_scheme_arm(manager, scheme, protect, secded=False):
     return Campaign(
         manager.app, uniform_selection(hot_pool(manager)),
-        scheme_name=scheme,
-        protected_names=manager.protected_names(protect),
+        scheme=scheme,
+        protect=manager.protected_names(protect),
         config=CampaignConfig(runs=RUNS, n_bits=N_BITS, seed=SEED,
                               secded=secded),
     ).run()

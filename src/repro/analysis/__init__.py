@@ -10,12 +10,22 @@ from repro.analysis.report import (
     performance_table,
     sdc_drop_percent,
 )
+from repro.analysis.sweep import (
+    SweepCellSummary,
+    sdc_reduction_by_app,
+    summarize_sweep,
+    sweep_table,
+)
 from repro.analysis.tradeoff import TradeoffPoint, tradeoff_curve
 
 __all__ = [
     "campaign_table",
     "performance_table",
     "sdc_drop_percent",
+    "SweepCellSummary",
+    "sdc_reduction_by_app",
+    "summarize_sweep",
+    "sweep_table",
     "TradeoffPoint",
     "tradeoff_curve",
 ]

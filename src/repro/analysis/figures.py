@@ -11,11 +11,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.report import sdc_drop_percent
 from repro.arch.config import GpuConfig, PAPER_CONFIG
 from repro.core.manager import ReliabilityManager
 from repro.data.gpu_trends import L2_SIZE_TREND
-from repro.faults.campaign import CampaignResult
 from repro.faults.outcomes import Outcome
 from repro.profiling.hot_objects import Table3Row
 from repro.sim.metrics import SimReport

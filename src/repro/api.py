@@ -1,0 +1,129 @@
+"""The stable public API of :mod:`repro`.
+
+This module is the one import surface with a compatibility promise:
+everything in ``__all__`` below keeps its name, location and calling
+convention across minor releases, and ``tests/test_package_surface.py``
+snapshots the list so an accidental change fails CI.  Internals
+(``repro.sim``, ``repro.arch``, scheme implementation classes, worker
+entry points) may move freely between releases — import them from
+their defining modules at your own risk.
+
+Deprecation policy: when a name or keyword here is renamed, the old
+spelling keeps working for at least one minor release, emitting a
+``DeprecationWarning`` exactly once per process, and is removed only
+on a major version bump.  See docs/API.md for the vocabulary
+(``jobs``, ``runs``, ``seed``, ``scheme``, ``protect``) and the
+current deprecations.
+
+Quickstart::
+
+    from repro.api import ReliabilityManager, create_app
+
+    manager = ReliabilityManager(create_app("P-BICG"))
+    result = manager.evaluate(scheme="correction", protect="hot",
+                              runs=1000, jobs=4)
+
+    # Grid sweeps with durable, resumable progress:
+    from repro.api import Session, SessionConfig, SweepSpec
+
+    spec = SweepSpec(apps=("P-BICG", "A-Laplacian"),
+                     schemes=("baseline", "correction"),
+                     protects=("hot",), runs=1000)
+    session = Session(spec, store="sweep.ckpt",
+                      config=SessionConfig(jobs=8))
+    sweep = session.run(resume=True)
+"""
+
+from repro import __version__
+from repro.arch.config import GpuConfig, PAPER_CONFIG
+from repro.core.manager import ReliabilityManager
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultDetected,
+    KernelCrash,
+    ReproError,
+    SessionError,
+    SessionInterrupted,
+    SpecError,
+    TelemetryError,
+    UnknownAppError,
+    UnknownSchemeError,
+)
+from repro.faults.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.faults.outcomes import Outcome, RunResult
+from repro.kernels.registry import (
+    APPLICATIONS,
+    FLAT_APPLICATIONS,
+    create_app,
+    resilience_apps,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.records import RunRecord, TelemetryWriter, read_records
+from repro.obs.session import SessionLog, read_session_events
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.executor import CampaignExecutor
+from repro.runtime.session import (
+    CellSpec,
+    Session,
+    SessionConfig,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
+from repro.analysis.sweep import summarize_sweep
+from repro.analysis.tradeoff import tradeoff_curve
+
+__all__ = [
+    # applications
+    "APPLICATIONS",
+    "FLAT_APPLICATIONS",
+    "create_app",
+    "resilience_apps",
+    # end-to-end management
+    "ReliabilityManager",
+    "GpuConfig",
+    "PAPER_CONFIG",
+    # campaigns
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignExecutor",
+    "Outcome",
+    "RunResult",
+    # sweep sessions
+    "SweepSpec",
+    "CellSpec",
+    "Session",
+    "SessionConfig",
+    "SweepResult",
+    "CheckpointStore",
+    "run_sweep",
+    "summarize_sweep",
+    "tradeoff_curve",
+    # observability
+    "MetricsRegistry",
+    "RunRecord",
+    "TelemetryWriter",
+    "read_records",
+    "SessionLog",
+    "read_session_events",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "SpecError",
+    "UnknownAppError",
+    "UnknownSchemeError",
+    "CheckpointError",
+    "SessionError",
+    "SessionInterrupted",
+    "TelemetryError",
+    "FaultDetected",
+    "KernelCrash",
+    # metadata
+    "__version__",
+]

@@ -7,7 +7,7 @@ Table I are folded into the derived cycle counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 

@@ -9,7 +9,7 @@ which is one of the structural hazards the timing simulator models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

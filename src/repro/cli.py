@@ -9,6 +9,9 @@ Commands mirror the paper's workflow:
 * ``perf``     — timing simulation of a protection configuration
   (Fig 7 bars).
 * ``tradeoff`` — the Section V-C sweep across protection levels.
+* ``sweep``    — a resumable grid of campaign cells (apps × schemes ×
+  protection levels) with durable chunk-level checkpoints
+  (``--checkpoint-dir`` / ``--resume``).
 * ``trace``    — cycle-level trace of one timing run, exported as
   Perfetto/Chrome ``trace_events`` JSON with per-object attribution.
 * ``export``   — write every exhibit's data for one application to
@@ -26,6 +29,14 @@ setting and is what ``repro stats`` consumes.  ``campaign`` and
 Output honors the global ``-q/--quiet`` and ``-v/--verbose`` flags:
 result tables always print, progress lines are silenced by ``-q``,
 and diagnostics appear on stderr under ``-v``.
+
+Exit codes map the :mod:`repro.errors` hierarchy so schedulers can
+react without parsing stderr: ``0`` success, ``2`` usage errors,
+``3`` unknown application or scheme, ``4`` invalid spec or
+configuration, ``5`` checkpoint-store failures, ``6`` session
+failures (retries exhausted), ``75`` interrupted-but-checkpointed
+(rerun ``sweep`` with ``--resume`` to continue), ``1`` any other
+library error.
 """
 
 from __future__ import annotations
@@ -53,7 +64,17 @@ def _manager(args) -> ReliabilityManager:
 
 
 def _protect_level(value: str) -> int | str:
-    return value if value in ("none", "hot", "all") else int(value)
+    if value in ("none", "hot", "all"):
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        from repro.errors import SpecError
+
+        raise SpecError(
+            f"protection level {value!r} must be none, hot, all, or "
+            "an object count"
+        ) from None
 
 
 def _cmd_apps(_args) -> int:
@@ -197,6 +218,70 @@ def _cmd_tradeoff(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import (
+        sdc_reduction_by_app,
+        summarize_sweep,
+        sweep_table,
+    )
+    from repro.errors import SpecError
+    from repro.obs.session import SessionLog
+    from repro.runtime.session import Session, SessionConfig, SweepSpec
+
+    if args.resume and args.checkpoint_dir is None:
+        raise SpecError("--resume requires --checkpoint-dir")
+    spec = SweepSpec(
+        apps=tuple(args.apps),
+        schemes=tuple(args.schemes),
+        protects=tuple(_protect_level(p) for p in args.protects),
+        runs=args.runs,
+        n_blocks=args.blocks,
+        n_bits=args.bits,
+        seed=args.seed,
+        selection=args.selection,
+        scale=args.scale,
+        app_seed=args.app_seed,
+        chunk_runs=args.chunk_runs,
+        collect_records=args.telemetry is not None,
+    )
+    config = SessionConfig(
+        jobs=args.jobs,
+        max_retries=args.max_retries,
+        chunk_timeout_s=args.chunk_timeout,
+        stop_after_chunks=args.stop_after_chunks,
+    )
+    events = (SessionLog(args.session_log)
+              if args.session_log is not None else None)
+    session = Session(spec, store=args.checkpoint_dir, config=config,
+                      events=events)
+    log.info(f"sweep: {len(spec.cells())} cell(s) x {spec.runs} runs, "
+             f"jobs={args.jobs}"
+             + (f", checkpoints in {args.checkpoint_dir}"
+                if args.checkpoint_dir else ""))
+    try:
+        sweep = session.run(resume=args.resume)
+    finally:
+        if events is not None:
+            events.close()
+    rows = summarize_sweep(sweep)
+    log.result(sweep_table(rows).render())
+    reductions = sdc_reduction_by_app(rows)
+    for app in sorted(reductions):
+        for arm, pct in sorted(reductions[app].items()):
+            log.result(f"{app}: {arm} reduces SDCs by {pct:.1f}% "
+                       "vs baseline")
+    if args.telemetry is not None:
+        n = sweep.write_telemetry(args.telemetry)
+        log.info(f"wrote {n} run record(s) to {args.telemetry}")
+    if args.out is not None:
+        from repro.utils.canonical import canonical_json
+
+        with open(args.out, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(canonical_json(sweep.to_dict()) + "\n")
+        log.info(f"wrote merged sweep results to {args.out}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.perfetto import validate_trace_file, write_chrome_trace
     from repro.obs.trace import TraceConfig, TraceSession
@@ -224,7 +309,7 @@ def _cmd_trace(args) -> int:
     log.info(f"wrote {n} trace event(s) to {out} "
              f"(emitted {tracer.emitted}, dropped {tracer.dropped}, "
              f"{len(tracer.samples)} interval samples)")
-    log.info(f"load at https://ui.perfetto.dev (1 us = 1 core cycle)")
+    log.info("load at https://ui.perfetto.dev (1 us = 1 core cycle)")
     log.result(f"{manager.app.name}: {report.cycles} cycles, "
                f"{report.instructions} instructions "
                f"({args.scheme}, protect={args.protect})")
@@ -375,6 +460,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_tradeoff)
 
     p = sub.add_parser(
+        "sweep",
+        help="resumable checkpointed campaign grid")
+    p.add_argument("apps", nargs="+",
+                   help="application name(s), e.g. P-BICG A-Laplacian")
+    p.add_argument("--schemes", nargs="+",
+                   default=["baseline", "correction"],
+                   choices=("baseline", "detection", "correction"),
+                   help="schemes to cross with every app "
+                        "(default: baseline correction)")
+    p.add_argument("--protects", nargs="+", default=["hot"],
+                   help="protection level(s): none | hot | all | "
+                        "<N objects> (default: hot)")
+    p.add_argument("--runs", type=int, default=200,
+                   help="fault-injection runs per cell (default 200)")
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--bits", type=int, default=2)
+    p.add_argument("--seed", type=int, default=20210621,
+                   help="campaign seed (default 20210621)")
+    p.add_argument("--app-seed", type=int, default=1234,
+                   help="application input seed (default 1234)")
+    p.add_argument("--scale", default="default",
+                   choices=("default", "small"))
+    p.add_argument("--selection", default="access-weighted",
+                   choices=("access-weighted", "miss-weighted",
+                            "uniform", "hot", "rest"))
+    p.add_argument("--chunk-runs", type=int, default=None,
+                   help="runs per durable work unit (default: each "
+                        "cell split into 16 chunks); part of the "
+                        "sweep identity")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1); never affects "
+                        "results or checkpoint compatibility")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="persist every completed chunk under DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the chunks already in "
+                        "--checkpoint-dir")
+    p.add_argument("--stop-after-chunks", type=int, default=None,
+                   metavar="N",
+                   help="stop (exit 75, checkpointed) after N newly "
+                        "executed chunks")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per chunk beyond the first attempt "
+                        "(default 2)")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="deadline per chunk attempt (default: none)")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write every cell's run records, in cell "
+                        "order, to one JSONL file at PATH")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the merged sweep results as canonical "
+                        "JSON to PATH")
+    p.add_argument("--session-log", metavar="PATH", default=None,
+                   help="narrate orchestration (chunks, retries, "
+                        "fallbacks) as JSONL events at PATH")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
         "trace",
         help="cycle-level trace of one timing run (Perfetto JSON)")
     _add_common(p, app_optional=True)
@@ -417,11 +561,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _exit_code_for(exc) -> int:
+    """Map a library error to its exit code; first match wins, so
+    subclasses come before their bases.  75 is BSD's EX_TEMPFAIL —
+    "try again later" — the natural fit for interrupted-but-
+    checkpointed."""
+    from repro import errors
+
+    mapping = (
+        (errors.SessionInterrupted, 75),
+        (errors.SessionError, 6),
+        (errors.CheckpointError, 5),
+        (errors.UnknownAppError, 3),
+        (errors.UnknownSchemeError, 3),
+        (errors.ConfigError, 4),
+    )
+    for klass, code in mapping:
+        if isinstance(exc, klass):
+            return code
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError`) are rendered to
+    stderr and mapped to distinct exit codes — see the module
+    docstring.  An interrupted sweep (``SIGINT`` or
+    ``--stop-after-chunks``) exits 75 with its progress checkpointed.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        log.error(f"{args.command}: {exc}")
+        return _exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ import numpy as np
 from repro.arch.address_space import DeviceMemory
 from repro.arch.config import GpuConfig, PAPER_CONFIG
 from repro.errors import ConfigError, FaultDetected, KernelCrash
-from repro.faults.outcomes import Outcome, RunResult
+from repro.faults.outcomes import Outcome
 from repro.kernels.base import GpuApplication, PlainReader
 
 

@@ -12,12 +12,11 @@ All profiling artifacts are computed lazily and cached — the paper's
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Sequence
 
 from repro.arch.address_space import DeviceMemory
 from repro.arch.config import GpuConfig, PAPER_CONFIG
 from repro.core.hardware import HardwareBudget
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SpecError
 from repro.faults.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.faults.selection import (
     BlockSelection,
@@ -113,11 +112,11 @@ class ReliabilityManager:
             return tuple(order)
         if isinstance(protect, int):
             if not 0 <= protect <= len(order):
-                raise ConfigError(
+                raise SpecError(
                     f"protect={protect} outside [0, {len(order)}]"
                 )
             return tuple(order[:protect])
-        raise ConfigError(f"bad protection level {protect!r}")
+        raise SpecError(f"bad protection level {protect!r}")
 
     # ------------------------------------------------------------------
     # Block selections
@@ -157,7 +156,7 @@ class ReliabilityManager:
             return access_weighted_selection(self.profile.block_reads)
         if kind == "uniform":
             return uniform_selection(sorted(self.profile.block_reads))
-        raise ConfigError(f"unknown selection kind {kind!r}")
+        raise SpecError(f"unknown selection kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Experiments
@@ -188,8 +187,8 @@ class ReliabilityManager:
         campaign = Campaign(
             self.app,
             self.selection(selection),
-            scheme_name=scheme,
-            protected_names=names,
+            scheme=scheme,
+            protect=names,
             config=CampaignConfig(
                 runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
             ),
@@ -216,7 +215,7 @@ class ReliabilityManager:
         campaign = Campaign(
             self.app,
             self.selection(space),
-            scheme_name="baseline",
+            scheme="baseline",
             config=CampaignConfig(
                 runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
             ),

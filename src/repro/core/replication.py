@@ -12,7 +12,7 @@ stores the copies at application load time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

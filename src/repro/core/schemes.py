@@ -18,7 +18,7 @@ scheme descriptors defined here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.core.replication import (
     create_replicas,
     majority_vote,
 )
-from repro.errors import ConfigError, FaultDetected
+from repro.errors import ConfigError, FaultDetected, UnknownSchemeError
 
 
 @dataclass
@@ -238,9 +238,7 @@ def make_scheme(
     "0 objects protected" point).
     """
     if name not in SCHEME_NAMES:
-        raise ConfigError(
-            f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}"
-        )
+        raise UnknownSchemeError(name, SCHEME_NAMES)
     if name == "baseline" or not protected_objects:
         return BaselineScheme(memory)
     if name == "detection":

@@ -24,6 +24,75 @@ class ConfigError(ReproError):
     """An architecture or workload configuration is invalid."""
 
 
+class UnknownAppError(ConfigError):
+    """An application name did not resolve against the registry.
+
+    Carries the offending ``name`` and the sorted ``known`` names so
+    callers (and the CLI's exit-code mapping) can render a helpful
+    message without parsing the string.
+    """
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown application {name!r}; known: {self.known}"
+        )
+
+
+class UnknownSchemeError(ConfigError):
+    """A resilience-scheme name did not resolve against the factory."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown scheme {name!r}; expected one of {self.known}"
+        )
+
+
+class SpecError(ConfigError):
+    """A declarative spec (sweep grid, protection level) is invalid."""
+
+
+class TelemetryError(ConfigError):
+    """A telemetry record or file failed schema validation."""
+
+
+class CheckpointError(ReproError):
+    """On-disk checkpoint data is corrupt, missing, or mismatched.
+
+    Raised when a checkpoint directory belongs to a different sweep,
+    a chunk file fails its content digest, or a manifest/payload does
+    not decode as the expected canonical JSON.
+    """
+
+
+class SessionError(ReproError):
+    """A sweep session could not complete (retries exhausted, broken
+    worker pool with no serial fallback, inconsistent plan)."""
+
+
+class SessionInterrupted(SessionError):
+    """A sweep session stopped early with durable progress on disk.
+
+    Raised on ``SIGINT`` or when a configured chunk budget
+    (``stop_after_chunks``) is reached; the completed chunks are
+    checkpointed and a later run with ``resume=True`` continues from
+    them.
+    """
+
+    def __init__(self, done: int, total: int, reason: str = "interrupted"):
+        self.done = done
+        self.total = total
+        self.reason = reason
+        super().__init__(
+            f"session {reason} after {done}/{total} chunk(s); "
+            "completed work is checkpointed — rerun with resume to "
+            "continue"
+        )
+
+
 class TraceError(ReproError):
     """A kernel trace is malformed or inconsistent."""
 

@@ -26,9 +26,16 @@ from typing import Iterable
 
 import numpy as np
 
+from repro._compat import UNSET, resolve_renamed
 from repro.arch.address_space import DeviceMemory
-from repro.core.schemes import make_scheme
-from repro.errors import ConfigError, FaultDetected, KernelCrash
+from repro.core.schemes import SCHEME_NAMES, make_scheme
+from repro.errors import (
+    ConfigError,
+    FaultDetected,
+    KernelCrash,
+    SpecError,
+    UnknownSchemeError,
+)
 from repro.faults.injector import apply_faults
 from repro.faults.secded_filter import apply_filtered_faults
 from repro.faults.model import FaultSpec, live_words, sample_word_fault
@@ -37,6 +44,7 @@ from repro.faults.selection import BlockSelection
 from repro.kernels.base import GpuApplication
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.records import RunRecord
+from repro.utils.canonical import canonical_digest
 from repro.utils.rng import RngStream, derive_seed
 from repro.utils.stats import ConfidenceInterval, confidence_interval
 
@@ -45,6 +53,10 @@ from repro.utils.stats import ConfidenceInterval, confidence_interval
 #: memory and rebuilds replicas every run (the original, slow path —
 #: kept as the reference the COW path is tested bit-for-bit against).
 CLONE_MODES = ("cow", "full")
+
+#: Bumped whenever the serialized campaign-result shape changes
+#: incompatibly (checkpoint chunks embed it).
+RESULT_VERSION = 1
 
 
 def merge_sorted_runs(parts: Iterable[list]) -> list:
@@ -93,6 +105,37 @@ class CampaignConfig:
             raise ConfigError("n_blocks must be positive")
         if not 1 <= self.n_bits <= 32:
             raise ConfigError("n_bits must be in [1, 32]")
+
+    def to_dict(self) -> dict:
+        """JSON-ready image (canonical field order comes from the
+        encoder's key sorting, not from this dict)."""
+        return {
+            "runs": self.runs,
+            "n_blocks": self.n_blocks,
+            "n_bits": self.n_bits,
+            "seed": self.seed,
+            "secded": self.secded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        """Rebuild a config from a :meth:`to_dict` image."""
+        if not isinstance(data, dict):
+            raise SpecError(f"campaign config must be an object, "
+                            f"got {type(data).__name__}")
+        extra = set(data) - {"runs", "n_blocks", "n_bits", "seed", "secded"}
+        if extra:
+            raise SpecError(f"campaign config has unknown keys {sorted(extra)}")
+        try:
+            return cls(
+                runs=int(data["runs"]),
+                n_blocks=int(data["n_blocks"]),
+                n_bits=int(data["n_bits"]),
+                seed=int(data["seed"]),
+                secded=bool(data["secded"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"bad campaign config: {exc}") from None
 
 
 @dataclass
@@ -189,6 +232,91 @@ class CampaignResult:
         merged.validate()
         return merged
 
+    def to_dict(self) -> dict:
+        """JSON-ready image of this (chunk or merged) result.
+
+        Everything deterministic goes in — counts, kept runs, telemetry
+        records — and nothing wall-clock does: ``metrics_snapshot`` is
+        observability only, so two results of the same campaign encode
+        to byte-identical canonical JSON no matter where or how fast
+        they ran.  Floats are cast to Python ``float`` so the encoding
+        round-trips exactly.
+        """
+        return {
+            "version": RESULT_VERSION,
+            "app": self.app_name,
+            "scheme": self.scheme_name,
+            "selection": self.selection_name,
+            "config": self.config.to_dict(),
+            "counts": {o.value: self.counts[o] for o in Outcome},
+            "runs": [
+                {
+                    "run_index": r.run_index,
+                    "outcome": r.outcome.value,
+                    "error": float(r.error),
+                    "detail": r.detail,
+                }
+                for r in self.runs
+            ],
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        """Rebuild a result from a :meth:`to_dict` image, validating.
+
+        Raises :class:`~repro.errors.SpecError` (or
+        :class:`~repro.errors.TelemetryError` for a bad embedded run
+        record) on any malformed payload; the checkpoint store wraps
+        either into :class:`~repro.errors.CheckpointError`.
+        """
+        if not isinstance(data, dict):
+            raise SpecError("campaign result must be an object")
+        if data.get("version") != RESULT_VERSION:
+            raise SpecError(
+                f"unsupported campaign result version "
+                f"{data.get('version')!r} (expected {RESULT_VERSION})"
+            )
+        for key, typ in (("app", str), ("scheme", str), ("selection", str),
+                         ("counts", dict), ("runs", list),
+                         ("records", list)):
+            if not isinstance(data.get(key), typ):
+                raise SpecError(f"campaign result key {key!r} bad/missing")
+        if set(data["counts"]) != {o.value for o in Outcome}:
+            raise SpecError(
+                f"campaign result counts keys {sorted(data['counts'])} "
+                "do not match the outcome taxonomy"
+            )
+        result = cls(
+            app_name=data["app"],
+            scheme_name=data["scheme"],
+            selection_name=data["selection"],
+            config=CampaignConfig.from_dict(data.get("config")),
+        )
+        for outcome in Outcome:
+            n = data["counts"][outcome.value]
+            if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+                raise SpecError(f"bad count for outcome {outcome.value!r}")
+            result.counts[outcome] = n
+        try:
+            result.runs = [
+                RunResult(
+                    run_index=int(r["run_index"]),
+                    outcome=Outcome(r["outcome"]),
+                    error=float(r["error"]),
+                    detail=str(r["detail"]),
+                )
+                for r in data["runs"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"bad kept run in campaign result: {exc}") \
+                from None
+        result.records = [
+            RunRecord.from_dict(record) for record in data["records"]
+        ]
+        result.validate()
+        return result
+
     @property
     def sdc_count(self) -> int:
         return self.counts[Outcome.SDC]
@@ -244,15 +372,31 @@ class Campaign:
         self,
         app: GpuApplication,
         selection: BlockSelection,
-        scheme_name: str = "baseline",
-        protected_names: tuple[str, ...] = (),
+        scheme: str = UNSET,
+        protect: tuple[str, ...] = UNSET,
         config: CampaignConfig | None = None,
         keep_runs: bool = False,
         jobs: int = 1,
         clone_mode: str = "cow",
         collect_records: bool = False,
         metrics: MetricsRegistry | None = None,
+        scheme_name: str = UNSET,
+        protected_names: tuple[str, ...] = UNSET,
     ):
+        # Canonical vocabulary is ``scheme``/``protect``; the original
+        # ``scheme_name``/``protected_names`` spellings still work but
+        # warn once per process.
+        scheme = resolve_renamed(
+            "Campaign", "scheme_name", "scheme", scheme_name, scheme)
+        protect = resolve_renamed(
+            "Campaign", "protected_names", "protect",
+            protected_names, protect)
+        if scheme is UNSET:
+            scheme = "baseline"
+        if protect is UNSET:
+            protect = ()
+        if scheme not in SCHEME_NAMES:
+            raise UnknownSchemeError(scheme, SCHEME_NAMES)
         if clone_mode not in CLONE_MODES:
             raise ConfigError(
                 f"clone_mode {clone_mode!r} not in {CLONE_MODES}"
@@ -261,8 +405,8 @@ class Campaign:
             raise ConfigError("jobs must be >= 1")
         self.app = app
         self.selection = selection
-        self.scheme_name = scheme_name
-        self.protected_names = tuple(protected_names)
+        self.scheme_name = scheme
+        self.protected_names = tuple(protect)
         self.config = config or CampaignConfig()
         self.keep_runs = keep_runs
         self.jobs = jobs
@@ -283,6 +427,46 @@ class Campaign:
         #: live-word candidates per block address; the object layout is
         #: identical in every clone, so repeats across runs reuse it.
         self._live_words: dict[int, list[int]] = {}
+
+    @property
+    def scheme(self) -> str:
+        """Canonical alias of ``scheme_name``."""
+        return self.scheme_name
+
+    @property
+    def protect(self) -> tuple[str, ...]:
+        """Canonical alias of ``protected_names``."""
+        return self.protected_names
+
+    def spec_identity(self) -> dict:
+        """Canonical structural identity of this campaign.
+
+        Everything that determines the deterministic payload of the
+        campaign's results: the application's structural cache key,
+        the selection policy, scheme, protected objects, fault config
+        and the result-shape flags.  Execution knobs that provably do
+        not change results (``jobs``, ``clone_mode``) stay out, so a
+        checkpoint taken at one parallelism resumes at any other.
+        """
+        from repro.runtime.cache import app_cache_key
+
+        module, qualname, scalars = app_cache_key(self.app)
+        return {
+            "app": {
+                "class": f"{module}.{qualname}",
+                "params": [[name, value] for name, value in scalars],
+            },
+            "selection": self.selection.name,
+            "scheme": self.scheme_name,
+            "protect": list(self.protected_names),
+            "config": self.config.to_dict(),
+            "keep_runs": self.keep_runs,
+            "collect_records": self.collect_records,
+        }
+
+    def identity_digest(self) -> str:
+        """Content address of :meth:`spec_identity` (checkpoint key)."""
+        return canonical_digest(self.spec_identity())
 
     def run(self, jobs: int | None = None) -> CampaignResult:
         """Execute every run and aggregate the outcomes.

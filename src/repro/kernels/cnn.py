@@ -26,7 +26,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.address_space import DeviceMemory
-from repro.errors import KernelCrash
 from repro.kernels import common
 from repro.kernels.base import GpuApplication
 from repro.kernels.trace import (

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownAppError
 from repro.kernels.atax import Atax
 from repro.kernels.base import GpuApplication
 from repro.kernels.bicg import Bicg
@@ -79,7 +79,7 @@ def create_app(
     if factory is None:
         known = (sorted(APPLICATIONS) + sorted(FLAT_APPLICATIONS)
                  + sorted(EXTENDED_APPLICATIONS))
-        raise ConfigError(f"unknown application {name!r}; known: {known}")
+        raise UnknownAppError(name, known)
     if scale == "default":
         params: dict = {}
     elif scale == "small":

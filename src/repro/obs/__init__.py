@@ -52,6 +52,14 @@ from repro.obs.records import (
     records_in_order,
     validate_record,
 )
+from repro.obs.session import (
+    SESSION_EVENT_VERSION,
+    SessionEvent,
+    SessionLog,
+    iter_session_events,
+    read_session_events,
+    validate_event,
+)
 from repro.obs.summary import (
     GroupSummary,
     TelemetrySummary,
@@ -75,6 +83,12 @@ __all__ = [
     "TelemetrySummary",
     "summarize_file",
     "summarize_records",
+    "SESSION_EVENT_VERSION",
+    "SessionEvent",
+    "SessionLog",
+    "iter_session_events",
+    "read_session_events",
+    "validate_event",
     "Logger",
     "configure",
     "get_logger",

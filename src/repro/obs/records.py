@@ -21,7 +21,7 @@ import json
 from dataclasses import dataclass
 from typing import IO, Iterable, Iterator
 
-from repro.errors import ConfigError
+from repro.errors import TelemetryError
 from repro.faults.model import FaultSpec
 from repro.faults.outcomes import Outcome
 
@@ -55,8 +55,18 @@ FAULT_SCHEMA: dict[str, type] = {
 }
 
 
-class TelemetryError(ConfigError):
-    """A telemetry record failed schema validation."""
+__all__ = [
+    "RUN_RECORD_VERSION",
+    "RUN_RECORD_SCHEMA",
+    "FAULT_SCHEMA",
+    "RunRecord",
+    "TelemetryError",
+    "TelemetryWriter",
+    "iter_records",
+    "read_records",
+    "records_in_order",
+    "validate_record",
+]
 
 
 @dataclass(frozen=True)

@@ -9,11 +9,11 @@ percentages are reported (a warp-wide broadcast is one access, a
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.arch.address_space import DeviceMemory
 from repro.kernels.trace import AppTrace, Load
 
 

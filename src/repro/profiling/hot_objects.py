@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.address_space import BLOCK_BYTES, DeviceMemory
+from repro.arch.address_space import DeviceMemory
 from repro.kernels.base import GpuApplication
 from repro.profiling.access_profile import AccessProfile
 from repro.profiling.hot_blocks import HotBlockClassification

@@ -10,8 +10,8 @@ consulting the app's declared (source-analysis) answers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from dataclasses import dataclass
+from typing import Protocol
 
 from repro.arch.address_space import DeviceMemory
 from repro.kernels.base import GpuApplication

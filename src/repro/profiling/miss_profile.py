@@ -15,7 +15,7 @@ from collections import Counter
 
 from repro.arch.cache import Cache, CacheConfig
 from repro.arch.config import GpuConfig, PAPER_CONFIG
-from repro.kernels.trace import AppTrace, Load, Store
+from repro.kernels.trace import AppTrace, Load
 
 
 def l1_miss_profile(

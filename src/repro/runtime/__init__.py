@@ -1,4 +1,4 @@
-"""Campaign execution engine: parallel fan-out and process-level caching.
+"""Campaign execution engine: parallel fan-out, caching, durability.
 
 * :class:`~repro.runtime.executor.CampaignExecutor` — shards a
   campaign's run indices into chunks, executes them over a process
@@ -8,6 +8,12 @@
   memory, golden outputs and memory traces keyed by application
   identity, so sweeps and worker processes never recompute them per
   campaign object.
+* :mod:`repro.runtime.session` — declarative, resumable sweep
+  sessions: a :class:`~repro.runtime.session.SweepSpec` grid executed
+  as checkpointed chunk-level work units with bounded retry and
+  graceful serial degradation.
+* :mod:`repro.runtime.checkpoint` — the content-addressed on-disk
+  chunk store the sessions persist into.
 """
 
 from repro.runtime.cache import (
@@ -17,15 +23,36 @@ from repro.runtime.cache import (
     cache_info,
     clear_app_cache,
 )
+from repro.runtime.checkpoint import STORE_VERSION, CheckpointStore
 from repro.runtime.executor import CampaignExecutor, CampaignSpec, plan_chunks
+from repro.runtime.session import (
+    CellSpec,
+    Session,
+    SessionConfig,
+    SweepEntry,
+    SweepResult,
+    SweepSpec,
+    WorkUnit,
+    run_sweep,
+)
 
 __all__ = [
     "AppContext",
     "CampaignExecutor",
     "CampaignSpec",
+    "CellSpec",
+    "CheckpointStore",
+    "STORE_VERSION",
+    "Session",
+    "SessionConfig",
+    "SweepEntry",
+    "SweepResult",
+    "SweepSpec",
+    "WorkUnit",
     "app_cache_key",
     "app_context",
     "cache_info",
     "clear_app_cache",
     "plan_chunks",
+    "run_sweep",
 ]

@@ -1,0 +1,228 @@
+"""Durable on-disk checkpoints for sweep sessions.
+
+A :class:`CheckpointStore` owns one directory and persists a sweep's
+progress at chunk granularity, so a crashed or interrupted session
+resumes from its last durable chunk instead of rerunning the whole
+grid.  Layout::
+
+    <root>/
+        MANIFEST.json                  # sweep identity + store version
+        cells/<cell-digest>/
+            chunk-00000000-00000025.json
+            chunk-00000025-00000050.json
+            ...
+
+Everything is content-addressed canonical JSON:
+
+* the cell directory name is the SHA-256 of the cell campaign's
+  :meth:`~repro.faults.campaign.Campaign.spec_identity` — execution
+  knobs such as ``jobs`` stay out of the identity, so a checkpoint
+  taken at one parallelism resumes at any other;
+* each chunk file embeds the digest of its own payload, verified on
+  load, so torn or hand-edited files surface as
+  :class:`~repro.errors.CheckpointError` instead of silently skewing
+  merged results;
+* writes go through a temp file + :func:`os.replace`, so a crash
+  mid-write can never leave a half chunk that a resume would trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError, ReproError
+from repro.utils.canonical import canonical_digest, canonical_json
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+STORE_VERSION = 1
+
+_MANIFEST = "MANIFEST.json"
+_CELLS = "cells"
+
+
+def _chunk_name(start: int, stop: int) -> str:
+    return f"chunk-{start:08d}-{stop:08d}.json"
+
+
+class CheckpointStore:
+    """Chunk-granular durable storage for one sweep's results."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST
+
+    def exists(self) -> bool:
+        """True if this directory already holds a sweep manifest."""
+        return self.manifest_path.is_file()
+
+    def initialize(self, spec_doc: dict, resume: bool = False) -> dict:
+        """Create or validate the store for a sweep.
+
+        ``spec_doc`` is the sweep's canonical identity document.  A
+        fresh directory is stamped with it; an existing one must match
+        it exactly (same digest) and requires ``resume=True`` — both
+        mismatches raise :class:`~repro.errors.CheckpointError` so a
+        stale ``--checkpoint-dir`` can never mix two different sweeps.
+        """
+        digest = canonical_digest(spec_doc)
+        if self.exists():
+            manifest = self._read_manifest()
+            if manifest["digest"] != digest:
+                raise CheckpointError(
+                    f"checkpoint directory {self.root} belongs to a "
+                    f"different sweep (manifest digest "
+                    f"{manifest['digest'][:12]}…, this sweep "
+                    f"{digest[:12]}…); use a fresh directory"
+                )
+            if not resume:
+                raise CheckpointError(
+                    f"checkpoint directory {self.root} already has "
+                    "data for this sweep; pass resume=True "
+                    "(CLI: --resume) to continue it"
+                )
+            return manifest
+        manifest = {
+            "version": STORE_VERSION,
+            "digest": digest,
+            "spec": spec_doc,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / _CELLS).mkdir(exist_ok=True)
+        self._atomic_write(self.manifest_path, manifest)
+        return manifest
+
+    def _read_manifest(self) -> dict:
+        doc = self._read_json(self.manifest_path)
+        for key in ("version", "digest", "spec"):
+            if key not in doc:
+                raise CheckpointError(
+                    f"{self.manifest_path}: manifest missing {key!r}"
+                )
+        if doc["version"] != STORE_VERSION:
+            raise CheckpointError(
+                f"{self.manifest_path}: store version {doc['version']!r} "
+                f"unsupported (expected {STORE_VERSION})"
+            )
+        if doc["digest"] != canonical_digest(doc["spec"]):
+            raise CheckpointError(
+                f"{self.manifest_path}: manifest digest does not match "
+                "its spec document (corrupt manifest)"
+            )
+        return doc
+
+    # ------------------------------------------------------------------
+    # Chunks
+    # ------------------------------------------------------------------
+    def cell_dir(self, cell_digest: str) -> Path:
+        """Directory holding one cell's chunk files."""
+        return self.root / _CELLS / cell_digest
+
+    def chunk_path(self, cell_digest: str, start: int, stop: int) -> Path:
+        """File path for the chunk covering runs ``[start, stop)``."""
+        return self.cell_dir(cell_digest) / _chunk_name(start, stop)
+
+    def save_chunk(
+        self, cell_digest: str, start: int, stop: int, payload: dict
+    ) -> Path:
+        """Durably persist one completed chunk's result payload."""
+        path = self.chunk_path(cell_digest, start, stop)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": STORE_VERSION,
+            "cell": cell_digest,
+            "span": [start, stop],
+            "digest": canonical_digest(payload),
+            "payload": payload,
+        }
+        self._atomic_write(path, doc)
+        return path
+
+    def load_chunk(
+        self, cell_digest: str, start: int, stop: int
+    ) -> dict | None:
+        """Load one chunk's payload, or ``None`` if not checkpointed.
+
+        Any defect — undecodable JSON, wrong span, digest mismatch —
+        raises :class:`~repro.errors.CheckpointError` naming the file.
+        """
+        path = self.chunk_path(cell_digest, start, stop)
+        if not path.is_file():
+            return None
+        doc = self._read_json(path)
+        if not isinstance(doc, dict) or "payload" not in doc \
+                or "digest" not in doc:
+            raise CheckpointError(f"{path}: not a chunk document")
+        if doc.get("version") != STORE_VERSION:
+            raise CheckpointError(
+                f"{path}: chunk version {doc.get('version')!r} "
+                f"unsupported (expected {STORE_VERSION})"
+            )
+        if doc.get("span") != [start, stop] \
+                or doc.get("cell") != cell_digest:
+            raise CheckpointError(
+                f"{path}: chunk labeled for cell "
+                f"{str(doc.get('cell'))[:12]}… span {doc.get('span')}, "
+                f"expected {cell_digest[:12]}… span {[start, stop]}"
+            )
+        if canonical_digest(doc["payload"]) != doc["digest"]:
+            raise CheckpointError(
+                f"{path}: payload digest mismatch (corrupt chunk)"
+            )
+        return doc["payload"]
+
+    def completed_spans(self, cell_digest: str) -> set[tuple[int, int]]:
+        """Spans with a chunk file present (not yet digest-verified)."""
+        cell = self.cell_dir(cell_digest)
+        if not cell.is_dir():
+            return set()
+        spans: set[tuple[int, int]] = set()
+        for entry in cell.iterdir():
+            name = entry.name
+            if not (name.startswith("chunk-") and name.endswith(".json")):
+                continue
+            try:
+                start_s, stop_s = name[len("chunk-"):-len(".json")] \
+                    .split("-")
+                spans.add((int(start_s), int(stop_s)))
+            except ValueError:
+                raise CheckpointError(
+                    f"{entry}: unrecognized chunk filename"
+                ) from None
+        return spans
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, doc: dict) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(canonical_json(doc))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_json(path: Path) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise CheckpointError(f"{path}: checkpoint file missing") \
+                from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{path}: unreadable ({exc})") from None
+
+
+def wrap_payload_error(path, exc: ReproError) -> CheckpointError:
+    """Recast a payload-decode failure as a checkpoint error."""
+    return CheckpointError(f"{path}: bad chunk payload ({exc})")

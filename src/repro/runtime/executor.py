@@ -129,8 +129,8 @@ def _run_span_spec(
         campaign = Campaign(
             spec.app,
             spec.selection,
-            scheme_name=spec.scheme_name,
-            protected_names=spec.protected_names,
+            scheme=spec.scheme_name,
+            protect=spec.protected_names,
             config=spec.config,
             keep_runs=spec.keep_runs,
             clone_mode=spec.clone_mode,

@@ -1,0 +1,804 @@
+"""Resumable, fault-tolerant sweep sessions.
+
+A :class:`SweepSpec` declares a grid of fault-injection campaign cells
+— (application, scheme, protection level) × one shared fault
+configuration — and a :class:`Session` executes it as chunk-level work
+units with durable progress:
+
+* every completed chunk's :class:`~repro.faults.campaign.CampaignResult`
+  is persisted to a :class:`~repro.runtime.checkpoint.CheckpointStore`
+  before the session moves on, so a crash or ``SIGINT`` loses at most
+  the chunks in flight;
+* a restart with ``resume=True`` loads the durable chunks and runs
+  only the remainder — the merged results and telemetry are
+  byte-identical to an uninterrupted run, at any ``jobs`` setting,
+  because the chunk plan depends only on the spec (never on ``jobs``)
+  and every run derives from ``(seed, run_index)``;
+* worker failures get bounded retry with exponential backoff, chunk
+  attempts can carry a deadline, a broken process pool is restarted a
+  bounded number of times, and when no pool can be used at all the
+  session degrades to in-process serial execution;
+* progress, retry and fallback counters flow through the
+  :class:`~repro.obs.metrics.MetricsRegistry`, and an optional
+  :class:`~repro.obs.session.SessionLog` narrates the orchestration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable, Sequence
+
+from repro.core.schemes import SCHEME_NAMES
+from repro.errors import (
+    CheckpointError,
+    ReproError,
+    SessionError,
+    SessionInterrupted,
+    SpecError,
+    UnknownSchemeError,
+)
+from repro.faults.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.session import SessionLog
+from repro.runtime.checkpoint import CheckpointStore, wrap_payload_error
+from repro.runtime.executor import (
+    CampaignSpec,
+    _run_span_spec,
+    plan_chunks,
+)
+from repro.utils.canonical import canonical_digest
+
+log = get_logger("session")
+
+#: Default number of chunks a cell's runs are split into.  The plan
+#: must not depend on ``jobs`` (that is what makes a checkpoint
+#: resumable at any parallelism), so this replaces the executor's
+#: per-worker heuristic.
+DEFAULT_CHUNKS_PER_CELL = 16
+
+#: Test seam: when set, called as ``hook(cell_digest, span)`` inside
+#: every worker attempt before the chunk executes; raising simulates a
+#: worker failure.  Inherited by forked workers.
+_chaos_hook: Callable[[str, tuple[int, int]], None] | None = None
+
+
+def _run_session_span(spec: CampaignSpec, span) -> CampaignResult:
+    """Worker entry: optionally misbehave (tests), then run the span."""
+    if _chaos_hook is not None:
+        _chaos_hook(spec.token, span)
+    return _run_span_spec(spec, span)
+
+
+# ----------------------------------------------------------------------
+# Declarative sweep grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One (app, scheme, protect) cell of a sweep grid."""
+
+    app: str
+    scheme: str
+    protect: int | str
+    selection: str
+    runs: int
+    n_blocks: int
+    n_bits: int
+    seed: int
+    scale: str = "default"
+    app_seed: int = 1234
+    secded: bool = False
+    keep_runs: bool = False
+    collect_records: bool = True
+
+    @property
+    def key(self) -> str:
+        """Human-readable cell label used in logs and summaries."""
+        return f"{self.app}~{self.scheme}~{self.protect}"
+
+    def to_dict(self) -> dict:
+        """Identity-complete dict image of this cell."""
+        return dataclasses.asdict(self)
+
+    def build_campaign(
+        self, metrics: MetricsRegistry | None = None
+    ) -> Campaign:
+        """Materialize this cell's campaign (parent-side)."""
+        from repro.core.manager import ReliabilityManager
+        from repro.kernels.registry import create_app
+
+        app = create_app(self.app, scale=self.scale, seed=self.app_seed)
+        manager = ReliabilityManager(app)
+        return Campaign(
+            app,
+            manager.selection(self.selection),
+            scheme=self.scheme,
+            protect=manager.protected_names(self.protect),
+            config=CampaignConfig(
+                runs=self.runs, n_blocks=self.n_blocks,
+                n_bits=self.n_bits, seed=self.seed, secded=self.secded,
+            ),
+            keep_runs=self.keep_runs,
+            collect_records=self.collect_records,
+            metrics=metrics,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of campaign cells.
+
+    The grid is the cross product ``apps x schemes x protects`` under
+    one shared fault configuration; :meth:`cells` enumerates it in
+    deterministic order.  ``chunk_runs`` fixes how many runs one
+    durable work unit covers (default: the cell's runs split into
+    :data:`DEFAULT_CHUNKS_PER_CELL` chunks) — it is part of the sweep
+    identity, so a checkpoint directory can never be resumed under a
+    different chunking.
+    """
+
+    apps: tuple[str, ...]
+    schemes: tuple[str, ...] = ("correction",)
+    protects: tuple[int | str, ...] = ("hot",)
+    runs: int = 200
+    n_blocks: int = 1
+    n_bits: int = 2
+    seed: int = 20210621
+    selection: str = "access-weighted"
+    scale: str = "default"
+    app_seed: int = 1234
+    secded: bool = False
+    keep_runs: bool = False
+    collect_records: bool = True
+    chunk_runs: int | None = None
+
+    def __post_init__(self):
+        for name in ("apps", "schemes", "protects"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+            if not getattr(self, name):
+                raise SpecError(f"sweep {name} must not be empty")
+        self._validate()
+
+    def _validate(self) -> None:
+        from repro.kernels.registry import (
+            APPLICATIONS,
+            EXTENDED_APPLICATIONS,
+            FLAT_APPLICATIONS,
+        )
+        from repro.errors import UnknownAppError
+
+        known_apps = (set(APPLICATIONS) | set(FLAT_APPLICATIONS)
+                      | set(EXTENDED_APPLICATIONS))
+        for app in self.apps:
+            if app not in known_apps:
+                raise UnknownAppError(app, sorted(known_apps))
+        for scheme in self.schemes:
+            if scheme not in SCHEME_NAMES:
+                raise UnknownSchemeError(scheme, SCHEME_NAMES)
+        for protect in self.protects:
+            if isinstance(protect, bool) or not isinstance(
+                    protect, (int, str)):
+                raise SpecError(
+                    f"protect level {protect!r} must be an int or one "
+                    "of 'none'/'hot'/'all'"
+                )
+            if isinstance(protect, str) \
+                    and protect not in ("none", "hot", "all"):
+                raise SpecError(
+                    f"protect level {protect!r} not in "
+                    "('none', 'hot', 'all')"
+                )
+        if self.runs <= 0:
+            raise SpecError("sweep runs must be positive")
+        if self.chunk_runs is not None and self.chunk_runs <= 0:
+            raise SpecError("chunk_runs must be positive")
+        if self.scale not in ("default", "small"):
+            raise SpecError(f"unknown scale {self.scale!r} "
+                            "(default|small)")
+        seen: set[tuple] = set()
+        for cell in self._raw_cells():
+            if cell in seen:
+                raise SpecError(f"duplicate sweep cell {cell}")
+            seen.add(cell)
+
+    def _raw_cells(self):
+        for app in self.apps:
+            for scheme in self.schemes:
+                for protect in self.protects:
+                    yield (app, scheme, protect)
+
+    def resolved_chunk_runs(self) -> int:
+        """Runs per durable work unit (jobs-independent)."""
+        if self.chunk_runs is not None:
+            return self.chunk_runs
+        return max(1, ceil(self.runs / DEFAULT_CHUNKS_PER_CELL))
+
+    def cells(self) -> tuple[CellSpec, ...]:
+        """The grid's cells in deterministic (spec) order."""
+        return tuple(
+            CellSpec(
+                app=app, scheme=scheme, protect=protect,
+                selection=self.selection, runs=self.runs,
+                n_blocks=self.n_blocks, n_bits=self.n_bits,
+                seed=self.seed, scale=self.scale,
+                app_seed=self.app_seed, secded=self.secded,
+                keep_runs=self.keep_runs,
+                collect_records=self.collect_records,
+            )
+            for app, scheme, protect in self._raw_cells()
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical identity document (the checkpoint manifest body)."""
+        return {
+            "apps": list(self.apps),
+            "schemes": list(self.schemes),
+            "protects": list(self.protects),
+            "runs": self.runs,
+            "n_blocks": self.n_blocks,
+            "n_bits": self.n_bits,
+            "seed": self.seed,
+            "selection": self.selection,
+            "scale": self.scale,
+            "app_seed": self.app_seed,
+            "secded": self.secded,
+            "keep_runs": self.keep_runs,
+            "collect_records": self.collect_records,
+            "chunk_runs": self.resolved_chunk_runs(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SpecError("sweep spec must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise SpecError(f"sweep spec has unknown keys {sorted(extra)}")
+        kwargs = dict(data)
+        for name in ("apps", "schemes", "protects"):
+            if name in kwargs:
+                if not isinstance(kwargs[name], (list, tuple)):
+                    raise SpecError(f"sweep {name} must be a list")
+                kwargs[name] = tuple(kwargs[name])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SpecError(f"bad sweep spec: {exc}") from None
+
+    def digest(self) -> str:
+        """SHA-256 content address of the sweep's identity document."""
+        return canonical_digest(self.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Session configuration and results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionConfig:
+    """Execution knobs of one session (never part of sweep identity)."""
+
+    jobs: int = 1
+    #: Retries per chunk beyond the first attempt.
+    max_retries: int = 2
+    #: Base of the exponential backoff between attempts (seconds):
+    #: attempt ``k`` sleeps ``retry_backoff_s * 2**(k-1)``.
+    retry_backoff_s: float = 0.25
+    #: Deadline per chunk attempt (seconds); ``None`` disables.
+    chunk_timeout_s: float | None = None
+    #: Multiprocessing start method override (default: fork if
+    #: available, else the platform default).
+    start_method: str | None = None
+    #: Stop (checkpointed, resumable) after this many newly executed
+    #: chunks — for schedulers with wall-clock budgets and for tests.
+    stop_after_chunks: int | None = None
+
+    def validate(self) -> None:
+        """Reject out-of-range knobs with :class:`SpecError`."""
+        if self.jobs < 1:
+            raise SpecError("session jobs must be >= 1")
+        if self.max_retries < 0:
+            raise SpecError("session max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise SpecError("session retry_backoff_s must be >= 0")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise SpecError("session chunk_timeout_s must be positive")
+        if self.stop_after_chunks is not None \
+                and self.stop_after_chunks < 1:
+            raise SpecError("session stop_after_chunks must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One durable work unit: a span of one cell's run indices."""
+
+    cell_index: int
+    start: int
+    stop: int
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One cell's merged result inside a :class:`SweepResult`."""
+
+    cell: CellSpec
+    digest: str
+    result: CampaignResult
+
+
+@dataclass
+class SweepResult:
+    """Merged results of a completed sweep, in cell order."""
+
+    spec: SweepSpec
+    entries: list[SweepEntry] = field(default_factory=list)
+
+    @property
+    def results(self) -> list[CampaignResult]:
+        return [entry.result for entry in self.entries]
+
+    def result_for(
+        self, app: str, scheme: str, protect: int | str
+    ) -> CampaignResult:
+        """Look up one cell's merged result; :class:`SpecError` if absent."""
+        for entry in self.entries:
+            cell = entry.cell
+            if (cell.app, cell.scheme, cell.protect) == \
+                    (app, scheme, protect):
+                return entry.result
+        raise SpecError(
+            f"no sweep cell ({app!r}, {scheme!r}, {protect!r})"
+        )
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON image (excludes wall-clock metrics)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [
+                {
+                    "cell": entry.cell.to_dict(),
+                    "digest": entry.digest,
+                    "result": entry.result.to_dict(),
+                }
+                for entry in self.entries
+            ],
+        }
+
+    def write_telemetry(self, path: str) -> int:
+        """Write every cell's run records, in cell order, as JSONL.
+
+        Byte-identical for any ``jobs`` and across interrupt/resume.
+        """
+        from repro.obs.records import TelemetryWriter
+
+        with TelemetryWriter(path) as writer:
+            for entry in self.entries:
+                writer.write_result(entry.result)
+        return writer.n_written
+
+
+# ----------------------------------------------------------------------
+# The session itself
+# ----------------------------------------------------------------------
+class Session:
+    """Plans, executes, checkpoints and resumes one sweep.
+
+    ``store`` may be a :class:`CheckpointStore`, a directory path, or
+    ``None`` (no durability — useful for quick in-memory sweeps and
+    for measuring checkpoint overhead).  ``sleep`` is the backoff
+    clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: CheckpointStore | str | None = None,
+        config: SessionConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        events: SessionLog | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.spec = spec
+        if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+            store = CheckpointStore(store)
+        self.store = store
+        self.config = config or SessionConfig()
+        self.config.validate()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self._sleep = sleep
+        #: Why the session degraded to serial execution, if it did.
+        self.fallback_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self) -> list[WorkUnit]:
+        """Every work unit of the sweep, in deterministic order."""
+        chunk_runs = self.spec.resolved_chunk_runs()
+        units: list[WorkUnit] = []
+        for cell_index, cell in enumerate(self.spec.cells()):
+            for start, stop in plan_chunks(cell.runs, jobs=1,
+                                           chunk_size=chunk_runs):
+                units.append(WorkUnit(cell_index, start, stop))
+        return units
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False) -> SweepResult:
+        """Execute the sweep to completion (or durable interruption).
+
+        Raises :class:`~repro.errors.SessionInterrupted` when stopped
+        early (``SIGINT`` or the ``stop_after_chunks`` budget) with
+        all completed chunks checkpointed, and
+        :class:`~repro.errors.SessionError` when a chunk exhausts its
+        retry budget.
+        """
+        wall_begin = time.perf_counter()
+        cells = self.spec.cells()
+        log.info(f"sweep: {len(cells)} cell(s), building campaigns")
+        campaigns = [cell.build_campaign() for cell in cells]
+        digests = [campaign.identity_digest() for campaign in campaigns]
+
+        if self.store is not None:
+            self.store.initialize(self.spec.to_dict(), resume=resume)
+
+        units = self.plan()
+        self.metrics.counter("session.cells").set(len(cells))
+        self.metrics.counter("session.chunks.planned").set(len(units))
+        self._emit("plan", detail=f"{len(cells)} cells, "
+                                  f"{len(units)} chunks")
+
+        parts: dict[WorkUnit, CampaignResult] = {}
+        pending: list[WorkUnit] = []
+        for unit in units:
+            loaded = self._load_checkpointed(unit, cells, digests)
+            if loaded is not None:
+                parts[unit] = loaded
+            else:
+                pending.append(unit)
+        if len(parts):
+            log.info(f"sweep: resumed {len(parts)} chunk(s) from "
+                     f"{self.store.root}")
+
+        executed = 0
+        budget = self.config.stop_after_chunks
+
+        def on_done(unit: WorkUnit, result: CampaignResult,
+                    source: str) -> bool:
+            """Persist one finished chunk; True to keep going."""
+            nonlocal executed
+            parts[unit] = result
+            self._persist(unit, digests[unit.cell_index], result)
+            self._emit("chunk", cell=digests[unit.cell_index],
+                       start=unit.start, stop=unit.stop, source=source)
+            self.metrics.inc("session.chunks.executed")
+            executed += 1
+            return budget is None or executed < budget
+
+        try:
+            if pending:
+                self._execute(pending, campaigns, digests, on_done)
+        except KeyboardInterrupt:
+            self._emit("interrupted",
+                       detail=f"SIGINT after {executed} chunk(s)")
+            raise SessionInterrupted(len(parts), len(units),
+                                     reason="interrupted") from None
+        if len(parts) < len(units):
+            self._emit("interrupted",
+                       detail=f"chunk budget ({budget}) reached")
+            raise SessionInterrupted(len(parts), len(units),
+                                     reason="stopped (chunk budget)")
+
+        result = self._merge(cells, digests, parts, units)
+        self.metrics.observe(
+            "session.wall_ms", (time.perf_counter() - wall_begin) * 1e3
+        )
+        self._emit("finish", detail=f"{len(units)} chunks")
+        return result
+
+    # -- resume ---------------------------------------------------------
+    def _load_checkpointed(
+        self,
+        unit: WorkUnit,
+        cells: Sequence[CellSpec],
+        digests: Sequence[str],
+    ) -> CampaignResult | None:
+        if self.store is None:
+            return None
+        digest = digests[unit.cell_index]
+        payload = self.store.load_chunk(digest, unit.start, unit.stop)
+        if payload is None:
+            return None
+        path = self.store.chunk_path(digest, unit.start, unit.stop)
+        try:
+            result = CampaignResult.from_dict(payload)
+        except ReproError as exc:
+            raise wrap_payload_error(path, exc) from None
+        expected = cells[unit.cell_index]
+        if result.app_name != expected.app \
+                or result.n_runs != unit.stop - unit.start:
+            raise CheckpointError(
+                f"{path}: chunk payload is for {result.app_name!r} "
+                f"with {result.n_runs} run(s), expected "
+                f"{expected.app!r} with {unit.stop - unit.start}"
+            )
+        self.metrics.inc("session.chunks.resumed")
+        self._emit("chunk", cell=digest, start=unit.start,
+                   stop=unit.stop, source="checkpoint")
+        return result
+
+    def _persist(
+        self, unit: WorkUnit, digest: str, result: CampaignResult
+    ) -> None:
+        if self.store is not None:
+            self.store.save_chunk(digest, unit.start, unit.stop,
+                                  result.to_dict())
+
+    # -- merge ----------------------------------------------------------
+    def _merge(
+        self,
+        cells: Sequence[CellSpec],
+        digests: Sequence[str],
+        parts: dict[WorkUnit, CampaignResult],
+        units: Sequence[WorkUnit],
+    ) -> SweepResult:
+        sweep = SweepResult(spec=self.spec)
+        for cell_index, cell in enumerate(cells):
+            cell_units = sorted(
+                (u for u in units if u.cell_index == cell_index),
+                key=lambda u: u.start,
+            )
+            merged = CampaignResult.merge(
+                [parts[u] for u in cell_units]
+            )
+            if merged.n_runs != cell.runs:
+                raise SessionError(
+                    f"cell {cell.key}: merged {merged.n_runs} run(s), "
+                    f"planned {cell.runs}"
+                )
+            sweep.entries.append(SweepEntry(
+                cell=cell, digest=digests[cell_index], result=merged,
+            ))
+        return sweep
+
+    # -- parallel/serial execution --------------------------------------
+    def _execute(self, pending, campaigns, digests, on_done) -> None:
+        if self.config.jobs > 1:
+            try:
+                self._execute_pool(pending, campaigns, digests, on_done)
+                return
+            except _FallBackToSerial as exc:
+                self.fallback_reason = str(exc)
+                self.metrics.inc("session.fallback_serial")
+                self._emit("fallback", detail=str(exc))
+                log.warning(f"sweep: degrading to serial execution "
+                            f"({exc})")
+                pending = [u for u in pending
+                           if u not in exc.completed]
+        self._execute_serial(pending, campaigns, on_done)
+
+    def _execute_serial(self, pending, campaigns, on_done) -> None:
+        for unit in pending:
+            result = self._attempt_serial(unit, campaigns)
+            if not on_done(unit, result, "serial"):
+                return
+
+    def _attempt_serial(self, unit, campaigns) -> CampaignResult:
+        campaign = campaigns[unit.cell_index]
+        attempt = 0
+        while True:
+            begin = time.perf_counter()
+            try:
+                result = campaign.run_span(unit.start, unit.stop)
+                self.metrics.observe(
+                    "session.chunk_ms",
+                    (time.perf_counter() - begin) * 1e3,
+                )
+                return result
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                attempt += 1
+                self._handle_failure(unit, attempt, exc)
+
+    def _handle_failure(self, unit, attempt: int, exc) -> None:
+        """Count one failed attempt; backoff or give up."""
+        if attempt > self.config.max_retries:
+            raise SessionError(
+                f"chunk [{unit.start}, {unit.stop}) of cell "
+                f"#{unit.cell_index} failed after {attempt} "
+                f"attempt(s): {exc}"
+            ) from exc
+        self.metrics.inc("session.retries")
+        self._emit("retry", start=unit.start, stop=unit.stop,
+                   attempt=attempt, detail=str(exc)[:200])
+        backoff = self.config.retry_backoff_s * (2 ** (attempt - 1))
+        if backoff > 0:
+            self._sleep(backoff)
+
+    def _execute_pool(self, pending, campaigns, digests, on_done) -> None:
+        """Fan pending units out over a process pool with retries."""
+        import multiprocessing as mp
+
+        if self.config.start_method is not None:
+            context = mp.get_context(self.config.start_method)
+        else:
+            methods = mp.get_all_start_methods()
+            context = mp.get_context(
+                "fork" if "fork" in methods else None)
+
+        specs = self._worker_specs(campaigns, digests)
+        completed: set[WorkUnit] = set()
+        queue = deque(pending)
+        attempts: dict[WorkUnit, int] = {}
+        restarts = 0
+        pool = self._make_pool(context)
+        if pool is None:
+            raise _FallBackToSerial("could not create worker pool",
+                                    completed)
+        inflight: dict = {}
+        abandoned: set = set()
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < self.config.jobs:
+                    unit = queue.popleft()
+                    try:
+                        fut = pool.submit(
+                            _run_session_span,
+                            specs[unit.cell_index],
+                            (unit.start, unit.stop),
+                        )
+                    except RuntimeError as exc:
+                        raise _FallBackToSerial(
+                            f"worker pool unusable ({exc})", completed
+                        ) from exc
+                    inflight[fut] = (unit, time.monotonic())
+                done, _not_done = wait(
+                    set(inflight), timeout=self._tick(),
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for fut in done:
+                    unit, _begin = inflight.pop(fut)
+                    if fut in abandoned:
+                        abandoned.discard(fut)
+                        continue
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        restarts += 1
+                        # Every in-flight unit died with the pool.
+                        dead = [unit] + [
+                            u for f, (u, _) in inflight.items()
+                            if f not in abandoned
+                        ]
+                        inflight.clear()
+                        abandoned.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        for u in dead:
+                            attempts[u] = attempts.get(u, 0) + 1
+                            self._handle_failure(
+                                u, attempts[u],
+                                RuntimeError("worker pool died"),
+                            )
+                            queue.appendleft(u)
+                        if restarts > 2:
+                            raise _FallBackToSerial(
+                                "worker pool died repeatedly",
+                                completed,
+                            ) from None
+                        self.metrics.inc("session.pool_restarts")
+                        pool = self._make_pool(context)
+                        if pool is None:
+                            raise _FallBackToSerial(
+                                "could not restart worker pool",
+                                completed,
+                            ) from None
+                        break
+                    except Exception as exc:
+                        attempts[unit] = attempts.get(unit, 0) + 1
+                        self._handle_failure(unit, attempts[unit], exc)
+                        queue.append(unit)
+                    else:
+                        self.metrics.observe(
+                            "session.chunk_ms",
+                            (now - _begin) * 1e3,
+                        )
+                        completed.add(unit)
+                        if not on_done(unit, result, "run"):
+                            return
+                else:
+                    self._reap_timeouts(inflight, abandoned, queue,
+                                        attempts, now)
+        finally:
+            pool.shutdown(wait=not abandoned,
+                          cancel_futures=True)
+
+    def _reap_timeouts(self, inflight, abandoned, queue, attempts,
+                       now: float) -> None:
+        """Expire attempts that outran their per-chunk deadline."""
+        deadline = self.config.chunk_timeout_s
+        if deadline is None:
+            return
+        for fut, (unit, begin) in list(inflight.items()):
+            if fut in abandoned or now - begin < deadline:
+                continue
+            self.metrics.inc("session.timeouts")
+            self._emit("timeout", start=unit.start, stop=unit.stop,
+                       attempt=attempts.get(unit, 0) + 1)
+            attempts[unit] = attempts.get(unit, 0) + 1
+            self._handle_failure(
+                unit, attempts[unit],
+                TimeoutError(
+                    f"chunk exceeded {deadline:g}s deadline"),
+            )
+            if fut.cancel():
+                inflight.pop(fut, None)
+            else:
+                # Already running: let it finish into the void and
+                # redo the chunk elsewhere (results are a pure
+                # function of (seed, run_index), so whichever attempt
+                # lands first is correct — the other is discarded).
+                abandoned.add(fut)
+            queue.append(unit)
+
+    def _tick(self) -> float | None:
+        if self.config.chunk_timeout_s is None:
+            return None
+        return min(0.05, self.config.chunk_timeout_s / 4)
+
+    def _worker_specs(self, campaigns, digests) -> list[CampaignSpec]:
+        return [
+            dataclasses.replace(
+                CampaignSpec.from_campaign(campaign), token=digest
+            )
+            for campaign, digest in zip(campaigns, digests)
+        ]
+
+    def _make_pool(self, context) -> ProcessPoolExecutor | None:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=self.config.jobs, mp_context=context
+            )
+        except (OSError, ValueError, RuntimeError,
+                NotImplementedError):
+            return None
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+
+class _FallBackToSerial(Exception):
+    """Internal: the pool path gave up; serial picks up the rest."""
+
+    def __init__(self, reason: str, completed: set):
+        super().__init__(reason)
+        self.completed = completed
+
+
+def run_sweep(
+    spec: SweepSpec,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    **config_kwargs,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`Session`."""
+    session = Session(
+        spec,
+        store=checkpoint_dir,
+        config=SessionConfig(jobs=jobs, **config_kwargs),
+    )
+    return session.run(resume=resume)

@@ -1,0 +1,24 @@
+"""Canonical JSON: one byte representation per value.
+
+Checkpoint files, sweep manifests and telemetry records are all
+compared byte-for-byte in the determinism tests, so every JSON we
+persist goes through the same encoder: sorted keys, minimal
+separators, no trailing whitespace.  ``canonical_digest`` is the
+content address used by the checkpoint store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(obj) -> str:
+    """Encode ``obj`` as canonical single-line JSON."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_digest(obj) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    encoded = canonical_json(obj).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

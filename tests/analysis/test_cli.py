@@ -149,6 +149,89 @@ class TestGoldenTraceCapture:
         assert outs[0] == outs[1]
 
 
+class TestSweepCommand:
+    ARGS = [
+        "-q", "sweep", "A-Laplacian", "--scale", "small",
+        "--schemes", "baseline", "--protects", "hot",
+        "--runs", "4", "--chunk-runs", "2", "--seed", "9",
+    ]
+
+    def test_sweep_prints_table_and_writes_outputs(self, tmp_path,
+                                                   capsys):
+        out = tmp_path / "sweep.json"
+        telemetry = tmp_path / "t.jsonl"
+        events = tmp_path / "events.jsonl"
+        code = main(self.ARGS + [
+            "--out", str(out), "--telemetry", str(telemetry),
+            "--session-log", str(events),
+        ])
+        assert code == 0
+        assert "sdc-rate" in capsys.readouterr().out
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["spec"]["runs"] == 4
+        assert len(doc["cells"]) == 1
+        assert telemetry.read_text().count("\n") == 4
+        from repro.obs.session import read_session_events
+
+        kinds = [e["kind"] for e in read_session_events(str(events))]
+        assert kinds[0] == "plan"
+        assert kinds[-1] == "finish"
+
+    def test_interrupted_exits_75_then_resume_matches(self, tmp_path):
+        """The CI smoke contract: budget-stop exits 75 with durable
+        chunks; --resume completes to the byte-identical result."""
+        store = tmp_path / "ckpt"
+        reference = tmp_path / "ref.json"
+        assert main(self.ARGS + ["--out", str(reference)]) == 0
+
+        checkpointed = [
+            *self.ARGS, "--checkpoint-dir", str(store),
+        ]
+        assert main(checkpointed + ["--stop-after-chunks", "1"]) == 75
+        resumed = tmp_path / "resumed.json"
+        assert main(checkpointed + [
+            "--resume", "--jobs", "2", "--out", str(resumed),
+        ]) == 0
+        assert resumed.read_bytes() == reference.read_bytes()
+
+    def test_unknown_app_exits_3(self, capsys):
+        assert main(["sweep", "NOT-AN-APP", "--runs", "4"]) == 3
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "A-Laplacian", "--schemes", "tmr"])
+
+    def test_bad_protect_exits_4(self, capsys):
+        assert main(["sweep", "A-Laplacian", "--protects", "warm",
+                     "--runs", "4"]) == 4
+        assert "protection level" in capsys.readouterr().err
+
+    def test_resume_without_dir_exits_4(self, capsys):
+        assert main(["sweep", "A-Laplacian", "--resume",
+                     "--runs", "4"]) == 4
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_mismatched_checkpoint_dir_exits_5(self, tmp_path, capsys):
+        store = tmp_path / "ckpt"
+        assert main(self.ARGS + ["--checkpoint-dir", str(store)]) == 0
+        assert main(self.ARGS + [
+            "--checkpoint-dir", str(store), "--runs", "6",
+        ]) == 5
+        assert "different sweep" in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    def test_campaign_unknown_app_exits_3(self, capsys):
+        assert main(["campaign", "NOT-AN-APP"]) == 3
+        assert "unknown application" in capsys.readouterr().err
+
+    def test_campaign_bad_protect_exits_4(self):
+        assert main(["campaign", "A-Laplacian", "--scale", "small",
+                     "--protect", "warm"]) == 4
+
+
 class TestStatsErrors:
     def test_missing_file(self, capsys):
         assert main(["stats", "/no/such/telemetry.jsonl"]) == 2

@@ -26,8 +26,8 @@ def make_campaign(app_name="A-Laplacian", scheme="baseline",
     return Campaign(
         app,
         uniform_selection(pool),
-        scheme_name=scheme,
-        protected_names=protected,
+        scheme=scheme,
+        protect=protected,
         config=CampaignConfig(runs=runs, n_blocks=n_blocks,
                               n_bits=n_bits, seed=77),
         **kwargs,

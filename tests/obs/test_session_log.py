@@ -1,0 +1,117 @@
+"""Tests for the sweep-session JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.session import (
+    SESSION_EVENT_VERSION,
+    SessionEvent,
+    SessionLog,
+    iter_session_events,
+    read_session_events,
+    validate_event,
+)
+
+
+def write_log(path, *emits):
+    with SessionLog(str(path)) as events:
+        for kind, fields in emits:
+            events.emit(kind, **fields)
+    return events
+
+
+class TestSessionLog:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = write_log(
+            path,
+            ("plan", {"detail": "2 cells, 4 chunks"}),
+            ("chunk", {"cell": "abc", "start": 0, "stop": 4,
+                       "source": "run"}),
+            ("finish", {"detail": "4 chunks"}),
+        )
+        assert log.n_written == 3
+        events = read_session_events(str(path))
+        assert [e["kind"] for e in events] == ["plan", "chunk", "finish"]
+        assert events[1]["source"] == "run"
+
+    def test_sequence_assigned_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_log(path, ("plan", {}), ("finish", {}))
+        events = read_session_events(str(path))
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_emit_rejects_unknown_kind(self, tmp_path):
+        with SessionLog(str(tmp_path / "e.jsonl")) as events:
+            with pytest.raises(TelemetryError, match="kind"):
+                events.emit("reboot")
+
+    def test_emit_rejects_bad_chunk_source(self, tmp_path):
+        with SessionLog(str(tmp_path / "e.jsonl")) as events:
+            with pytest.raises(TelemetryError, match="source"):
+                events.emit("chunk", source="teleport")
+
+
+class TestReaders:
+    def _lines(self, path):
+        return path.read_text().splitlines()
+
+    def test_sequence_gap_detected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        write_log(path, ("plan", {}), ("chunk", {"source": "run"}),
+                  ("finish", {}))
+        lines = self._lines(path)
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with pytest.raises(TelemetryError, match="sequence gap"):
+            read_session_events(str(path))
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            read_session_events(str(path))
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        event = SessionEvent(seq=0, kind="plan").to_dict()
+        del event["detail"]
+        path.write_text(json.dumps(event) + "\n")
+        with pytest.raises(TelemetryError, match="missing key"):
+            read_session_events(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        event = SessionEvent(seq=0, kind="plan").to_dict()
+        event["version"] = SESSION_EVENT_VERSION + 1
+        path.write_text(json.dumps(event) + "\n")
+        with pytest.raises(TelemetryError, match="version"):
+            read_session_events(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        write_log(path, ("plan", {}))
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_session_events(str(path))) == 1
+
+    def test_iter_is_lazy_on_error_position(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        write_log(path, ("plan", {}))
+        path.write_text(path.read_text() + "{bad\n")
+        it = iter_session_events(str(path))
+        assert next(it)["kind"] == "plan"
+        with pytest.raises(TelemetryError):
+            next(it)
+
+
+class TestValidateEvent:
+    def test_bool_masquerading_as_int_rejected(self):
+        event = SessionEvent(seq=0, kind="plan").to_dict()
+        event["start"] = True
+        with pytest.raises(TelemetryError, match="type"):
+            validate_event(event)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TelemetryError, match="object"):
+            validate_event(["not", "an", "object"])

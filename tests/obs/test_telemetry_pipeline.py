@@ -21,8 +21,8 @@ def make_campaign(runs=16, scheme="baseline", protected=(), **kwargs):
     return Campaign(
         app,
         uniform_selection(pool),
-        scheme_name=scheme,
-        protected_names=protected,
+        scheme=scheme,
+        protect=protected,
         config=CampaignConfig(runs=runs, seed=77),
         collect_records=True,
         **kwargs,

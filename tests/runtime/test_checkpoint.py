@@ -1,0 +1,138 @@
+"""Tests for the content-addressed chunk checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import STORE_VERSION, CheckpointStore
+from repro.utils.canonical import canonical_digest, canonical_json
+
+SPEC = {"apps": ["A"], "runs": 8, "chunk_runs": 2}
+CELL = "a" * 64
+PAYLOAD = {"version": 1, "counts": {"masked": 2}, "runs": [1, 2]}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+class TestManifest:
+    def test_fresh_directory_is_stamped(self, store):
+        manifest = store.initialize(SPEC)
+        assert manifest["version"] == STORE_VERSION
+        assert manifest["digest"] == canonical_digest(SPEC)
+        assert store.exists()
+
+    def test_reinit_without_resume_refuses(self, store):
+        store.initialize(SPEC)
+        with pytest.raises(CheckpointError, match="resume"):
+            store.initialize(SPEC)
+
+    def test_reinit_with_resume_returns_manifest(self, store):
+        store.initialize(SPEC)
+        manifest = store.initialize(SPEC, resume=True)
+        assert manifest["spec"] == SPEC
+
+    def test_different_sweep_refused_even_with_resume(self, store):
+        store.initialize(SPEC)
+        other = dict(SPEC, runs=16)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            store.initialize(other, resume=True)
+
+    def test_corrupt_manifest_digest_detected(self, store):
+        store.initialize(SPEC)
+        doc = json.loads(store.manifest_path.read_text())
+        doc["spec"]["runs"] = 999
+        store.manifest_path.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="corrupt manifest"):
+            store.initialize(SPEC, resume=True)
+
+    def test_unreadable_manifest(self, store):
+        store.initialize(SPEC)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.initialize(SPEC, resume=True)
+
+    def test_future_store_version_refused(self, store):
+        store.initialize(SPEC)
+        doc = json.loads(store.manifest_path.read_text())
+        doc["version"] = STORE_VERSION + 1
+        store.manifest_path.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="version"):
+            store.initialize(SPEC, resume=True)
+
+
+class TestChunks:
+    def test_roundtrip(self, store):
+        store.initialize(SPEC)
+        store.save_chunk(CELL, 0, 2, PAYLOAD)
+        assert store.load_chunk(CELL, 0, 2) == PAYLOAD
+
+    def test_missing_chunk_is_none(self, store):
+        store.initialize(SPEC)
+        assert store.load_chunk(CELL, 0, 2) is None
+
+    def test_no_tmp_file_left_behind(self, store):
+        store.initialize(SPEC)
+        path = store.save_chunk(CELL, 0, 2, PAYLOAD)
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_corrupt_payload_digest_detected(self, store):
+        store.initialize(SPEC)
+        path = store.save_chunk(CELL, 0, 2, PAYLOAD)
+        doc = json.loads(path.read_text())
+        doc["payload"]["runs"] = [9, 9]
+        path.write_text(canonical_json(doc))
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            store.load_chunk(CELL, 0, 2)
+
+    def test_mislabeled_span_detected(self, store):
+        store.initialize(SPEC)
+        path = store.save_chunk(CELL, 0, 2, PAYLOAD)
+        path.rename(store.chunk_path(CELL, 2, 4))
+        with pytest.raises(CheckpointError, match="span"):
+            store.load_chunk(CELL, 2, 4)
+
+    def test_wrong_cell_detected(self, store):
+        store.initialize(SPEC)
+        other = "b" * 64
+        path = store.save_chunk(CELL, 0, 2, PAYLOAD)
+        target = store.chunk_path(other, 0, 2)
+        target.parent.mkdir(parents=True)
+        path.rename(target)
+        with pytest.raises(CheckpointError):
+            store.load_chunk(other, 0, 2)
+
+    def test_undecodable_chunk(self, store):
+        store.initialize(SPEC)
+        path = store.save_chunk(CELL, 0, 2, PAYLOAD)
+        path.write_text("garbage")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load_chunk(CELL, 0, 2)
+
+    def test_save_is_idempotent(self, store):
+        store.initialize(SPEC)
+        store.save_chunk(CELL, 0, 2, PAYLOAD)
+        store.save_chunk(CELL, 0, 2, PAYLOAD)
+        assert store.load_chunk(CELL, 0, 2) == PAYLOAD
+
+
+class TestCompletedSpans:
+    def test_empty_for_unknown_cell(self, store):
+        store.initialize(SPEC)
+        assert store.completed_spans(CELL) == set()
+
+    def test_lists_saved_spans(self, store):
+        store.initialize(SPEC)
+        store.save_chunk(CELL, 0, 2, PAYLOAD)
+        store.save_chunk(CELL, 4, 6, PAYLOAD)
+        assert store.completed_spans(CELL) == {(0, 2), (4, 6)}
+
+    def test_unrecognized_filename_raises(self, store):
+        store.initialize(SPEC)
+        store.save_chunk(CELL, 0, 2, PAYLOAD)
+        (store.cell_dir(CELL) / "chunk-zz-zz.json").write_text("{}")
+        with pytest.raises(CheckpointError, match="filename"):
+            store.completed_spans(CELL)

@@ -42,8 +42,8 @@ def make_campaign(app_name="A-Laplacian", scheme="baseline",
     return Campaign(
         app,
         uniform_selection(pool),
-        scheme_name=scheme,
-        protected_names=protected or (),
+        scheme=scheme,
+        protect=protected or (),
         config=CampaignConfig(runs=runs, seed=77),
         **kwargs,
     )
@@ -194,8 +194,8 @@ class TestCampaignSpec:
         spec = CampaignSpec.from_campaign(campaign)
         spec = pickle.loads(pickle.dumps(spec))
         rebuilt = Campaign(
-            spec.app, spec.selection, scheme_name=spec.scheme_name,
-            protected_names=spec.protected_names, config=spec.config,
+            spec.app, spec.selection, scheme=spec.scheme_name,
+            protect=spec.protected_names, config=spec.config,
             keep_runs=spec.keep_runs, clone_mode=spec.clone_mode,
         )
         assert run_signature(rebuilt.run()) == run_signature(reference)

@@ -1,0 +1,224 @@
+"""Tests for declarative sweep specs and resumable sessions (serial).
+
+Pool-backed execution, crash injection and interrupt/resume
+byte-identity live in ``tests/integration/test_sweep_resume.py``;
+this file covers the spec/plan/merge machinery and the serial paths.
+"""
+
+import pytest
+
+from repro.errors import (
+    SessionError,
+    SessionInterrupted,
+    SpecError,
+    UnknownAppError,
+    UnknownSchemeError,
+)
+from repro.faults.campaign import Campaign
+from repro.runtime.session import (
+    DEFAULT_CHUNKS_PER_CELL,
+    Session,
+    SessionConfig,
+    SweepSpec,
+    WorkUnit,
+)
+from repro.utils.canonical import canonical_json
+
+
+def small_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        apps=("A-Laplacian",),
+        schemes=("baseline",),
+        protects=("hot",),
+        runs=6,
+        chunk_runs=3,
+        scale="small",
+        seed=77,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestSweepSpecValidation:
+    def test_unknown_app(self):
+        with pytest.raises(UnknownAppError):
+            small_spec(apps=("NOT-AN-APP",))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(UnknownSchemeError):
+            small_spec(schemes=("tmr",))
+
+    def test_empty_axis(self):
+        with pytest.raises(SpecError, match="empty"):
+            small_spec(apps=())
+
+    def test_bad_protect_string(self):
+        with pytest.raises(SpecError, match="protect"):
+            small_spec(protects=("warm",))
+
+    def test_bool_protect_rejected(self):
+        with pytest.raises(SpecError, match="protect"):
+            small_spec(protects=(True,))
+
+    def test_nonpositive_runs(self):
+        with pytest.raises(SpecError, match="runs"):
+            small_spec(runs=0)
+
+    def test_nonpositive_chunk_runs(self):
+        with pytest.raises(SpecError, match="chunk_runs"):
+            small_spec(chunk_runs=0)
+
+    def test_unknown_scale(self):
+        with pytest.raises(SpecError, match="scale"):
+            small_spec(scale="huge")
+
+    def test_duplicate_cells(self):
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(apps=("A-Laplacian", "A-Laplacian"))
+
+    def test_lists_coerced_to_tuples(self):
+        spec = small_spec(apps=["A-Laplacian"], protects=["hot", 1])
+        assert spec.apps == ("A-Laplacian",)
+        assert spec.protects == ("hot", 1)
+
+
+class TestSweepSpecIdentity:
+    def test_dict_roundtrip_preserves_digest(self):
+        spec = small_spec()
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert clone.digest() == spec.digest()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        doc = small_spec().to_dict()
+        doc["jobs"] = 8
+        with pytest.raises(SpecError, match="unknown keys"):
+            SweepSpec.from_dict(doc)
+
+    def test_chunking_is_part_of_identity(self):
+        assert small_spec(chunk_runs=3).digest() \
+            != small_spec(chunk_runs=2).digest()
+
+    def test_default_chunking_resolved_into_identity(self):
+        # An explicit chunk_runs equal to the resolved default is the
+        # same sweep as the default spelling.
+        spec = small_spec(chunk_runs=None)
+        explicit = small_spec(chunk_runs=spec.resolved_chunk_runs())
+        assert explicit.digest() == spec.digest()
+
+    def test_default_chunk_count(self):
+        spec = small_spec(runs=160, chunk_runs=None)
+        assert spec.resolved_chunk_runs() == 160 // DEFAULT_CHUNKS_PER_CELL
+
+    def test_cells_enumerate_app_major(self):
+        spec = small_spec(schemes=("baseline", "correction"),
+                          protects=("hot", "none"))
+        keys = [cell.key for cell in spec.cells()]
+        assert keys == [
+            "A-Laplacian~baseline~hot",
+            "A-Laplacian~baseline~none",
+            "A-Laplacian~correction~hot",
+            "A-Laplacian~correction~none",
+        ]
+
+
+class TestSessionConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"jobs": 0},
+        {"max_retries": -1},
+        {"retry_backoff_s": -0.1},
+        {"chunk_timeout_s": 0},
+        {"stop_after_chunks": 0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(SpecError):
+            SessionConfig(**kwargs).validate()
+
+
+class TestPlanning:
+    def test_plan_covers_every_run_once(self):
+        session = Session(small_spec(runs=7, chunk_runs=3))
+        units = session.plan()
+        assert units == [
+            WorkUnit(0, 0, 3), WorkUnit(0, 3, 6), WorkUnit(0, 6, 7),
+        ]
+
+    def test_plan_is_jobs_independent(self):
+        spec = small_spec()
+        plan1 = Session(spec, config=SessionConfig(jobs=1)).plan()
+        plan8 = Session(spec, config=SessionConfig(jobs=8)).plan()
+        assert plan1 == plan8
+
+
+class TestSerialExecution:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return small_spec()
+
+    @pytest.fixture(scope="class")
+    def reference(self, spec):
+        return Session(spec).run()
+
+    def test_matches_direct_campaign_run(self, spec, reference):
+        direct = spec.cells()[0].build_campaign().run()
+        merged = reference.entries[0].result
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_result_for(self, reference):
+        result = reference.result_for("A-Laplacian", "baseline", "hot")
+        assert result.n_runs == 6
+        with pytest.raises(SpecError, match="no sweep cell"):
+            reference.result_for("A-Laplacian", "baseline", "none")
+
+    def test_checkpointed_equals_storeless(self, spec, reference,
+                                           tmp_path):
+        sweep = Session(spec, store=str(tmp_path / "ckpt")).run()
+        assert canonical_json(sweep.to_dict()) \
+            == canonical_json(reference.to_dict())
+
+    def test_stop_budget_interrupts_then_resumes(self, spec, reference,
+                                                 tmp_path):
+        store = tmp_path / "ckpt"
+        session = Session(spec, store=store,
+                          config=SessionConfig(stop_after_chunks=1))
+        with pytest.raises(SessionInterrupted) as info:
+            session.run()
+        assert (info.value.done, info.value.total) == (1, 2)
+
+        resumed = Session(spec, store=store)
+        sweep = resumed.run(resume=True)
+        assert canonical_json(sweep.to_dict()) \
+            == canonical_json(reference.to_dict())
+        counters = resumed.metrics.snapshot()["counters"]
+        assert counters["session.chunks.resumed"] == 1
+        assert counters["session.chunks.executed"] == 1
+
+
+class TestRetries:
+    def test_transient_failure_is_retried(self, monkeypatch):
+        sleeps = []
+        real = Campaign.run_span
+        failures = iter([RuntimeError("flaky"), RuntimeError("flaky")])
+
+        def flaky(self, start, stop):
+            for exc in failures:
+                raise exc
+            return real(self, start, stop)
+
+        monkeypatch.setattr(Campaign, "run_span", flaky)
+        session = Session(small_spec(), sleep=sleeps.append,
+                          config=SessionConfig(retry_backoff_s=0.5))
+        sweep = session.run()
+        assert sweep.entries[0].result.n_runs == 6
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["session.retries"] == 2
+        assert sleeps == [0.5, 1.0]  # exponential backoff
+
+    def test_retry_budget_exhausted(self, monkeypatch):
+        def broken(self, start, stop):
+            raise RuntimeError("hard down")
+
+        monkeypatch.setattr(Campaign, "run_span", broken)
+        session = Session(small_spec(), sleep=lambda _s: None,
+                          config=SessionConfig(max_retries=1))
+        with pytest.raises(SessionError, match="2 attempt"):
+            session.run()

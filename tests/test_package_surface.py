@@ -6,12 +6,19 @@ import repro
 from repro.errors import (
     AddressError,
     AllocationError,
+    CheckpointError,
     ConfigError,
     FaultDetected,
     KernelCrash,
     ReproError,
+    SessionError,
+    SessionInterrupted,
+    SpecError,
+    TelemetryError,
     TraceError,
     UncorrectableFault,
+    UnknownAppError,
+    UnknownSchemeError,
 )
 from repro.faults.outcomes import Outcome, RunResult
 
@@ -39,14 +46,113 @@ class TestTopLevelExports:
         assert callable(create_app)
 
 
+#: The pinned surface of ``repro.api``.  This list is the compatibility
+#: contract: a name leaving it (or silently appearing in it) is an API
+#: break and must be a deliberate, reviewed change here AND in
+#: docs/API.md — not a side effect of a refactor.
+API_SURFACE = [
+    "APPLICATIONS",
+    "FLAT_APPLICATIONS",
+    "create_app",
+    "resilience_apps",
+    "ReliabilityManager",
+    "GpuConfig",
+    "PAPER_CONFIG",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignExecutor",
+    "Outcome",
+    "RunResult",
+    "SweepSpec",
+    "CellSpec",
+    "Session",
+    "SessionConfig",
+    "SweepResult",
+    "CheckpointStore",
+    "run_sweep",
+    "summarize_sweep",
+    "tradeoff_curve",
+    "MetricsRegistry",
+    "RunRecord",
+    "TelemetryWriter",
+    "read_records",
+    "SessionLog",
+    "read_session_events",
+    "ReproError",
+    "ConfigError",
+    "SpecError",
+    "UnknownAppError",
+    "UnknownSchemeError",
+    "CheckpointError",
+    "SessionError",
+    "SessionInterrupted",
+    "TelemetryError",
+    "FaultDetected",
+    "KernelCrash",
+    "__version__",
+]
+
+
+class TestApiFacade:
+    def test_all_matches_pinned_snapshot(self):
+        import repro.api
+
+        assert repro.api.__all__ == API_SURFACE
+
+    def test_every_name_resolves(self):
+        import repro.api
+
+        for name in API_SURFACE:
+            assert hasattr(repro.api, name), name
+
+    def test_star_import_exposes_exactly_the_surface(self):
+        namespace = {}
+        exec("from repro.api import *", namespace)
+        exported = {n for n in namespace if not n.startswith("__")} \
+            | {"__version__"}
+        assert exported == set(API_SURFACE)
+
+    def test_facade_names_are_canonical_objects(self):
+        # The facade re-exports, never wraps: identity must hold so
+        # isinstance checks work across import paths.
+        import repro.api
+        from repro.faults.campaign import Campaign
+        from repro.runtime.session import Session, SweepSpec
+
+        assert repro.api.Campaign is Campaign
+        assert repro.api.Session is Session
+        assert repro.api.SweepSpec is SweepSpec
+
+
 class TestErrorTaxonomy:
     @pytest.mark.parametrize("exc_type", [
         AllocationError, AddressError, ConfigError, TraceError,
         FaultDetected, UncorrectableFault, KernelCrash,
+        UnknownAppError, UnknownSchemeError, SpecError,
+        TelemetryError, CheckpointError, SessionError,
+        SessionInterrupted,
     ])
     def test_all_derive_from_repro_error(self, exc_type):
         assert issubclass(exc_type, ReproError)
         assert issubclass(exc_type, Exception)
+
+    @pytest.mark.parametrize("exc_type", [
+        UnknownAppError, UnknownSchemeError, SpecError, TelemetryError,
+    ])
+    def test_config_refinements(self, exc_type):
+        assert issubclass(exc_type, ConfigError)
+
+    def test_unknown_app_carries_candidates(self):
+        exc = UnknownAppError("NOPE", ["A-Laplacian", "P-BICG"])
+        assert exc.name == "NOPE"
+        assert "P-BICG" in exc.known
+
+    def test_session_interrupted_carries_progress(self):
+        exc = SessionInterrupted(3, 8, reason="interrupted")
+        assert issubclass(SessionInterrupted, SessionError)
+        assert (exc.done, exc.total) == (3, 8)
+        assert "3/8" in str(exc)
 
     def test_fault_detected_carries_location(self):
         exc = FaultDetected("weights", 3)

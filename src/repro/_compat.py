@@ -1,8 +1,8 @@
 """Backward-compatibility shims for renamed keyword arguments.
 
 The API consistency pass settled on one parameter vocabulary —
-``jobs``, ``runs``, ``seed``, ``scheme``, ``protect`` — across
-:class:`~repro.faults.campaign.Campaign`,
+``jobs``, ``runs``, ``seed``, ``scheme``, ``protect``, ``batch`` —
+across :class:`~repro.faults.campaign.Campaign`,
 :class:`~repro.runtime.executor.CampaignExecutor`,
 :class:`~repro.core.manager.ReliabilityManager` and the CLI.  Old
 spellings keep working through :func:`resolve_renamed`, which emits a

@@ -392,6 +392,27 @@ class DeviceMemory:
             existing.merged_with(new) if existing else new
         )
 
+    def inject_stuck_mask(
+        self, byte_addr: int, or_mask: int, and_mask: int
+    ) -> None:
+        """Install several stuck bits of one byte in one step.
+
+        Equivalent to the sequence of :meth:`inject_stuck_at` calls the
+        masks were folded from (bit-disjoint masks; an existing overlay
+        on the byte is merged with later-faults-win semantics).
+        """
+        if not 0 <= byte_addr < self.capacity:
+            raise AddressError(f"fault address {byte_addr:#x} out of range")
+        if or_mask & ~0xFF or and_mask & ~0xFF or or_mask & and_mask:
+            raise AddressError(
+                f"invalid stuck masks {or_mask:#x}/{and_mask:#x}"
+            )
+        new = StuckAtOverlay(or_mask, and_mask)
+        existing = self._overlays.get(byte_addr)
+        self._overlays[byte_addr] = (
+            existing.merged_with(new) if existing else new
+        )
+
     def clear_faults(self) -> None:
         """Remove every injected stuck-at overlay."""
         self._overlays.clear()

@@ -87,7 +87,11 @@ class Cache:
         return tag in self._sets[set_idx]
 
     def access(self, addr: int, allocate: bool = True) -> bool:
-        """Access a line; returns True on hit.  Misses allocate (LRU)."""
+        """Access a line; returns True on hit.  Misses allocate (LRU).
+
+        NOTE: the traced variant in ``_attach_tracer`` duplicates this
+        body (fused instrumentation) — keep the two in lockstep.
+        """
         self.stats.accesses += 1
         set_idx, tag = self._index(addr)
         cache_set = self._sets[set_idx]
@@ -147,16 +151,43 @@ class Cache:
         before descending.  Un-attached caches keep the plain method —
         the disabled-tracer path has no tracing branches at all.
         """
-        orig_access = self.access
+        # Fused instrumentation: the traced variant duplicates
+        # ``access``/``_fill`` (keep them in lockstep!) so the hit
+        # path pays no wrapper frame, no ``n_sets`` property calls and
+        # no eviction-delta re-read; the eviction branch itself knows
+        # when to emit.  ``fill``/``lookup``/``invalidate`` stay the
+        # plain methods — the original hook never traced them either.
+        stats = self.stats
+        sets = self._sets
+        line_bytes = self.config.line_bytes
+        n_sets = self.config.n_sets
+        assoc = self.config.assoc
+        sampled = tracer.sampled
+        attribute = tracer.attribute
+        buf_append = tracer._buf.append
+        evict_site = tracer.site("cache", f"{self.name} evict", pid, tid,
+                                 ph="i")
 
         def traced_access(addr: int, allocate: bool = True) -> bool:
-            evictions = self.stats.evictions
-            hit = orig_access(addr, allocate)
-            if self.stats.evictions != evictions and tracer.sampled():
-                tracer.instant(
-                    "cache", f"{self.name} evict", tracer.now, pid, tid,
-                    obj=tracer.attribute(addr),
-                )
-            return hit
+            stats.accesses += 1
+            line = addr // line_bytes
+            cache_set = sets[line % n_sets]
+            tag = line // n_sets
+            if tag in cache_set:
+                cache_set.move_to_end(tag)
+                stats.hits += 1
+                return True
+            stats.misses += 1
+            if allocate:
+                if len(cache_set) >= assoc:
+                    cache_set.popitem(last=False)  # evict LRU
+                    stats.evictions += 1
+                    if sampled() and evict_site >= 0:
+                        buf_append((evict_site, tracer.now, 0,
+                                    attribute(addr), None))
+                cache_set[tag] = None
+            else:
+                stats.bypassed += 1
+            return False
 
         self.access = traced_access

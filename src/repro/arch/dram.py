@@ -93,7 +93,12 @@ class DramChannel:
         return bank, row
 
     def access(self, now: int, addr: int) -> int:
-        """Service a line read arriving at ``now``; return completion time."""
+        """Service a line read arriving at ``now``; return completion time.
+
+        NOTE: the traced variant in ``_attach_tracer`` duplicates this
+        body and ``_map`` (fused instrumentation) — keep them in
+        lockstep.
+        """
         bank_idx, row = self._map(addr)
         bank = self._banks[bank_idx]
         start = max(now, bank.next_free)
@@ -129,48 +134,85 @@ class DramChannel:
     def _attach_tracer(self, tracer, pid: int, bus_tid: int) -> None:
         """Instrument this channel for a trace session.
 
-        ``access`` is rebound to a wrapper that re-derives the bank and
-        bus schedule from pre-call state (the mapping and timing are
-        pure functions of it), then emits one bank-busy span on the
-        bank's thread track and one bus-transfer span on ``bus_tid`` —
-        both tagged with the owning data object.  Attribution totals
-        (requests, busy/bus cycles, bytes) accumulate per object even
-        when the sampled span itself is thinned out.
+        ``access`` is rebound to a fused variant (a duplicate of the
+        plain ``access``/``_map`` bodies — keep them in lockstep!) that
+        emits one bank-busy span on the bank's thread track and one
+        bus-transfer span on ``bus_tid`` — both tagged with the owning
+        data object.  Attribution totals (requests, busy/bus cycles,
+        bytes) accumulate per object even when the sampled span itself
+        is thinned out.
         """
-        orig_access = self.access
+        # Hot-path locals and per-bank interned sites.
+        banks = self._banks
+        n_banks = self.n_banks
+        n_banks_sq = n_banks ** 2
+        row_div = self.row_bytes * n_banks
+        line_bytes = self.line_bytes
+        hit_cycles = self.timings.row_hit_cycles
+        miss_cycles = self.timings.row_miss_cycles
+        bus_cycles = self.timings.bus_cycles_per_line
+        stats = self.stats
+        obj_stats = tracer.obj
+        sampled = tracer.sampled
+        attribute = tracer.attribute
+        always = tracer.config.sample_rate >= 1.0
+        buf_append = tracer._buf.append
+        bucket = tracer._interval_obj_bytes
+        bank_args = ("bank_queue", "row")
+        hit_sites = [
+            tracer.site("dram", "row-hit", pid, b, argkeys=bank_args)
+            for b in range(len(banks))
+        ]
+        miss_sites = [
+            tracer.site("dram", "row-miss", pid, b, argkeys=bank_args)
+            for b in range(len(banks))
+        ]
+        bus_site = tracer.site("dram", "bus", pid, bus_tid,
+                               argkeys=("bus_queue",))
 
         def traced_access(now: int, addr: int) -> int:
-            bank_idx, row = self._map(addr)
-            bank = self._banks[bank_idx]
+            line = addr // line_bytes
+            row = addr // row_div
+            bank_idx = (line ^ (line // n_banks)
+                        ^ (line // n_banks_sq)) % n_banks
+            bank = banks[bank_idx]
             bank_free = bank.next_free
-            open_row = bank.open_row
+            start = bank_free if bank_free > now else now
+            stats.requests += 1
+            stats.bank_queue_cycles += start - now
+            row_hit = bank.open_row == row
+            if row_hit:
+                stats.row_hits += 1
+                data_ready = start + hit_cycles
+            else:
+                stats.row_misses += 1
+                bank.open_row = row
+                data_ready = start + miss_cycles
             bus_free = self._bus_next_free
-            done = orig_access(now, addr)
-            start = max(now, bank_free)
-            row_hit = open_row == row
-            data_ready = start + (
-                self.timings.row_hit_cycles if row_hit
-                else self.timings.row_miss_cycles
-            )
-            bus_start = max(data_ready, bus_free)
-            obj = tracer.attribute(addr)
-            stats = tracer.obj(obj)
-            stats.dram_reads += 1
-            stats.dram_busy_cycles += done - start
-            stats.dram_bus_cycles += done - bus_start
-            tracer.account_read_bytes(obj, self.line_bytes)
-            if tracer.sampled():
-                tracer.emit(
-                    "dram",
-                    "row-hit" if row_hit else "row-miss",
-                    start, done - start, pid, bank_idx, obj=obj,
-                    args={"bank_queue": start - now, "row": row},
-                )
-                tracer.emit(
-                    "dram", "bus", bus_start, done - bus_start, pid,
-                    bus_tid, obj=obj,
-                    args={"bus_queue": bus_start - data_ready},
-                )
+            bus_start = data_ready if data_ready > bus_free else bus_free
+            done = bus_start + bus_cycles
+            self._bus_next_free = done
+            stats.bus_queue_cycles += bus_start - data_ready
+            # The line occupies the bank's row buffer until the bus has
+            # carried it out (see the plain body).
+            bank.next_free = done
+            obj = tracer.ctx_obj
+            if obj is None:
+                obj = attribute(addr)
+            ostats = obj_stats(obj)
+            ostats.dram_reads += 1
+            ostats.dram_busy_cycles += done - start
+            ostats.dram_bus_cycles += done - bus_start
+            ostats.read_bytes += line_bytes
+            bucket[obj] = bucket.get(obj, 0) + line_bytes
+            if always or sampled():
+                sid = hit_sites[bank_idx] if row_hit \
+                    else miss_sites[bank_idx]
+                if sid >= 0:
+                    buf_append((sid, start, done - start, obj,
+                                (start - now, row)))
+                    buf_append((bus_site, bus_start, done - bus_start,
+                                obj, (bus_start - data_ready,)))
             return done
 
         self.access = traced_access

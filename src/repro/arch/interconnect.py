@@ -38,7 +38,11 @@ class Link:
         self._next_free = 0
 
     def transfer(self, now: int, nbytes: int) -> int:
-        """Schedule a transfer arriving at ``now``; return delivery time."""
+        """Schedule a transfer arriving at ``now``; return delivery time.
+
+        NOTE: the traced variant in ``_attach_tracer`` duplicates this
+        body (fused instrumentation) — keep the two in lockstep.
+        """
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
         occupancy = -(-nbytes // self.bytes_per_cycle)
@@ -64,27 +68,42 @@ class Link:
     def _attach_tracer(self, tracer, pid: int, tid: int) -> None:
         """Instrument this link for a trace session.
 
-        ``transfer`` is rebound to a wrapper that emits one (sampled)
+        ``transfer`` is rebound to a fused variant (a duplicate of the
+        plain body — keep them in lockstep!) that emits one (sampled)
         occupancy span per transfer on the given track — ``ts`` is the
         cycle the transfer actually claims the link (after queueing),
         ``dur`` its occupancy.  The object tag comes from the session's
         request context, stamped by the LD/ST unit before descending.
         """
-        orig_transfer = self.transfer
+        bytes_per_cycle = self.bytes_per_cycle
+        base_latency = self.base_latency
+        stats = self.stats
+        obj_stats = tracer.obj
+        sampled = tracer.sampled
+        attribute = tracer.attribute
+        always = tracer.config.sample_rate >= 1.0
+        buf_append = tracer._buf.append
+        link_site = tracer.site("noc", self.name, pid, tid,
+                                argkeys=("bytes", "queue"))
 
         def traced_transfer(now: int, nbytes: int) -> int:
+            if nbytes <= 0:
+                raise ValueError("transfer size must be positive")
+            occupancy = -(-nbytes // bytes_per_cycle)
             free = self._next_free
-            done = orig_transfer(now, nbytes)
-            start = max(now, free)
-            obj = tracer.attribute(-1)
-            tracer.obj(obj).noc_bytes += nbytes
-            if tracer.sampled():
-                tracer.emit(
-                    "noc", self.name, start, self._next_free - start,
-                    pid, tid, obj=obj,
-                    args={"bytes": nbytes, "queue": start - now},
-                )
-            return done
+            start = now if now > free else free
+            self._next_free = start + occupancy
+            stats.transfers += 1
+            stats.bytes_moved += nbytes
+            stats.queue_cycles += start - now
+            obj = tracer.ctx_obj
+            if obj is None:
+                obj = attribute(-1)
+            obj_stats(obj).noc_bytes += nbytes
+            if (always or sampled()) and link_site >= 0:
+                buf_append((link_site, start, occupancy, obj,
+                            (nbytes, start - now)))
+            return start + occupancy + base_latency
 
         self.transfer = traced_transfer
 

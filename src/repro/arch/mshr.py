@@ -100,36 +100,47 @@ class MshrFile:
         track, timestamped with the session's request-context cycle.
         Un-attached files keep the plain methods.
         """
+        from repro.obs.trace import TID_MAIN
+
         orig_add = self.add
         orig_release = self.release
         orig_record_stall = self.record_stall
+        entries = self._entries
+        buf_append = tracer._buf.append
+        sampled = tracer.sampled
+        always = tracer.config.sample_rate >= 1.0
+        occupancy_site = tracer.site(
+            "mshr", f"mshr[{pid}]", pid, TID_MAIN, ph="C",
+            argkeys=("outstanding",),
+        )
+        merge_stall_site = tracer.site("mshr", "merge-stall", pid, tid,
+                                       ph="i")
+        full_stall_site = tracer.site("mshr", "full-stall", pid, tid,
+                                      ph="i")
+        # Occupancy is bounded by the file size, so every counter args
+        # tuple the hooks can emit is interned once and shared.
+        occ_args = tuple((i,) for i in range(self.n_entries + 1))
 
         def traced_add(line_addr: int) -> bool:
             new_request = orig_add(line_addr)
-            if tracer.sampled():
-                tracer.counter(
-                    "mshr", f"mshr[{pid}]", tracer.now, pid,
-                    {"outstanding": len(self._entries)},
-                )
+            if (always or sampled()) and occupancy_site >= 0:
+                buf_append((occupancy_site, tracer.now, 0, None,
+                            occ_args[len(entries)]))
             return new_request
 
         def traced_release(line_addr: int) -> int:
             merged = orig_release(line_addr)
-            if tracer.sampled():
-                tracer.counter(
-                    "mshr", f"mshr[{pid}]", tracer.now, pid,
-                    {"outstanding": len(self._entries)},
-                )
+            if (always or sampled()) and occupancy_site >= 0:
+                buf_append((occupancy_site, tracer.now, 0, None,
+                            occ_args[len(entries)]))
             return merged
 
         def traced_record_stall(line_addr: int) -> None:
             orig_record_stall(line_addr)
-            tracer.instant(
-                "mshr",
-                "merge-stall" if line_addr in self._entries
-                else "full-stall",
-                tracer.now, pid, tid,
-            )
+            sid = (merge_stall_site if line_addr in entries
+                   else full_stall_site)
+            if sid >= 0:
+                buf_append((sid, tracer.now, 0, None, None))
 
         self.add = traced_add
         self.release = traced_release

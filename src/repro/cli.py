@@ -145,6 +145,8 @@ def _cmd_campaign(args) -> int:
         n_bits=args.bits,
         selection=args.selection,
         collect_records=args.telemetry is not None,
+        batch=args.batch,
+        max_batch_bytes=args.max_batch_bytes,
     )
     log.result(campaign_table([result]).render())
     log.result("")
@@ -431,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "uniform", "hot", "rest"))
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign (default 1)")
+    p.add_argument("--batch", type=int, default=1,
+                   help="runs propagated per batched sweep (default 1 "
+                        "= scalar); never affects results")
+    p.add_argument("--max-batch-bytes", type=int,
+                   default=256 * 1024 * 1024,
+                   help="memory ceiling that clamps the effective "
+                        "batch size (default 256 MiB)")
     p.add_argument("--telemetry", metavar="PATH", default=None,
                    help="write one JSONL run record per fault-injection"
                         " run to PATH")

@@ -174,6 +174,8 @@ class ReliabilityManager:
         jobs: int | None = None,
         collect_records: bool = False,
         metrics=None,
+        batch: int = 1,
+        max_batch_bytes: int = 256 * 1024 * 1024,
     ) -> CampaignResult:
         """The reliability evaluation (one Fig 9 configuration).
 
@@ -181,7 +183,9 @@ class ReliabilityManager:
         manager's own ``jobs`` setting.  ``collect_records=True`` fills
         the result's per-run telemetry records; ``metrics`` names the
         :class:`~repro.obs.metrics.MetricsRegistry` observability
-        accumulates into.
+        accumulates into.  ``batch`` propagates that many runs per
+        vectorized sweep (results are identical to ``batch=1``);
+        ``max_batch_bytes`` clamps its memory footprint.
         """
         names = self.protected_names(protect)
         campaign = Campaign(
@@ -196,6 +200,8 @@ class ReliabilityManager:
             jobs=self.jobs if jobs is None else jobs,
             collect_records=collect_records,
             metrics=metrics,
+            batch=batch,
+            max_batch_bytes=max_batch_bytes,
         )
         return campaign.run()
 

@@ -1,0 +1,498 @@
+"""Batched fault propagation: plan and classify N runs in one pass.
+
+The scalar campaign path (:meth:`~repro.faults.campaign.Campaign.run_one`)
+pays the full pipeline — seed derivation, memory clone, scheme
+construction, functional execution, output comparison — for every run,
+even though the vast majority of injected fault clusters are either
+invisible (the stuck bits agree with the data underneath) or fully
+absorbed by the replication scheme before they reach the kernel.  This
+module batches a span of run indices and splits the lanes analytically:
+
+* **Planning** is vectorized: per-lane seeds come from
+  :func:`repro.utils.fastseed.derive_seeds` (SeedSequence as uint32
+  array sweeps) and the per-lane generators are re-seeded in place via
+  PCG64 state injection instead of being constructed.  The draws
+  themselves replicate :meth:`Campaign.run_one` call-for-call, so the
+  sampled faults are bit-identical; a reference cross-check runs on the
+  first lane of every batch and the whole plan falls back to the scalar
+  RNG path if it (or the module's one-time self check) ever disagrees.
+
+* **Classification** exploits the stuck-at overlay algebra: a lane
+  whose merged overlays are a no-op against the underlying bytes
+  executes bitwise-identically to the fault-free run (MASKED); a lane
+  whose visible divergence lies entirely in protected objects resolves
+  from the fault-free read trace alone (DETECTED at the first protected
+  divergent read, or CORRECTED with the per-read vote counts).  These
+  *analytic* lanes produce the same :class:`RunResult` and
+  :class:`~repro.obs.records.RunRecord` payloads as scalar execution
+  without touching the kernel.  The soundness argument is strictly
+  data-driven — every analytic lane's kernel-visible data is bitwise
+  equal to the clean run's up to the classification point, so control
+  flow (and hence the read trace) cannot diverge either; see
+  docs/MODELING.md.
+
+* Remaining **exec lanes** — any lane with visible divergence in an
+  unprotected or writable object — run through the application's
+  ``execute_batch``, which vectorized kernels implement as stacked
+  ``(N, ...)`` NumPy sweeps (scalar fallback otherwise), and are
+  classified exactly like :meth:`Campaign._classify`.
+
+The engine requires ``clone_mode="cow"`` and no SECDED filtering; the
+campaign falls back to the scalar loop otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.address_space import BLOCK_BYTES, DataObject
+from repro.core.schemes import make_scheme
+from repro.errors import FaultDetected, KernelCrash
+from repro.faults.injector import apply_faults_merged, merge_fault_masks
+from repro.faults.model import FaultSpec, sample_word_fault
+from repro.faults.outcomes import Outcome, RunResult
+from repro.obs.records import RunRecord
+from repro.utils import fastseed
+from repro.utils.rng import RngStream, derive_seed
+
+
+@dataclass
+class _Lane:
+    """One planned run of a batch: its seed and sampled faults."""
+
+    run_index: int
+    seed: int
+    faults: list[FaultSpec]
+
+
+class _FastStream(RngStream):
+    """An :class:`RngStream` facade over one reused, re-seeded PCG64.
+
+    ``attach`` injects the generator state for the next lane instead of
+    constructing a fresh ``Generator`` (which costs more than the draws
+    it serves); lanes draw strictly sequentially, never concurrently.
+    The weighted without-replacement draw goes through the
+    :func:`~repro.utils.fastseed.weighted_choice` emulation — every
+    other draw runs the real numpy ``Generator`` methods unchanged.
+    """
+
+    def __init__(self):
+        self.seed = 0
+        self._rng = np.random.Generator(np.random.PCG64(0))
+        self._child_pool: list[RngStream] = []
+
+    def attach(self, seed: int, words) -> None:
+        self.seed = seed
+        fastseed.reseed(self._rng.bit_generator, *words)
+
+    def prepared_weighted_indices(self, p: np.ndarray, k: int) -> list[int]:
+        return fastseed.weighted_choice(self._rng, p, k)
+
+
+class BatchEngine:
+    """Per-campaign batched planner + classifier (lazily prepared)."""
+
+    def __init__(self, campaign):
+        self.campaign = campaign
+        self._prepared = False
+        #: Whether the vectorized seed/generator emulation is trusted
+        #: in this process (one-time self check + per-batch cross-check).
+        self._fast = fastseed.self_check()
+        self._parent = _FastStream()
+        self._child = _FastStream()
+        #: Fault-block address -> owning object (shared layout).
+        self._block_objects: dict[int, DataObject] = {}
+        #: Byte address -> fault-free byte value in the base image.
+        self._base_bytes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # One-time preparation: the fault-free reference execution
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        if self._prepared:
+            return
+        self._prepared = True
+        c = self.campaign
+        memory = c._run_memory()
+        self._base_memory = c._base_memory
+        protected = [memory.object(n) for n in c.protected_names]
+        scheme = make_scheme(c.scheme_name, memory, protected)
+        self._protected = scheme.protected_names
+        self._kind = scheme.scheme_name
+        # Record every data consumption path: scheme reads (protected
+        # or not) AND direct ``memory.read_object`` calls from kernel
+        # code ("raw" — they bypass the scheme entirely, so divergence
+        # they observe can neither be detected nor corrected).  Scheme
+        # internals also call ``read_object``; the reentrancy flag
+        # keeps those out of the raw stream.
+        reads: list[tuple[str, str]] = []
+        inner_read = scheme.read
+        inner_read_object = memory.read_object
+        in_scheme = [False]
+
+        def recording_read(obj):
+            kind = "prot" if obj.name in scheme.protected_names \
+                else "unprot"
+            reads.append((obj.name, kind))
+            in_scheme[0] = True
+            try:
+                return inner_read(obj)
+            finally:
+                in_scheme[0] = False
+
+        def recording_read_object(obj):
+            if not in_scheme[0]:
+                reads.append((obj.name, "raw"))
+            return inner_read_object(obj)
+
+        scheme.read = recording_read
+        memory.read_object = recording_read_object
+        with np.errstate(all="ignore"):
+            output = c.app.execute(memory, scheme)
+        del scheme.read  # drop the shadowing instance attributes
+        del memory.read_object
+        self._reads = reads
+        self._clean_counters = dict(vars(scheme.stats))
+        self._zero_counters = {k: 0 for k in self._clean_counters}
+        # Prefix read counts and first-read positions drive the
+        # DETECTED stats reconstruction; per-object protected read
+        # counts drive the CORRECTED vote tallies; first *unchecked*
+        # (unprotected or raw) positions decide when divergent data
+        # escapes the scheme.
+        self._prot_prefix: list[int] = []
+        self._unprot_prefix: list[int] = []
+        self._first_prot_read: dict[str, int] = {}
+        self._first_read: dict[str, int] = {}
+        self._first_unchecked: dict[str, int] = {}
+        self._prot_read_count: dict[str, int] = {}
+        n_prot = n_unprot = 0
+        for i, (name, kind) in enumerate(reads):
+            if kind == "prot":
+                n_prot += 1
+                self._first_prot_read.setdefault(name, i)
+                self._prot_read_count[name] = \
+                    self._prot_read_count.get(name, 0) + 1
+            else:
+                if kind == "unprot":
+                    n_unprot += 1
+                self._first_unchecked.setdefault(name, i)
+            self._first_read.setdefault(name, i)
+            self._prot_prefix.append(n_prot)
+            self._unprot_prefix.append(n_unprot)
+        # The analytic shortcuts are sound only if the fault-free
+        # reference behaves exactly like the golden run; anything else
+        # (a nondeterministic app, a scheme that corrects spuriously)
+        # routes every lane through real execution instead.
+        metric = None
+        clean_ok = (
+            isinstance(output, np.ndarray)
+            and output.shape == c._golden.shape
+            and output.dtype == c._golden.dtype
+            and output.tobytes() == c._golden.tobytes()
+            and scheme.stats.corrected_reads == 0
+        )
+        if clean_ok:
+            metric = c.app.error_metric.compare(c._golden, output)
+            clean_ok = not metric.is_sdc
+        self._analytic = clean_ok
+        self._clean_metric = metric
+
+    # ------------------------------------------------------------------
+    # Lane planning (vectorized seeds, reused generators)
+    # ------------------------------------------------------------------
+    def _plan_reference(self, run_index: int) -> _Lane:
+        """Plan one lane exactly as :meth:`Campaign.run_one` does."""
+        c = self.campaign
+        seed = derive_seed(c.config.seed, run_index)
+        rng = RngStream(seed)
+        block_addrs = c.selection.pick(rng, c.config.n_blocks)
+        children = rng.child_pool(len(block_addrs))
+        faults = [
+            sample_word_fault(
+                children[i], addr, c.config.n_bits,
+                word_candidates=c._live_words_for(addr),
+            )
+            for i, addr in enumerate(block_addrs)
+        ]
+        return _Lane(run_index, seed, faults)
+
+    def _plan_fast(self, start: int, stop: int) -> list[_Lane]:
+        c = self.campaign
+        indices = np.arange(start, stop, dtype=np.uint64)
+        seeds = fastseed.derive_seeds(c.config.seed, indices)
+        parent_words = fastseed.generator_state_words(seeds)
+        picks: list[list[int]] = []
+        for i in range(indices.shape[0]):
+            self._parent.attach(
+                int(seeds[i]), [int(w[i]) for w in parent_words]
+            )
+            picks.append(c.selection.pick(self._parent, c.config.n_blocks))
+        n_children = len(picks[0])
+        child_words = [
+            fastseed.generator_state_words(
+                fastseed.derive_child_seeds(seeds, j)
+            )
+            for j in range(n_children)
+        ]
+        lanes = []
+        for i in range(indices.shape[0]):
+            faults = []
+            for j, addr in enumerate(picks[i]):
+                self._child.attach(0, [int(w[i]) for w in child_words[j]])
+                faults.append(sample_word_fault(
+                    self._child, addr, c.config.n_bits,
+                    word_candidates=c._live_words_for(addr),
+                ))
+            lanes.append(_Lane(int(indices[i]), int(seeds[i]), faults))
+        return lanes
+
+    def _plan(self, start: int, stop: int) -> list[_Lane]:
+        if self._fast:
+            lanes = self._plan_fast(start, stop)
+            # Cross-check the first lane of every batch against the
+            # reference derivation; any disagreement (a numpy internals
+            # change the self check somehow missed) permanently demotes
+            # this engine to reference planning.
+            reference = self._plan_reference(start)
+            if (lanes[0].seed, lanes[0].faults) == \
+                    (reference.seed, reference.faults):
+                return lanes
+            self._fast = False
+        return [self._plan_reference(i) for i in range(start, stop)]
+
+    # ------------------------------------------------------------------
+    # Per-lane divergence analysis
+    # ------------------------------------------------------------------
+    def _object_for_block(self, block_addr: int) -> DataObject:
+        obj = self._block_objects.get(block_addr)
+        if obj is None:
+            obj = self.campaign._pristine.object_at(block_addr)
+            self._block_objects[block_addr] = obj
+        return obj
+
+    def _base_byte(self, byte_addr: int) -> int:
+        value = self._base_bytes.get(byte_addr)
+        if value is None:
+            value = self._base_memory.read_byte(byte_addr)
+            self._base_bytes[byte_addr] = value
+        return value
+
+    def _analyze(self, lane: _Lane) -> tuple[dict[str, list[int]], bool]:
+        """Visible divergence of one lane's merged overlays.
+
+        Returns ``(divergent, rw_fault)``: per read-only object, the
+        sorted offsets whose faulted read differs from the clean byte;
+        and whether any overlay lands in a writable object (where the
+        effect depends on the value later written, so the lane must
+        execute for real).
+        """
+        masks = merge_fault_masks(lane.faults)
+        divergent: dict[str, list[int]] = {}
+        rw_fault = False
+        for byte_addr in sorted(masks):
+            or_mask, and_mask = masks[byte_addr]
+            # Word faults never straddle the 128B block, so the byte's
+            # block is its fault's block — the memoized lookup applies.
+            obj = self._object_for_block(
+                byte_addr - byte_addr % BLOCK_BYTES
+            )
+            offset = byte_addr - obj.base_addr
+            if offset >= obj.nbytes:
+                continue  # block padding: invisible to every read
+            if not obj.read_only:
+                rw_fault = True
+                continue
+            raw = self._base_byte(byte_addr)
+            if ((raw | or_mask) & ~and_mask & 0xFF) != raw:
+                divergent.setdefault(obj.name, []).append(offset)
+        return divergent, rw_fault
+
+    # ------------------------------------------------------------------
+    # Analytic classification
+    # ------------------------------------------------------------------
+    def _classify_analytic(self, lane: _Lane):
+        """Classify without executing; ``None`` if the lane must run.
+
+        Returns ``(RunResult, counters_dict)`` for lanes whose outcome
+        is fully determined by the clean read trace.
+        """
+        divergent, rw_fault = self._analyze(lane)
+        if rw_fault:
+            # A fault in a writable object bites data written *during*
+            # the run; its visibility depends on the written values, so
+            # only real execution can tell.
+            return None
+        for name in divergent:
+            if name not in self._first_read:
+                # Divergent object never seen on any recorded read path
+                # — we cannot prove it is unread, so execute.
+                return None
+        prot_read = {
+            name: offsets for name, offsets in divergent.items()
+            if name in self._protected and name in self._first_prot_read
+        }
+        # Positions where some divergent object's data first escapes
+        # the scheme (read unprotected, or read raw past the scheme).
+        unchecked = [
+            self._first_unchecked[name] for name in divergent
+            if name in self._first_unchecked
+        ]
+        if self._kind == "detection" and prot_read:
+            i_star, det_name = min(
+                (self._first_prot_read[name], name) for name in prot_read
+            )
+            if any(pos < i_star for pos in unchecked):
+                return None
+            exc = FaultDetected(
+                det_name, prot_read[det_name][0] // BLOCK_BYTES
+            )
+            counters = dict(self._zero_counters)
+            counters["protected_reads"] = self._prot_prefix[i_star]
+            counters["comparisons"] = self._prot_prefix[i_star]
+            counters["unprotected_reads"] = self._unprot_prefix[i_star]
+            return (
+                RunResult(lane.run_index, Outcome.DETECTED, 0.0, str(exc)),
+                counters,
+            )
+        if unchecked:
+            return None
+        if prot_read:
+            if self._kind != "correction":
+                return None
+            corrected_reads = sum(
+                self._prot_read_count[name] for name in prot_read
+            )
+            corrected_bytes = sum(
+                self._prot_read_count[name] * len(offsets)
+                for name, offsets in prot_read.items()
+            )
+            counters = dict(self._clean_counters)
+            counters["corrected_bytes"] = corrected_bytes
+            counters["corrected_reads"] = corrected_reads
+            return (
+                RunResult(
+                    lane.run_index, Outcome.CORRECTED,
+                    self._clean_metric.error,
+                    f"{corrected_bytes} byte(s) voted out",
+                ),
+                counters,
+            )
+        return (
+            RunResult(
+                lane.run_index, Outcome.MASKED, self._clean_metric.error
+            ),
+            dict(self._clean_counters),
+        )
+
+    # ------------------------------------------------------------------
+    # Real execution for the undecidable lanes
+    # ------------------------------------------------------------------
+    def _run_exec(self, lanes: list[_Lane]) -> list[tuple]:
+        c = self.campaign
+        memories, schemes = [], []
+        for lane in lanes:
+            memory = c._run_memory()
+            protected = [memory.object(n) for n in c.protected_names]
+            scheme = make_scheme(c.scheme_name, memory, protected)
+            apply_faults_merged(memory, merge_fault_masks(lane.faults))
+            memories.append(memory)
+            schemes.append(scheme)
+        with np.errstate(all="ignore"):
+            outputs = c.app.execute_batch(memories, schemes)
+        results = []
+        for lane, scheme, output in zip(lanes, schemes, outputs):
+            if isinstance(output, FaultDetected):
+                run = RunResult(
+                    lane.run_index, Outcome.DETECTED, 0.0, str(output)
+                )
+            elif isinstance(output, KernelCrash):
+                run = RunResult(
+                    lane.run_index, Outcome.CRASH, 0.0, str(output)
+                )
+            else:
+                metric = c.app.error_metric.compare(c._golden, output)
+                if metric.is_sdc:
+                    run = RunResult(
+                        lane.run_index, Outcome.SDC, metric.error,
+                        f"error {metric.error:.6g} > {metric.threshold:g}",
+                    )
+                elif getattr(scheme, "stats", None) is not None \
+                        and scheme.stats.corrected_reads:
+                    run = RunResult(
+                        lane.run_index, Outcome.CORRECTED, metric.error,
+                        f"{scheme.stats.corrected_bytes} byte(s) voted out",
+                    )
+                else:
+                    run = RunResult(
+                        lane.run_index, Outcome.MASKED, metric.error
+                    )
+            results.append(
+                (run, dict(vars(scheme.stats))
+                 if getattr(scheme, "stats", None) is not None else {})
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Batch entry point
+    # ------------------------------------------------------------------
+    def run_batch(
+        self, start: int, stop: int, metrics=None, record_sink=None
+    ) -> list[RunResult]:
+        """Execute runs ``start..stop`` as one batch.
+
+        Emits the same per-run metrics and (with ``record_sink``) the
+        same :class:`RunRecord` payloads as the scalar path, in run-
+        index order.
+        """
+        self._prepare()
+        lanes = self._plan(start, stop)
+        decided: dict[int, tuple] = {}
+        exec_lanes: list[_Lane] = []
+        for lane in lanes:
+            verdict = (
+                self._classify_analytic(lane) if self._analytic else None
+            )
+            if verdict is None:
+                exec_lanes.append(lane)
+            else:
+                decided[lane.run_index] = verdict
+        if exec_lanes:
+            for run, counters in self._run_exec(exec_lanes):
+                decided[run.run_index] = (run, counters)
+        if metrics is not None:
+            metrics.inc(
+                "campaign.batch.analytic_lanes",
+                len(lanes) - len(exec_lanes),
+            )
+            metrics.inc("campaign.batch.exec_lanes", len(exec_lanes))
+        results = []
+        for lane in lanes:
+            run, counters = decided[lane.run_index]
+            if metrics is not None:
+                for fault in lane.faults:
+                    obj = self._object_for_block(fault.block_addr)
+                    metrics.inc(f"campaign.faults.object.{obj.name}")
+                metrics.inc(f"campaign.outcome.{run.outcome.value}")
+            if record_sink is not None:
+                c = self.campaign
+                record_sink.append(RunRecord(
+                    run_index=lane.run_index,
+                    seed=lane.seed,
+                    app=c.app.name,
+                    scheme=c.scheme_name,
+                    selection=c.selection.name,
+                    n_blocks=c.config.n_blocks,
+                    n_bits=c.config.n_bits,
+                    outcome=run.outcome.value,
+                    error=float(run.error),
+                    detail=run.detail,
+                    faults=tuple(lane.faults),
+                    counters=tuple(sorted(
+                        (name, int(value))
+                        for name, value in counters.items()
+                    )),
+                ))
+            results.append(run)
+        return results

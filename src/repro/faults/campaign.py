@@ -36,6 +36,7 @@ from repro.errors import (
     SpecError,
     UnknownSchemeError,
 )
+from repro.faults.batch import BatchEngine
 from repro.faults.injector import apply_faults
 from repro.faults.secded_filter import apply_filtered_faults
 from repro.faults.model import FaultSpec, live_words, sample_word_fault
@@ -380,6 +381,8 @@ class Campaign:
         clone_mode: str = "cow",
         collect_records: bool = False,
         metrics: MetricsRegistry | None = None,
+        batch: int = 1,
+        max_batch_bytes: int = 256 * 1024 * 1024,
         scheme_name: str = UNSET,
         protected_names: tuple[str, ...] = UNSET,
     ):
@@ -403,6 +406,10 @@ class Campaign:
             )
         if jobs < 1:
             raise ConfigError("jobs must be >= 1")
+        if batch < 1:
+            raise ConfigError("batch must be >= 1")
+        if max_batch_bytes < 1:
+            raise ConfigError("max_batch_bytes must be >= 1")
         self.app = app
         self.selection = selection
         self.scheme_name = scheme
@@ -412,6 +419,14 @@ class Campaign:
         self.jobs = jobs
         self.clone_mode = clone_mode
         self.collect_records = collect_records
+        #: Runs propagated per batched sweep (1 = scalar ``run_one``
+        #: loop).  Like ``jobs``/``clone_mode`` this is an execution
+        #: knob, provably result-invariant, and stays out of
+        #: :meth:`spec_identity`; ``max_batch_bytes`` clamps the
+        #: effective size so large apps cannot OOM.
+        self.batch = batch
+        self.max_batch_bytes = max_batch_bytes
+        self._batch_engine: BatchEngine | None = None
         #: Observability sink for this campaign (and, when run through
         #: the executor, for the executor's own chunk/utilization
         #: metrics).  Never feeds back into results.
@@ -498,23 +513,90 @@ class Campaign:
         span_metrics = MetricsRegistry()
         record_sink = result.records if self.collect_records else None
         span_begin = time.perf_counter()
-        for run_index in range(start, stop):
-            run_begin = time.perf_counter()
-            run_result = self.run_one(
-                run_index, metrics=span_metrics, record_sink=record_sink
-            )
-            span_metrics.observe(
-                f"campaign.run_ms.{run_result.outcome.value}",
-                (time.perf_counter() - run_begin) * 1e3,
-            )
-            result.counts[run_result.outcome] += 1
-            if self.keep_runs:
-                result.runs.append(run_result)
+        step = self.effective_batch
+        if step > 1:
+            index = start
+            while index < stop:
+                batch_stop = min(index + step, stop)
+                batch_begin = time.perf_counter()
+                batch_runs = self.run_batch(
+                    index, batch_stop,
+                    metrics=span_metrics, record_sink=record_sink,
+                )
+                elapsed_ms = (time.perf_counter() - batch_begin) * 1e3
+                span_metrics.observe("campaign.batch_ms", elapsed_ms)
+                per_run_ms = elapsed_ms / len(batch_runs)
+                for run_result in batch_runs:
+                    span_metrics.observe(
+                        f"campaign.run_ms.{run_result.outcome.value}",
+                        per_run_ms,
+                    )
+                    result.counts[run_result.outcome] += 1
+                    if self.keep_runs:
+                        result.runs.append(run_result)
+                index = batch_stop
+        else:
+            for run_index in range(start, stop):
+                run_begin = time.perf_counter()
+                run_result = self.run_one(
+                    run_index, metrics=span_metrics,
+                    record_sink=record_sink,
+                )
+                span_metrics.observe(
+                    f"campaign.run_ms.{run_result.outcome.value}",
+                    (time.perf_counter() - run_begin) * 1e3,
+                )
+                result.counts[run_result.outcome] += 1
+                if self.keep_runs:
+                    result.runs.append(run_result)
         span_metrics.observe(
             "campaign.span_ms", (time.perf_counter() - span_begin) * 1e3
         )
         result.metrics_snapshot = span_metrics.snapshot()
         return result
+
+    @property
+    def effective_batch(self) -> int:
+        """The batch size actually used by :meth:`run_span`.
+
+        The requested ``batch`` is clamped so a batch's worst-case
+        footprint (every lane COW-cloning the full base image) stays
+        under ``max_batch_bytes``, and collapses to 1 whenever the
+        batched engine cannot guarantee scalar-identical results
+        (SECDED filtering, ``clone_mode="full"``).
+        """
+        if self.batch <= 1 or self.config.secded \
+                or self.clone_mode != "cow":
+            return 1
+        per_lane = max(1, self._pristine.bytes_allocated)
+        return max(1, min(self.batch, self.max_batch_bytes // per_lane))
+
+    def run_batch(
+        self,
+        start: int,
+        stop: int,
+        metrics: MetricsRegistry | None = None,
+        record_sink: list[RunRecord] | None = None,
+    ) -> list[RunResult]:
+        """Execute runs ``start..stop`` as one batched sweep.
+
+        Results, metrics and (with ``record_sink``) RunRecords are
+        identical to calling :meth:`run_one` per index — the batched
+        engine (see :mod:`repro.faults.batch`) is an execution
+        strategy, not a semantic variant.  Configurations the engine
+        does not support (SECDED, full clone mode) transparently fall
+        back to the scalar loop.
+        """
+        if self.config.secded or self.clone_mode != "cow":
+            return [
+                self.run_one(i, metrics=metrics, record_sink=record_sink)
+                for i in range(start, stop)
+            ]
+        if self._batch_engine is None:
+            self._batch_engine = BatchEngine(self)
+        return self._batch_engine.run_batch(
+            start, stop, metrics=metrics, record_sink=record_sink
+        )
 
     def _run_memory(self) -> DeviceMemory:
         """Per-run device memory according to ``clone_mode``."""

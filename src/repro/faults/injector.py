@@ -1,4 +1,22 @@
-"""Applies fault specifications to device memory."""
+"""Applies fault specifications to device memory.
+
+Two application paths share one overlay algebra:
+
+* :func:`apply_faults` — the scalar path: one
+  :meth:`~repro.arch.address_space.DeviceMemory.inject_stuck_at` call
+  per stuck bit, merging into any existing overlay as it goes.
+* :func:`merge_fault_masks` + :func:`apply_faults_merged` — the batched
+  path: every fault's bits are first folded into one
+  ``(or_mask, and_mask)`` pair per byte (later faults win ties, exactly
+  like :meth:`~repro.arch.address_space.StuckAtOverlay.merged_with`),
+  then installed with a single dict write per touched byte.  The batch
+  engine also reuses the folded masks directly for its analytic
+  visible-divergence classification, so planning and execution agree on
+  the overlay semantics by construction.
+
+Both paths leave the memory with identical overlays for the same fault
+list.
+"""
 
 from __future__ import annotations
 
@@ -14,4 +32,47 @@ def apply_faults(memory: DeviceMemory, faults: list[FaultSpec]) -> int:
         for byte_addr, bit, value in fault.byte_level_faults():
             memory.inject_stuck_at(byte_addr, bit, value)
             injected += 1
+    return injected
+
+
+def merge_fault_masks(
+    faults: list[FaultSpec],
+) -> dict[int, tuple[int, int]]:
+    """Fold every fault's stuck bits into per-byte overlay masks.
+
+    Returns ``{byte_addr: (or_mask, and_mask)}`` — the read value of a
+    faulted byte is ``(raw | or_mask) & ~and_mask``.  When several
+    faults hit the same bit, the later fault in the list wins, matching
+    the merge order of sequential :func:`apply_faults` injection.
+    """
+    masks: dict[int, list[int]] = {}
+    for fault in faults:
+        for byte_addr, bit, value in fault.byte_level_faults():
+            entry = masks.get(byte_addr)
+            if entry is None:
+                entry = [0, 0]
+                masks[byte_addr] = entry
+            mask = 1 << bit
+            if value:
+                entry[0] |= mask
+                entry[1] &= ~mask
+            else:
+                entry[0] &= ~mask
+                entry[1] |= mask
+    return {addr: (e[0], e[1]) for addr, e in masks.items()}
+
+
+def apply_faults_merged(
+    memory: DeviceMemory, masks: dict[int, tuple[int, int]]
+) -> int:
+    """Install pre-merged per-byte overlay masks (one write per byte).
+
+    ``masks`` comes from :func:`merge_fault_masks`; the resulting
+    overlays are identical to scalar :func:`apply_faults` of the same
+    fault list.  Returns the number of stuck bits injected.
+    """
+    injected = 0
+    for byte_addr, (or_mask, and_mask) in masks.items():
+        memory.inject_stuck_mask(byte_addr, or_mask, and_mask)
+        injected += (or_mask | and_mask).bit_count()
     return injected

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_right
-from collections import deque
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Iterable, NamedTuple
 
@@ -209,13 +208,36 @@ class TraceSession:
     * :attr:`ctx_obj` — the data object owning the in-flight request;
     * :attr:`last_stall_reason` — set by the LD/ST unit on structural
       stalls so the SM-level hook can label the warp's stall span.
+
+    **Hot-path layout.**  The recorder never builds a
+    :class:`TraceEvent` while the simulation runs.  Everything static
+    about an emission site — phase, category, name, pid, tid and the
+    ``args`` key tuple — is interned once at hook-attach time into a
+    *site id* (:meth:`site`), and :meth:`record` appends only the
+    dynamic payload ``(site, ts, dur, obj, args)`` to a flat ring
+    list.  The ring is bounded by amortized compaction: appends run
+    until twice ``max_events``, then the oldest half is sliced off in
+    one C-level ``del``, so steady-state memory stays within
+    2 × ``max_events`` records while the per-event cost is a single
+    tuple append.  Named events (``TraceEvent``), ``args`` dicts and
+    formatted strings are materialized lazily by :attr:`events` at
+    export time — deferred stringification keeps allocation churn out
+    of the simulated loop.
     """
 
     def __init__(self, config: TraceConfig | None = None):
         self.config = config or TraceConfig()
-        self.events: deque[TraceEvent] = deque(maxlen=self.config.max_events)
-        self.emitted = 0
-        self.dropped = 0
+        cap = self.config.max_events
+        self._cap = cap
+        self._compact_at = 2 * cap
+        #: Ring storage: ``(site_id, ts, dur, obj, args)`` tuples.
+        self._buf: list[tuple] = []
+        #: Records compacted away so far (evicted ring entries).
+        self._trimmed = 0
+        #: Interned site descriptors:
+        #: ``(ph, cat, name, pid, tid, argkeys)``.
+        self._sites: list[tuple] = []
+        self._site_ids: dict[tuple, int] = {}
         # Hook-shared request context.
         self.now = 0
         self.ctx_obj: str | None = None
@@ -292,6 +314,69 @@ class TraceSession:
     def thread_names(self) -> dict[tuple[int, int], str]:
         return dict(self._thread_names)
 
+    def site(
+        self,
+        cat: str,
+        name: str,
+        pid: int,
+        tid: int,
+        ph: str = "X",
+        argkeys: tuple[str, ...] | None = None,
+    ) -> int:
+        """Intern a static emission-site descriptor; returns its id.
+
+        Hooks call this once at attach time and pass the id to
+        :meth:`record` per event.  A filtered-out category interns to
+        ``-1``, which :meth:`record` discards — the category check is
+        thereby paid once per site instead of once per event.
+        ``argkeys``, when given, names the slots of the raw ``args``
+        tuple :meth:`record` receives; :attr:`events` zips them back
+        into the ``args`` dict at export time.
+        """
+        if self._categories is not None and cat not in self._categories:
+            return -1
+        key = (ph, cat, name, pid, tid, argkeys)
+        sid = self._site_ids.get(key)
+        if sid is None:
+            sid = len(self._sites)
+            self._sites.append(key)
+            self._site_ids[key] = sid
+        return sid
+
+    def record(
+        self, sid: int, ts: int, dur: int,
+        obj: str | None = None, args: Any = None,
+    ) -> None:
+        """Record one event at an interned site (the hot path).
+
+        ``args`` is either a prebuilt dict or a raw tuple matching the
+        site's ``argkeys``; both are materialized only at export.
+        """
+        if sid < 0:
+            return
+        buf = self._buf
+        buf.append((sid, ts, dur, obj, args))
+        if len(buf) >= self._compact_at:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Evict the over-capacity prefix of the ring in one slice.
+
+        Hot hooks append to :attr:`_buf` directly (bypassing
+        :meth:`record`) and rely on the interval sampler's
+        :meth:`add_sample` calling this, so the ring's memory bound is
+        enforced at interval granularity on that path.  The
+        :attr:`events`/:attr:`emitted`/:attr:`dropped` accessors are
+        compaction-timing independent — they slice/count from
+        ``_trimmed`` plus the live tail — so *when* compaction runs
+        never changes any output.
+        """
+        buf = self._buf
+        cut = len(buf) - self._cap
+        if cut > 0:
+            del buf[:cut]
+            self._trimmed += cut
+
     def emit(
         self,
         cat: str,
@@ -305,15 +390,12 @@ class TraceSession:
         ph: str = "X",
     ) -> None:
         """Record one event; oldest events are evicted when the ring is
-        full (and counted in :attr:`dropped`)."""
-        if self._categories is not None and cat not in self._categories:
-            return
-        self.emitted += 1
-        if len(self.events) == self.events.maxlen:
-            self.dropped += 1
-        self.events.append(
-            TraceEvent(ts, dur, ph, cat, name, pid, tid, obj, args)
-        )
+        full (and counted in :attr:`dropped`).
+
+        Convenience wrapper over :meth:`site` + :meth:`record` for
+        cold call sites (kernel spans, tests); hot hooks pre-intern.
+        """
+        self.record(self.site(cat, name, pid, tid, ph), ts, dur, obj, args)
 
     def instant(
         self, cat: str, name: str, ts: int, pid: int, tid: int,
@@ -329,6 +411,39 @@ class TraceSession:
         """Record a counter sample (one series per ``values`` key)."""
         self.emit(cat, name, ts, 0, pid, TID_MAIN, None, values, ph="C")
 
+    @property
+    def emitted(self) -> int:
+        """Events recorded (category-filtered emissions excluded)."""
+        return self._trimmed + len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the bounded ring (oldest first)."""
+        over = self.emitted - self._cap
+        return over if over > 0 else 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The newest ``max_events`` records, materialized in order.
+
+        Event names, ``args`` dicts and :class:`TraceEvent` objects
+        are built here — at export/inspection time — not while the
+        simulation runs.
+        """
+        buf = self._buf
+        if len(buf) > self._cap:
+            buf = buf[len(buf) - self._cap:]
+        sites = self._sites
+        out: list[TraceEvent] = []
+        for sid, ts, dur, obj, args in buf:
+            ph, cat, name, pid, tid, argkeys = sites[sid]
+            if argkeys is not None and type(args) is tuple:
+                args = dict(zip(argkeys, args))
+            out.append(
+                TraceEvent(ts, dur, ph, cat, name, pid, tid, obj, args)
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Interval time series
     # ------------------------------------------------------------------
@@ -342,8 +457,11 @@ class TraceSession:
     def add_sample(self, cycle: int, **series: float) -> None:
         """Close the current interval: record one time-series sample and
         the per-object read-bandwidth bucket, then reset the bucket."""
-        obj_bytes = dict(sorted(self._interval_obj_bytes.items()))
-        self._interval_obj_bytes = {}
+        if len(self._buf) >= self._compact_at:
+            self._compact()
+        bucket = self._interval_obj_bytes
+        obj_bytes = dict(sorted(bucket.items()))
+        bucket.clear()  # same dict object: hooks hold a reference
         sample = {"cycle": int(cycle)}
         sample.update(series)
         sample["object_read_bytes"] = obj_bytes
@@ -362,7 +480,7 @@ class TraceSession:
     def publish_metrics(self, metrics: "MetricsRegistry") -> None:
         """Fold the session's aggregates into a metrics registry."""
         metrics.inc("trace.events.emitted", self.emitted)
-        metrics.inc("trace.events.kept", len(self.events))
+        metrics.inc("trace.events.kept", min(self._cap, len(self._buf)))
         metrics.inc("trace.events.dropped", self.dropped)
         metrics.inc("trace.samples", len(self.samples))
         for sample in self.samples:

@@ -46,16 +46,26 @@ _MAX_WORKER_CAMPAIGNS = 8
 
 
 def plan_chunks(
-    runs: int, jobs: int, chunk_size: int | None = None
+    runs: int, jobs: int, chunk_size: int | None = None,
+    align: int = 1,
 ) -> list[tuple[int, int]]:
-    """Split ``range(runs)`` into contiguous ``(start, stop)`` spans."""
+    """Split ``range(runs)`` into contiguous ``(start, stop)`` spans.
+
+    ``align`` rounds the chunk size up to a multiple of the campaign's
+    batch size so workers sweep whole batches (only the final chunk may
+    be ragged).
+    """
     if runs <= 0:
         return []
+    if align < 1:
+        raise ConfigError("align must be positive")
     if chunk_size is None:
         chunk_size = max(1, math.ceil(runs / (max(1, jobs)
                                               * _CHUNKS_PER_WORKER)))
     if chunk_size < 1:
         raise ConfigError("chunk_size must be positive")
+    if align > 1:
+        chunk_size = math.ceil(chunk_size / align) * align
     return [
         (start, min(start + chunk_size, runs))
         for start in range(0, runs, chunk_size)
@@ -79,6 +89,8 @@ class CampaignSpec:
     keep_runs: bool
     clone_mode: str
     collect_records: bool = False
+    batch: int = 1
+    max_batch_bytes: int = 256 * 1024 * 1024
 
     @classmethod
     def from_campaign(cls, campaign: "Campaign") -> "CampaignSpec":
@@ -97,6 +109,8 @@ class CampaignSpec:
             keep_runs=campaign.keep_runs,
             clone_mode=campaign.clone_mode,
             collect_records=campaign.collect_records,
+            batch=campaign.batch,
+            max_batch_bytes=campaign.max_batch_bytes,
         )
 
 
@@ -135,6 +149,8 @@ def _run_span_spec(
             keep_runs=spec.keep_runs,
             clone_mode=spec.clone_mode,
             collect_records=spec.collect_records,
+            batch=spec.batch,
+            max_batch_bytes=spec.max_batch_bytes,
         )
         _WORKER_CAMPAIGNS[spec.token] = campaign
     start, stop = span
@@ -190,7 +206,8 @@ class CampaignExecutor:
             self.used_jobs = 1
             result = self.campaign.run_span(0, runs)
         else:
-            spans = plan_chunks(runs, jobs, self.chunk_size)
+            spans = plan_chunks(runs, jobs, self.chunk_size,
+                                align=self.campaign.effective_batch)
             try:
                 parts = self._run_parallel(spans, jobs)
             except _PoolUnavailable as exc:

@@ -126,6 +126,9 @@ class LdstUnit:
         skewing the very hit-rate counters the overhead results use.
         Stall returns are side-effect-free, so ``l1_accesses`` and
         ``l1_hits`` are invariant under retries.
+
+        NOTE: the traced variant in ``_attach_tracer`` duplicates this
+        body (fused instrumentation) — keep the two in lockstep.
         """
         self._drain(now)
         pending = self._pending.get(addr)
@@ -196,7 +199,11 @@ class LdstUnit:
         return demand_ready, None
 
     def store(self, now: int, addr: int) -> None:
-        """Write-through, no-allocate, fire-and-forget."""
+        """Write-through, no-allocate, fire-and-forget.
+
+        NOTE: the traced variant in ``_attach_tracer`` duplicates this
+        body (fused instrumentation) — keep the two in lockstep.
+        """
         self.subsystem.write(now, addr)
         self.stats.store_transactions += 1
 
@@ -219,56 +226,202 @@ class LdstUnit:
         """
         from repro.obs.trace import TID_LDST
 
-        orig_load = self.load
-        orig_store = self.store
         self.l1._attach_tracer(tracer, pid, TID_LDST)
         self.mshr._attach_tracer(tracer, pid, TID_LDST)
+        # Fused instrumentation: the traced variant duplicates
+        # ``load``'s body (keep the two in lockstep!) instead of
+        # wrapping it — each branch already knows whether it hit,
+        # merged, missed or stalled, so the wrapper's stats-delta
+        # re-derivation and its extra call frame both disappear.
+        # Everything below is resolved once per attach: none of these
+        # objects are rebound during a simulation (components are
+        # built fresh per simulate call).  Note the bound methods are
+        # captured *after* the L1/MSHR hooks attached, so the fused
+        # body descends through the traced cache and MSHR exactly as
+        # the plain ``load`` would.
+        drain = self._drain
+        pending_map = self._pending
+        fill_heap = self._fill_heap
+        compare_heap = self._compare_heap
+        # The L1 probe/fill is inlined below (the fused equivalent of
+        # ``lookup`` + ``access`` with the line index computed once —
+        # keep it in lockstep with ``Cache.access``); the evict site
+        # re-interns the key the L1's own hook registered above, so
+        # both emit the same site id.
+        l1_stats = self.l1.stats
+        l1_sets = self.l1._sets
+        l1_line_bytes = self.l1.config.line_bytes
+        l1_n_sets = self.l1.config.n_sets
+        l1_assoc = self.l1.config.assoc
+        l1_evict_site = tracer.site(
+            "cache", f"{self.l1.name} evict", pid, TID_LDST, ph="i"
+        )
+        mshr_probe = self.mshr.probe
+        mshr_add = self.mshr.add            # traced
+        mshr_record_stall = self.mshr.record_stall  # traced
+        subsystem_read = self.subsystem.read        # traced
+        subsystem_write = self.subsystem.write      # traced
+        heappush = heapq.heappush
+        stats = self.stats
+        stalls = self.stats.stalls
+        protection = self.protection
+        prot_active = protection.active
+        prot_offsets = protection.offsets
+        lazy_detection = (
+            protection.lazy and protection.scheme_name == "detection"
+        )
+        compare_cycles = self._compare_cycles
+        l1_hit_latency = self.config.l1_hit_latency
+        compare_entries = self.config.pending_compare_entries
+        obj_stats = tracer.obj
+        sampled = tracer.sampled
+        attribute = tracer.attribute
+        always = tracer.config.sample_rate >= 1.0
+        buf_append = tracer._buf.append
+        miss_site = tracer.site("cache", "l1-miss-fill", pid, TID_LDST)
+        merge_site = tracer.site("mshr", "miss-merge", pid, TID_LDST,
+                                 ph="i")
+
+        memo_name: str | None = None
+        memo_stats = None
 
         def traced_load(now: int, obj_name: str, addr: int) \
                 -> tuple[int, int | None]:
+            # ``ctx_obj`` is consumed only below ``subsystem.read`` (the
+            # L2/NoC/DRAM hooks), so it is stamped just around those
+            # calls in the true-miss branch and stays ``None`` on every
+            # other path; ``last_stall_reason`` is read only on stall
+            # returns, so the success paths never touch it.
+            nonlocal memo_name, memo_stats
             tracer.now = now
-            tracer.ctx_obj = obj_name
-            misses_before = self.l1.stats.misses
-            merges_before = self.mshr.stats.merges
-            mshr_stalls_before = self.stats.stalls.mshr_full
-            try:
-                ready, stall_until = orig_load(now, obj_name, addr)
-            finally:
-                tracer.ctx_obj = None
-            stats = tracer.obj(obj_name)
-            if stall_until is not None:
-                stats.stall_cycles += stall_until - now
-                tracer.last_stall_reason = (
-                    "mshr_full"
-                    if self.stats.stalls.mshr_full != mshr_stalls_before
-                    else "compare_queue_full"
+            drain(now)
+            pending = pending_map.get(addr)
+            if pending is not None:
+                # Merged miss: data is already on its way.
+                if mshr_probe(addr) == "stall":
+                    stalls.mshr_full += 1
+                    mshr_record_stall(addr)
+                    stall_until = pending[0]
+                    obj_stats(obj_name).stall_cycles += stall_until - now
+                    tracer.last_stall_reason = "mshr_full"
+                    return 0, stall_until
+                line = addr // l1_line_bytes
+                l1_set = l1_sets[line % l1_n_sets]
+                tag = line // l1_n_sets
+                l1_stats.accesses += 1
+                if hit := tag in l1_set:
+                    l1_set.move_to_end(tag)
+                    l1_stats.hits += 1
+                else:
+                    l1_stats.misses += 1
+                    if len(l1_set) >= l1_assoc:
+                        l1_set.popitem(last=False)  # evict LRU
+                        l1_stats.evictions += 1
+                        if sampled() and l1_evict_site >= 0:
+                            buf_append((l1_evict_site, now, 0,
+                                        obj_name, None))
+                    l1_set[tag] = None
+                mshr_add(addr)
+                ready = pending[1]
+                turnaround = now + l1_hit_latency
+                if turnaround > ready:
+                    ready = turnaround
+                ostats = obj_stats(obj_name)
+                ostats.loads += 1
+                if not hit:
+                    # The line was evicted while filling: the access
+                    # re-allocated it, which reads as a miss-fill.
+                    ostats.l1_misses += 1
+                    if (always or sampled()) and miss_site >= 0:
+                        buf_append((miss_site, now, ready - now,
+                                    obj_name, None))
+                else:
+                    ostats.mshr_merges += 1
+                    if (always or sampled()) and merge_site >= 0:
+                        buf_append((merge_site, now, 0, obj_name, None))
+                return ready, None
+            line = addr // l1_line_bytes
+            l1_set = l1_sets[line % l1_n_sets]
+            tag = line // l1_n_sets
+            if tag in l1_set:
+                l1_stats.accesses += 1
+                l1_set.move_to_end(tag)
+                l1_stats.hits += 1
+                if obj_name is memo_name:
+                    memo_stats.loads += 1
+                else:
+                    memo_name = obj_name
+                    memo_stats = obj_stats(obj_name)
+                    memo_stats.loads += 1
+                return now + l1_hit_latency, None
+
+            if mshr_probe(addr) == "stall":
+                stalls.mshr_full += 1
+                mshr_record_stall(addr)
+                stall_until = (
+                    fill_heap[0][0] if fill_heap else now + 1
                 )
-                return ready, stall_until
-            tracer.last_stall_reason = None
-            stats.loads += 1
-            if self.l1.stats.misses != misses_before:
-                stats.l1_misses += 1
-                if tracer.sampled():
-                    tracer.emit(
-                        "cache", "l1-miss-fill", now, ready - now,
-                        pid, TID_LDST, obj=obj_name,
+                obj_stats(obj_name).stall_cycles += stall_until - now
+                tracer.last_stall_reason = "mshr_full"
+                return 0, stall_until
+            protected = prot_active and obj_name in prot_offsets
+            if protected and lazy_detection:
+                if len(compare_heap) >= compare_entries:
+                    stalls.compare_queue_full += 1
+                    stall_until = compare_heap[0]
+                    obj_stats(obj_name).stall_cycles += stall_until - now
+                    tracer.last_stall_reason = "compare_queue_full"
+                    return 0, stall_until
+
+            # True-miss fill: the probe above just failed and nothing
+            # since touched the set, so this is ``Cache.access``'s
+            # miss-allocate branch with the index reused.
+            l1_stats.accesses += 1
+            l1_stats.misses += 1
+            if len(l1_set) >= l1_assoc:
+                l1_set.popitem(last=False)  # evict LRU
+                l1_stats.evictions += 1
+                if sampled() and l1_evict_site >= 0:
+                    buf_append((l1_evict_site, now, 0, obj_name, None))
+            l1_set[tag] = None
+            tracer.ctx_obj = obj_name
+            fill = subsystem_read(now, addr)
+            stats.demand_misses += 1
+            demand_ready = fill
+            if protected:
+                replica_times = []
+                for offset in prot_offsets[obj_name]:
+                    replica_times.append(
+                        subsystem_read(now, addr + offset)
                     )
-            elif self.mshr.stats.merges != merges_before:
-                stats.mshr_merges += 1
-                if tracer.sampled():
-                    tracer.instant(
-                        "mshr", "miss-merge", now, pid, TID_LDST,
-                        obj=obj_name,
-                    )
-            return ready, None
+                    stats.replica_transactions += 1
+                all_copies = max(fill, *replica_times)
+                if lazy_detection:
+                    demand_ready = fill
+                    heappush(compare_heap,
+                             all_copies + compare_cycles)
+                else:
+                    demand_ready = all_copies + compare_cycles
+            tracer.ctx_obj = None
+            mshr_add(addr)
+            heappush(fill_heap, (fill, addr))
+            pending_map[addr] = (fill, demand_ready)
+            ostats = obj_stats(obj_name)
+            ostats.loads += 1
+            ostats.l1_misses += 1
+            if (always or sampled()) and miss_site >= 0:
+                buf_append((miss_site, now, demand_ready - now,
+                            obj_name, None))
+            return demand_ready, None
 
         def traced_store(now: int, addr: int) -> None:
+            # Fused ``store`` (keep in lockstep with the plain body):
+            # write-through, no-allocate, fire-and-forget.
             tracer.now = now
-            tracer.ctx_obj = tracer.attribute(addr)
-            try:
-                orig_store(now, addr)
-            finally:
-                tracer.ctx_obj = None
+            tracer.ctx_obj = attribute(addr)
+            subsystem_write(now, addr)
+            tracer.ctx_obj = None
+            stats.store_transactions += 1
 
         self.load = traced_load
         self.store = traced_store

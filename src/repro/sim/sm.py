@@ -123,6 +123,8 @@ class SmCore:
         self.cycle = max(self.cycle + 1, next_time)
 
     def _issue(self, warp: WarpRunner, slots: int) -> int:
+        # NOTE: the traced variant in _attach_tracer duplicates this
+        # body (fused instrumentation) — keep the two in lockstep.
         inst = warp.current()
         if isinstance(inst, Compute):
             if inst.wait and warp.outstanding_max > self.cycle:
@@ -191,32 +193,110 @@ class SmCore:
         pid = PID_SM_BASE + self.sm_id
         tracer.register_track(pid, f"SM {self.sm_id}", TID_LDST, "LD/ST")
         self.ldst._attach_tracer(tracer, pid)
-        orig_issue = self._issue
+        # Fused instrumentation: the traced variant duplicates
+        # ``_issue``'s body (keep the two in lockstep!) instead of
+        # wrapping it, so stall reasons fall out of the branches the
+        # scheduler takes anyway — no stats-delta re-derivation, no
+        # second call frame.  All attribute chains the slot loop would
+        # repeat are bound once here; event sites are interned outside
+        # the loop (stall-reason and per-warp sites lazily, on first
+        # use) and the payload goes straight into the session ring.
+        stats = self.stats
+        stalls = self.stats.stalls
+        ldst_load = self.ldst.load    # traced — attached above
+        ldst_store = self.ldst.store  # traced — attached above
+        site = tracer.site
+        sampled = tracer.sampled
+        always = tracer.config.sample_rate >= 1.0
+        buf_append = tracer._buf.append
+        stall_sites: dict[tuple[str, int], int] = {}
+        issue_sites: dict[int, int] = {}
+        issue_sites_get = issue_sites.get
+        # ``used`` never exceeds the issue width, so every instant args
+        # tuple the hook can emit is interned once and shared.
+        used_args = tuple(
+            (i,) for i in range(self.config.issue_width + 1)
+        )
+
+        def _stall_span(reason: str, warp, cycle: int, obj) -> None:
+            # A stalled warp has not advanced, so its current
+            # instruction names the object it is blocked on.
+            key = (reason, warp.warp_id)
+            sid = stall_sites.get(key)
+            if sid is None:
+                sid = site("warp", "stall:" + reason, pid, warp.warp_id)
+                stall_sites[key] = sid
+            if sid >= 0:
+                buf_append((sid, cycle,
+                            max(warp.resume_time - cycle, 1), obj, None))
 
         def traced_issue(warp, slots: int) -> int:
-            waits_before = self.stats.stalls.memory_wait
-            tracer.now = self.cycle
-            used = orig_issue(warp, slots)
-            stall_reason = None
-            if self.stats.stalls.memory_wait != waits_before:
-                stall_reason = "memory_wait"
-            elif tracer.last_stall_reason is not None:
-                stall_reason = tracer.last_stall_reason
-                tracer.last_stall_reason = None
-            if stall_reason is not None:
-                # A stalled warp has not advanced, so its current
-                # instruction names the object it is blocked on.
-                tracer.emit(
-                    "warp", f"stall:{stall_reason}", self.cycle,
-                    max(warp.resume_time - self.cycle, 1), pid,
-                    warp.warp_id,
-                    obj=getattr(warp.current(), "obj", None),
-                )
-            elif used and tracer.sampled():
-                tracer.instant(
-                    "warp", "issue", self.cycle, pid, warp.warp_id,
-                    args={"slots": used},
-                )
+            cycle = self.cycle
+            inst = warp.current()
+            if isinstance(inst, Compute):
+                if inst.wait and warp.outstanding_max > cycle:
+                    stalls.memory_wait += 1
+                    warp.resume_time = warp.outstanding_max
+                    _stall_span("memory_wait", warp, cycle, None)
+                    return 0
+                if inst.wait:
+                    warp.outstanding_max = 0
+                if warp.compute_remaining == 0:
+                    warp.compute_remaining = inst.count
+                used = min(slots, warp.compute_remaining)
+                warp.compute_remaining -= used
+                stats.instructions += used
+                if warp.compute_remaining == 0:
+                    warp.advance()
+            elif isinstance(inst, Load):
+                used = 0
+                addrs = inst.addrs
+                obj_name = inst.obj
+                txn = warp.txn_index
+                n = len(addrs)
+                while txn < n and used < slots:
+                    ready, stall_until = ldst_load(
+                        cycle, obj_name, addrs[txn]
+                    )
+                    if stall_until is not None:
+                        warp.resume_time = max(stall_until, cycle + 1)
+                        warp.txn_index = txn
+                        reason = tracer.last_stall_reason
+                        tracer.last_stall_reason = None
+                        _stall_span(reason, warp, cycle, obj_name)
+                        return used
+                    used += 1
+                    txn += 1
+                    stats.instructions += 1
+                    if ready > warp.outstanding_max:
+                        warp.outstanding_max = ready
+                warp.txn_index = txn
+                if txn >= n:
+                    warp.advance()
+            elif isinstance(inst, Store):
+                used = 0
+                addrs = inst.addrs
+                txn = warp.txn_index
+                n = len(addrs)
+                while txn < n and used < slots:
+                    ldst_store(cycle, addrs[txn])
+                    used += 1
+                    txn += 1
+                    stats.instructions += 1
+                warp.txn_index = txn
+                if txn >= n:
+                    warp.advance()
+            else:
+                raise TypeError(f"unknown instruction {inst!r}")
+            if used and (always or sampled()):
+                wid = warp.warp_id
+                sid = issue_sites_get(wid)
+                if sid is None:
+                    sid = site("warp", "issue", pid, wid, ph="i",
+                               argkeys=("slots",))
+                    issue_sites[wid] = sid
+                if sid >= 0:
+                    buf_append((sid, cycle, 0, None, used_args[used]))
             return used
 
         self._issue = traced_issue

@@ -1,0 +1,129 @@
+"""Determinism regression: batched campaigns ≡ the scalar loop.
+
+The batched engine (:mod:`repro.faults.batch`) is an execution
+strategy, not a semantic variant — for any (app, scheme, protect,
+seed, runs) cell it must produce the same outcome tallies and
+byte-identical RunRecord JSONL as ``run_one`` at every batch size and
+worker count.  These tests pin that contract on both an
+analytic-heavy cell (read-only protected objects) and cells with
+writable-object faults that force the real-execution fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.batch import BatchEngine
+from repro.faults.campaign import Campaign, CampaignConfig
+from repro.faults.injector import (
+    apply_faults,
+    apply_faults_merged,
+    merge_fault_masks,
+)
+from repro.faults.selection import uniform_selection
+from repro.kernels.registry import create_app
+
+
+def make_campaign(app_name, scheme, protect, runs=24, batch=1, jobs=1,
+                  seed=20210621):
+    app = create_app(app_name, scale="small")
+    memory = app.fresh_memory()
+    pool = [a for o in memory.objects for a in o.block_addrs()]
+    return Campaign(
+        app,
+        uniform_selection(pool),
+        scheme=scheme,
+        protect=protect,
+        config=CampaignConfig(runs=runs, n_blocks=2, n_bits=2,
+                              seed=seed),
+        keep_runs=True,
+        collect_records=True,
+        batch=batch,
+        jobs=jobs,
+    )
+
+
+def records_jsonl(result) -> str:
+    return "\n".join(r.to_json() for r in result.records)
+
+
+CELLS = [
+    # Analytic-heavy: read-only protected inputs.
+    ("P-BICG", "detection", ("A",)),
+    ("P-BICG", "correction", ("A", "r")),
+    # Writable outputs in the pool force exec-lane fallback paths.
+    ("P-ATAX", "detection", ("A", "x")),
+    ("P-GESUMMV", "correction", ("A", "B")),
+]
+
+
+class TestBatchedEqualsSerial:
+    @pytest.mark.parametrize("app_name,scheme,protect", CELLS)
+    @pytest.mark.parametrize("batch", [8, 64])
+    def test_batch_sizes_match_serial(self, app_name, scheme, protect,
+                                      batch):
+        serial = make_campaign(app_name, scheme, protect).run()
+        batched = make_campaign(
+            app_name, scheme, protect, batch=batch
+        ).run()
+        assert batched.counts == serial.counts
+        assert [r.outcome for r in batched.runs] \
+            == [r.outcome for r in serial.runs]
+        assert records_jsonl(batched) == records_jsonl(serial)
+
+    def test_batch_of_one_is_identity(self):
+        serial = make_campaign("P-BICG", "detection", ("A",)).run()
+        batched = make_campaign(
+            "P-BICG", "detection", ("A",), batch=1
+        ).run()
+        assert records_jsonl(batched) == records_jsonl(serial)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_parallel_batched_matches_serial(self, jobs):
+        serial = make_campaign("P-BICG", "detection", ("A",)).run()
+        batched = make_campaign(
+            "P-BICG", "detection", ("A",), batch=8, jobs=jobs
+        ).run()
+        assert batched.counts == serial.counts
+        assert records_jsonl(batched) == records_jsonl(serial)
+
+
+class TestPlanningEquivalence:
+    def test_fast_plan_matches_reference(self):
+        campaign = make_campaign("P-BICG", "detection", ("A",))
+        engine = BatchEngine(campaign)
+        engine._prepare()
+        fast = engine._plan(0, 16)
+        reference = [engine._plan_reference(i) for i in range(16)]
+        assert [(l.run_index, l.seed, l.faults) for l in fast] \
+            == [(l.run_index, l.seed, l.faults) for l in reference]
+
+    def test_cross_check_demotion_stays_correct(self):
+        """With the fast path forced off, planning falls back to the
+        reference derivation and results are unchanged."""
+        campaign = make_campaign("P-BICG", "detection", ("A",), runs=8,
+                                 batch=8)
+        engine = BatchEngine(campaign)
+        engine._fast = False
+        campaign._batch_engine = engine
+        batched = campaign.run()
+        serial = make_campaign("P-BICG", "detection", ("A",),
+                               runs=8).run()
+        assert records_jsonl(batched) == records_jsonl(serial)
+
+
+class TestMergedInjection:
+    def test_merged_masks_equal_sequential_overlays(self):
+        """apply_faults_merged installs the exact overlays sequential
+        apply_faults would, for every lane of a planned batch."""
+        campaign = make_campaign("P-BICG", "detection", ("A",))
+        engine = BatchEngine(campaign)
+        engine._prepare()
+        for lane in engine._plan(0, 12):
+            serial_mem = campaign._run_memory()
+            merged_mem = campaign._run_memory()
+            n_serial = apply_faults(serial_mem, lane.faults)
+            masks = merge_fault_masks(lane.faults)
+            n_merged = apply_faults_merged(merged_mem, masks)
+            assert n_serial == n_merged
+            assert serial_mem._overlays == merged_mem._overlays

@@ -13,17 +13,26 @@ three arms of the execution engine:
 * ``batched-cow`` — the batched propagation engine
   (:mod:`repro.faults.batch`): ``REPRO_BENCH_BATCH`` lanes (default
   64) planned and classified per sweep, ``--max-batch-bytes``-clamped
-  so the lane images cannot OOM.
+  so the lane images cannot OOM;
+* ``adaptive``   — the batched engine under CI-driven early stopping
+  (:mod:`repro.faults.adaptive`, ``REPRO_BENCH_MARGIN``, default
+  0.03): same statistical question as the fixed budget, answered from
+  a committed prefix.  Its *effective* runs/sec is the full budget
+  divided by wall time — the runs the fixed protocol would have paid
+  for, delivered at early-stop cost.
 
-All arms must produce bit-identical outcome tallies — the engine's
-core guarantee — and the batched arm must clear the issue's ≥5x bar
-over ``serial-cow``.  Results (runs/sec, speedups, per-arm peak RSS
-watermarks) are written to ``BENCH_campaign.json`` at the repository
-root.
+The four exhaustive arms must produce bit-identical outcome tallies —
+the engine's core guarantee — and the batched arm must clear the
+issue's ≥5x bar over ``serial-cow``.  The adaptive arm is excluded
+from the tally check (it commits a prefix, by design); instead its
+estimate must land inside the exhaustive arms' 95% CI and its
+effective throughput must beat the batched arm.  Results (runs/sec,
+speedups, per-arm peak RSS watermarks) are written to
+``BENCH_campaign.json`` at the repository root.
 
 Environment knobs: ``REPRO_BENCH_RUNS`` (default 1000),
-``REPRO_BENCH_JOBS`` (default 4) and ``REPRO_BENCH_BATCH``
-(default 64).
+``REPRO_BENCH_JOBS`` (default 4), ``REPRO_BENCH_BATCH`` (default 64)
+and ``REPRO_BENCH_MARGIN`` (default 0.03).
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.utils.tables import TextTable
 BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1000"))
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
 BENCH_BATCH = int(os.environ.get("REPRO_BENCH_BATCH", "64"))
+BENCH_MARGIN = float(os.environ.get("REPRO_BENCH_MARGIN", "0.03"))
 _APP, _SCALE, _SCHEME, _PROTECT = "P-BICG", "default", "correction", "all"
 
 #: Batched-engine throughput bar from the issue's acceptance criteria.
@@ -87,6 +97,39 @@ def _time_arm(manager, clone_mode: str, jobs: int, batch: int = 1):
     }, elapsed, result.counts
 
 
+def _time_adaptive_arm(manager):
+    campaign = Campaign(
+        manager.app,
+        manager.selection("access-weighted"),
+        scheme=_SCHEME,
+        protect=manager.protected_names(_PROTECT),
+        config=CampaignConfig(runs=BENCH_RUNS, seed=SEED),
+        clone_mode="cow",
+        batch=BENCH_BATCH,
+        target_margin=BENCH_MARGIN,
+    )
+    start = time.perf_counter()
+    adaptive = campaign.run_adaptive()
+    elapsed = time.perf_counter() - start
+    return {
+        "clone_mode": "cow",
+        "jobs": 1,
+        "batch": BENCH_BATCH,
+        "target_margin": BENCH_MARGIN,
+        "seconds": round(elapsed, 3),
+        "converged": adaptive.converged,
+        "stopped_runs": adaptive.stopped_at,
+        "simulated_runs": adaptive.simulated_runs,
+        "analytic_runs": adaptive.analytic_runs,
+        "margin": round(adaptive.interval.margin, 4),
+        "sdc_rate": adaptive.interval.proportion,
+        # budgeted runs per second of wall time: what the fixed-budget
+        # protocol would have cost, delivered at early-stop price
+        "effective_runs_per_sec": round(BENCH_RUNS / elapsed, 1),
+        "peak_rss_mb": _peak_rss_mb(),
+    }, elapsed, adaptive
+
+
 def test_campaign_throughput(benchmark):
     def compute():
         clear_app_cache()  # arm 1 pays the one-time setup, like seed
@@ -101,20 +144,28 @@ def test_campaign_throughput(benchmark):
         ):
             arms[name], times[name], tallies[name] = _time_arm(
                 manager, mode, jobs, batch)
-        return arms, times, tallies
+        arms["adaptive"], times["adaptive"], adaptive = \
+            _time_adaptive_arm(manager)
+        return arms, times, tallies, adaptive
 
-    arms, times, tallies = benchmark.pedantic(
+    arms, times, tallies, adaptive = benchmark.pedantic(
         compute, rounds=1, iterations=1)
 
-    # The engine's contract: every arm, identical outcome counts.
+    # The engine's contract: every exhaustive arm, identical outcome
+    # counts.  (The adaptive arm commits a prefix, so it is held to a
+    # statistical bar instead, below.)
     assert tallies["serial-full"] == tallies["serial-cow"] \
         == tallies["parallel-cow"] == tallies["batched-cow"]
 
     speedup = {
         name: round(times["serial-full"] / times[name], 2)
-        for name in ("serial-cow", "parallel-cow", "batched-cow")
+        for name in ("serial-cow", "parallel-cow", "batched-cow",
+                     "adaptive")
     }
     batched_vs_cow = round(times["serial-cow"] / times["batched-cow"], 2)
+    adaptive_vs_batched = round(
+        arms["adaptive"]["effective_runs_per_sec"]
+        / arms["batched-cow"]["runs_per_sec"], 2)
     report = {
         "app": _APP,
         "scale": _SCALE,
@@ -124,10 +175,12 @@ def test_campaign_throughput(benchmark):
         "seed": SEED,
         "jobs": BENCH_JOBS,
         "batch": BENCH_BATCH,
+        "target_margin": BENCH_MARGIN,
         "host_cpus": os.cpu_count(),
         "arms": arms,
         "speedup_vs_serial_full": speedup,
         "batched_vs_serial_cow": batched_vs_cow,
+        "adaptive_vs_batched_effective": adaptive_vs_batched,
         "min_batched_speedup": MIN_BATCHED_SPEEDUP,
         "peak_rss_mb": _peak_rss_mb(),
     }
@@ -146,8 +199,15 @@ def test_campaign_throughput(benchmark):
         table.add_row([name, arms[name]["seconds"],
                        arms[name]["runs_per_sec"], speedup[name],
                        arms[name]["peak_rss_mb"]])
+    table.add_row(["adaptive", arms["adaptive"]["seconds"],
+                   arms["adaptive"]["effective_runs_per_sec"],
+                   speedup["adaptive"],
+                   arms["adaptive"]["peak_rss_mb"]])
     print(table.render())
-    print(f"\nbatched vs serial-cow: {batched_vs_cow}x; "
+    print(f"\nbatched vs serial-cow: {batched_vs_cow}x; adaptive "
+          f"effective vs batched: {adaptive_vs_batched}x "
+          f"(stopped at {arms['adaptive']['stopped_runs']}/{BENCH_RUNS}, "
+          f"{arms['adaptive']['simulated_runs']} simulated); "
           f"peak RSS: {report['peak_rss_mb']} MB "
           f"(host has {report['host_cpus']} CPU(s)); wrote {out}")
 
@@ -162,4 +222,21 @@ def test_campaign_throughput(benchmark):
     assert batched_vs_cow >= batched_floor, (
         f"batched engine is only {batched_vs_cow}x the serial-COW "
         f"baseline (bar: {batched_floor}x)"
+    )
+
+    # The adaptive arm answers the same question for less: its
+    # estimate must sit inside the exhaustive arms' 95% CI, and its
+    # effective throughput must beat the batched engine whenever the
+    # budget leaves room to stop early.
+    from repro.faults.outcomes import Outcome
+    from repro.utils.stats import confidence_interval
+
+    exhaustive_ci = confidence_interval(
+        tallies["batched-cow"].get(Outcome.SDC, 0), BENCH_RUNS)
+    assert exhaustive_ci.low <= adaptive.interval.proportion \
+        <= exhaustive_ci.high, (adaptive.interval, exhaustive_ci)
+    adaptive_floor = 2.0 if BENCH_RUNS >= 1000 else 1.0
+    assert adaptive_vs_batched >= adaptive_floor, (
+        f"adaptive arm is only {adaptive_vs_batched}x the batched "
+        f"engine's effective throughput (bar: {adaptive_floor}x)"
     )

@@ -50,12 +50,18 @@ from repro.errors import (
     UnknownAppError,
     UnknownSchemeError,
 )
+from repro.faults.adaptive import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    StopDecision,
+)
 from repro.faults.campaign import (
     Campaign,
     CampaignConfig,
     CampaignResult,
 )
 from repro.faults.outcomes import Outcome, RunResult
+from repro.faults.selection import StratifiedSelection, stratify_by_object
 from repro.kernels.registry import (
     APPLICATIONS,
     FLAT_APPLICATIONS,
@@ -63,7 +69,19 @@ from repro.kernels.registry import (
     resilience_apps,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.records import RunRecord, TelemetryWriter, read_records
+from repro.obs.records import (
+    RunRecord,
+    TelemetryWriter,
+    read_decisions,
+    read_records,
+    write_decisions,
+)
+from repro.utils.stats import (
+    ConfidenceInterval,
+    confidence_interval,
+    runs_for_margin,
+    stratified_interval,
+)
 from repro.obs.session import SessionLog, read_session_events
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import CampaignExecutor
@@ -95,6 +113,16 @@ __all__ = [
     "CampaignExecutor",
     "Outcome",
     "RunResult",
+    # adaptive campaigns and statistics
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "StopDecision",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "runs_for_margin",
+    "stratified_interval",
+    "StratifiedSelection",
+    "stratify_by_object",
     # sweep sessions
     "SweepSpec",
     "CellSpec",
@@ -110,6 +138,8 @@ __all__ = [
     "RunRecord",
     "TelemetryWriter",
     "read_records",
+    "write_decisions",
+    "read_decisions",
     "SessionLog",
     "read_session_events",
     # errors

@@ -26,6 +26,14 @@ setting and is what ``repro stats`` consumes.  ``campaign`` and
 ``perf`` accept ``--trace PATH`` to additionally capture the golden
 (fault-free) timing run as a trace file.
 
+``campaign`` and ``sweep`` accept ``--target-margin M`` for adaptive
+statistical campaigns: runs commit in fixed chunks and stop at the
+first chunk boundary whose Wilson CI margin on the SDC rate reaches
+``M``, with ``--runs`` as the budget.  Stop decisions are made only
+at chunk boundaries in run-index order, so the committed results and
+telemetry stay byte-identical at any ``--jobs``/``--batch``;
+``campaign --decisions PATH`` records the decision trail as JSONL.
+
 Output honors the global ``-q/--quiet`` and ``-v/--verbose`` flags:
 result tables always print, progress lines are silenced by ``-q``,
 and diagnostics appear on stderr under ``-v``.
@@ -135,9 +143,13 @@ def _write_golden_trace(
 
 
 def _cmd_campaign(args) -> int:
+    from repro.errors import SpecError
+
+    if args.decisions is not None and args.target_margin is None:
+        raise SpecError("--decisions requires --target-margin")
     manager = _manager(args)
     protect = _protect_level(args.protect)
-    result = manager.evaluate(
+    kwargs = dict(
         scheme=args.scheme,
         protect=protect,
         runs=args.runs,
@@ -148,9 +160,23 @@ def _cmd_campaign(args) -> int:
         batch=args.batch,
         max_batch_bytes=args.max_batch_bytes,
     )
+    adaptive = None
+    if args.target_margin is not None:
+        adaptive = manager.evaluate_adaptive(
+            target_margin=args.target_margin, **kwargs)
+        result = adaptive.result
+    else:
+        result = manager.evaluate(**kwargs)
     log.result(campaign_table([result]).render())
     log.result("")
     log.result(f"SDC rate: {result.sdc_interval()}")
+    if adaptive is not None:
+        log.result(adaptive.summary())
+        if args.decisions is not None:
+            from repro.obs.records import write_decisions
+
+            n = write_decisions(args.decisions, adaptive.decisions)
+            log.info(f"wrote {n} stop decision(s) to {args.decisions}")
     if args.telemetry is not None:
         from repro.obs.records import TelemetryWriter
 
@@ -245,6 +271,7 @@ def _cmd_sweep(args) -> int:
         app_seed=args.app_seed,
         chunk_runs=args.chunk_runs,
         collect_records=args.telemetry is not None,
+        target_margin=args.target_margin,
     )
     config = SessionConfig(
         jobs=args.jobs,
@@ -430,12 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=2)
     p.add_argument("--selection", default="access-weighted",
                    choices=("access-weighted", "miss-weighted",
-                            "uniform", "hot", "rest"))
+                            "uniform", "hot", "rest", "stratified"))
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the campaign (default 1)")
     p.add_argument("--batch", type=int, default=1,
                    help="runs propagated per batched sweep (default 1 "
                         "= scalar); never affects results")
+    p.add_argument("--target-margin", type=float, default=None,
+                   metavar="M",
+                   help="stop early once the Wilson 95%% CI on the SDC "
+                        "rate reaches margin M (--runs becomes the "
+                        "budget); the committed result is identical "
+                        "at any --jobs/--batch")
+    p.add_argument("--decisions", metavar="PATH", default=None,
+                   help="write the adaptive stop-decision trail as "
+                        "JSONL to PATH (requires --target-margin)")
     p.add_argument("--max-batch-bytes", type=int,
                    default=256 * 1024 * 1024,
                    help="memory ceiling that clamps the effective "
@@ -493,7 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("default", "small"))
     p.add_argument("--selection", default="access-weighted",
                    choices=("access-weighted", "miss-weighted",
-                            "uniform", "hot", "rest"))
+                            "uniform", "hot", "rest", "stratified"))
+    p.add_argument("--target-margin", type=float, default=None,
+                   metavar="M",
+                   help="per cell, stop at the first chunk boundary "
+                        "whose Wilson 95%% CI margin on the SDC rate "
+                        "reaches M; part of the sweep identity")
     p.add_argument("--chunk-runs", type=int, default=None,
                    help="runs per durable work unit (default: each "
                         "cell split into 16 chunks); part of the "

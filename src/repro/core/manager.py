@@ -156,6 +156,12 @@ class ReliabilityManager:
             return access_weighted_selection(self.profile.block_reads)
         if kind == "uniform":
             return uniform_selection(sorted(self.profile.block_reads))
+        if kind == "stratified":
+            from repro.faults.selection import stratify_by_object
+
+            return stratify_by_object(
+                self.profile.block_reads, self.memory.objects
+            )
         raise SpecError(f"unknown selection kind {kind!r}")
 
     # ------------------------------------------------------------------
@@ -176,6 +182,7 @@ class ReliabilityManager:
         metrics=None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
+        target_margin: float | None = None,
     ) -> CampaignResult:
         """The reliability evaluation (one Fig 9 configuration).
 
@@ -186,9 +193,55 @@ class ReliabilityManager:
         accumulates into.  ``batch`` propagates that many runs per
         vectorized sweep (results are identical to ``batch=1``);
         ``max_batch_bytes`` clamps its memory footprint.
+        ``target_margin`` turns on CI-driven early stopping with
+        ``runs`` as the budget (see :meth:`evaluate_adaptive` for the
+        full decision trail).
         """
+        campaign = self._evaluation_campaign(
+            scheme, protect, runs, n_blocks, n_bits, selection, seed,
+            keep_runs, jobs, collect_records, metrics, batch,
+            max_batch_bytes, target_margin,
+        )
+        return campaign.run()
+
+    def evaluate_adaptive(
+        self,
+        target_margin: float = 0.03,
+        scheme: str = "correction",
+        protect: int | str = "hot",
+        runs: int = 1000,
+        n_blocks: int = 1,
+        n_bits: int = 2,
+        selection: str = "access-weighted",
+        seed: int = 20210621,
+        keep_runs: bool = False,
+        jobs: int | None = None,
+        collect_records: bool = False,
+        metrics=None,
+        batch: int = 1,
+        max_batch_bytes: int = 256 * 1024 * 1024,
+    ):
+        """Adaptive reliability evaluation: stop at the target margin.
+
+        Same experiment as :meth:`evaluate` but returns the
+        :class:`~repro.faults.adaptive.AdaptiveResult` — committed
+        result plus the chunk-boundary stop-decision trail — instead
+        of only the merged :class:`CampaignResult`.
+        """
+        campaign = self._evaluation_campaign(
+            scheme, protect, runs, n_blocks, n_bits, selection, seed,
+            keep_runs, jobs, collect_records, metrics, batch,
+            max_batch_bytes, target_margin,
+        )
+        return campaign.run_adaptive()
+
+    def _evaluation_campaign(
+        self, scheme, protect, runs, n_blocks, n_bits, selection,
+        seed, keep_runs, jobs, collect_records, metrics, batch,
+        max_batch_bytes, target_margin,
+    ) -> Campaign:
         names = self.protected_names(protect)
-        campaign = Campaign(
+        return Campaign(
             self.app,
             self.selection(selection),
             scheme=scheme,
@@ -202,8 +255,8 @@ class ReliabilityManager:
             metrics=metrics,
             batch=batch,
             max_batch_bytes=max_batch_bytes,
+            target_margin=target_margin,
         )
-        return campaign.run()
 
     def motivation(
         self,

@@ -1,0 +1,331 @@
+"""CI-driven early stopping for statistical fault-injection campaigns.
+
+The paper sizes every campaign at a fixed 1000 runs to hit the
+Leveugle ±3% margin.  This module makes the loop *adaptive*: runs
+commit in fixed-size chunks, the Wilson confidence interval on the
+SDC rate is evaluated after every committed chunk, and the campaign
+stops at the first chunk boundary where the margin meets the target.
+
+The stopping rule is deterministic by construction: decisions are
+made only at chunk boundaries, in run-index order, over the committed
+prefix — never over whatever happens to have finished first.  Workers
+may speculate chunks beyond the eventual stop point (the wave-based
+parallel driver does exactly that), but speculative results past the
+stop boundary are discarded, so the committed result — tallies, kept
+runs, telemetry records, stop decisions — is byte-identical at any
+``--jobs``/``--batch``.
+
+Because every run is derived solely from ``(campaign seed, run
+index)``, an adaptive campaign's committed prefix is literally the
+prefix of the exhaustive campaign's run sequence: early stopping
+changes *how many* runs are simulated, never *which* outcome any
+individual run has.  The estimator stays unbiased in the standard
+sequential-sampling sense, and the A/B equivalence suite asserts the
+adaptive estimate lands inside the exhaustive run's CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, SpecError
+from repro.utils.stats import (
+    ConfidenceInterval,
+    confidence_interval,
+    stratified_interval,
+    zero_run_interval,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.campaign import Campaign, CampaignResult
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Stopping-rule parameters of an adaptive campaign.
+
+    ``target_margin`` is the SDC-rate CI margin that ends the
+    campaign; ``check_every`` is the commit-chunk size (the decision
+    granularity); ``min_runs`` optionally floors the committed count
+    before stopping is allowed.  ``campaign.config.runs`` stays the
+    hard budget — a campaign that never reaches the target margin
+    simply runs it out and reports ``converged=False``.
+    """
+
+    target_margin: float
+    level: float = 0.95
+    check_every: int = 64
+    min_runs: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_margin < 1.0:
+            raise ConfigError(
+                f"target_margin {self.target_margin} outside (0, 1)"
+            )
+        zero_run_interval(self.level)  # validates the level
+        if self.check_every < 1:
+            raise ConfigError("check_every must be >= 1")
+        if self.min_runs < 0:
+            raise ConfigError("min_runs must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Canonical image; joins the campaign's spec identity."""
+        return {
+            "target_margin": self.target_margin,
+            "level": self.level,
+            "check_every": self.check_every,
+            "min_runs": self.min_runs,
+        }
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """One chunk-boundary evaluation of the stopping rule."""
+
+    committed: int
+    sdc: int
+    interval: ConfidenceInterval
+    stop: bool
+
+    def to_dict(self) -> dict:
+        """Canonical-JSON-ready image (interval bounds included)."""
+        return {
+            "committed": self.committed,
+            "sdc": self.sdc,
+            "stop": self.stop,
+            "interval": self.interval.to_dict(),
+        }
+
+
+def should_stop(
+    sdc: int, runs: int, target_margin: float, level: float = 0.95
+) -> tuple[bool, ConfidenceInterval]:
+    """Evaluate the stopping rule over a committed prefix.
+
+    Returns ``(stop, interval)``; with zero committed runs the
+    interval is the vacuous [0, 1] and the answer is always "keep
+    going".  The Wilson interval keeps the margin honest at p=0 — the
+    all-MASKED prefix that a normal-approximation CI would declare
+    infinitely precise after one run.
+    """
+    if runs <= 0:
+        return False, zero_run_interval(level)
+    interval = confidence_interval(sdc, runs, level)
+    return interval.margin <= target_margin, interval
+
+
+@dataclass
+class AdaptiveResult:
+    """A stopped (or budget-exhausted) adaptive campaign.
+
+    Wraps the committed :class:`CampaignResult` with the decision
+    trail and the accounting that makes the efficiency claim
+    checkable: how many runs the budget allowed, where the campaign
+    stopped, and how many of the committed runs were actually
+    *simulated* (as opposed to classified analytically by the batch
+    engine's equivalence pruning).
+    """
+
+    result: "CampaignResult"
+    config: AdaptiveConfig
+    budget: int
+    converged: bool
+    decisions: list[StopDecision] = field(default_factory=list)
+
+    @property
+    def stopped_at(self) -> int:
+        """Committed runs when the campaign ended."""
+        return self.result.n_runs
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """The SDC interval at the stop point."""
+        if not self.decisions:
+            return zero_run_interval(self.config.level)
+        return self.decisions[-1].interval
+
+    @property
+    def analytic_runs(self) -> int:
+        """Committed runs classified without simulation."""
+        snapshot = self.result.metrics_snapshot or {}
+        counters = snapshot.get("counters", {})
+        return int(counters.get("campaign.batch.analytic_lanes", 0))
+
+    @property
+    def simulated_runs(self) -> int:
+        """Committed runs that actually executed the application."""
+        return self.stopped_at - self.analytic_runs
+
+    def to_dict(self) -> dict:
+        """Deterministic image: config, stop trail, committed result."""
+        return {
+            "adaptive": self.config.to_dict(),
+            "budget": self.budget,
+            "stopped_at": self.stopped_at,
+            "converged": self.converged,
+            "decisions": [d.to_dict() for d in self.decisions],
+            "result": self.result.to_dict(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable stop summary to append to a result table."""
+        state = "converged" if self.converged else "budget exhausted"
+        return (
+            f"adaptive: {state} at {self.stopped_at}/{self.budget} runs "
+            f"({self.simulated_runs} simulated, "
+            f"{self.analytic_runs} analytic); SDC {self.interval}"
+        )
+
+
+def _plan_spans(budget: int, check_every: int) -> list[tuple[int, int]]:
+    """Fixed commit-chunk spans — independent of jobs and batch."""
+    return [
+        (start, min(start + check_every, budget))
+        for start in range(0, budget, check_every)
+    ]
+
+
+class _Committer:
+    """In-order chunk commit + stop bookkeeping shared by both paths."""
+
+    def __init__(self, config: AdaptiveConfig):
+        self.config = config
+        self.parts: list["CampaignResult"] = []
+        self.decisions: list[StopDecision] = []
+        self.committed = 0
+        self.sdc = 0
+        self.stopped = False
+
+    def commit(self, part: "CampaignResult") -> bool:
+        """Fold one chunk, evaluate the rule; True once stopped."""
+        if self.stopped:
+            return True
+        self.parts.append(part)
+        self.committed += part.n_runs
+        self.sdc += part.sdc_count
+        stop, interval = should_stop(
+            self.sdc, self.committed,
+            self.config.target_margin, self.config.level,
+        )
+        stop = stop and self.committed >= self.config.min_runs
+        self.decisions.append(StopDecision(
+            committed=self.committed, sdc=self.sdc,
+            interval=interval, stop=stop,
+        ))
+        self.stopped = stop
+        return stop
+
+
+def run_adaptive(
+    campaign: "Campaign",
+    config: AdaptiveConfig,
+    jobs: int | None = None,
+) -> AdaptiveResult:
+    """Drive ``campaign`` under the early-stopping rule.
+
+    Serial execution commits chunk after chunk.  Parallel execution
+    (``jobs > 1``) speculates one *wave* of chunks at a time across a
+    :class:`~repro.runtime.executor.SpanPool`: every span in the wave
+    runs concurrently, then results commit in run-index order and the
+    rule is evaluated at each boundary — chunks past the first
+    satisfied boundary are discarded.  A wave wastes at most
+    ``jobs - 1`` speculative chunks, and the committed outcome is
+    byte-identical to the serial one.  If no pool can be stood up
+    (or it dies mid-wave) the whole campaign deterministically
+    restarts on the serial path.
+    """
+    from repro.faults.campaign import CampaignResult
+    from repro.runtime.executor import SpanPool, _PoolUnavailable
+
+    n_jobs = campaign.jobs if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    if campaign.batch <= 1:
+        # Result-invariant execution knob: sweep whole commit chunks
+        # through the batch engine so analytic classification (and
+        # equivalence pruning) carries the early-stopped campaign.
+        campaign.batch = config.check_every
+    budget = campaign.config.runs
+    spans = _plan_spans(budget, config.check_every)
+    committer = _Committer(config)
+    discarded = 0
+    if n_jobs > 1:
+        try:
+            with SpanPool(campaign, n_jobs) as pool:
+                index = 0
+                while index < len(spans) and not committer.stopped:
+                    wave = spans[index:index + n_jobs]
+                    for _start, part in pool.run(wave):
+                        if committer.stopped:
+                            discarded += part.n_runs
+                        else:
+                            committer.commit(part)
+                    index += len(wave)
+        except _PoolUnavailable:
+            # Deterministic restart: the committed prefix of a serial
+            # rerun is identical, so recompute rather than splice.
+            committer = _Committer(config)
+            discarded = 0
+            n_jobs = 1
+    if n_jobs == 1:
+        for start, stop in spans:
+            if committer.commit(campaign.run_span(start, stop)):
+                break
+    merged = CampaignResult.merge(committer.parts)
+    campaign.metrics.merge_snapshot(merged.metrics_snapshot)
+    campaign.metrics.inc("adaptive.decisions", len(committer.decisions))
+    campaign.metrics.inc("adaptive.committed_runs", committer.committed)
+    campaign.metrics.inc("adaptive.discarded_runs", discarded)
+    return AdaptiveResult(
+        result=merged,
+        config=config,
+        budget=budget,
+        converged=committer.stopped,
+        decisions=committer.decisions,
+    )
+
+
+def stratified_estimate(
+    result: "CampaignResult",
+    selection,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Recombine a stratified campaign's records into one estimate.
+
+    For a campaign run under a
+    :class:`~repro.faults.selection.StratifiedSelection` with
+    ``collect_records=True`` and single-block injections, rebuilds the
+    per-stratum (SDC, runs) tallies from the run records' fault sites
+    and recombines them with the stratum weights via
+    :func:`repro.utils.stats.stratified_interval` — the unbiased
+    estimate for the selection's target exposure distribution.
+    """
+    strata = getattr(selection, "strata", None)
+    if not strata:
+        raise SpecError(
+            f"selection {selection.name!r} is not stratified"
+        )
+    if not result.records:
+        raise SpecError(
+            "stratified estimation needs run records "
+            "(collect_records=True)"
+        )
+    if result.config.n_blocks != 1:
+        raise SpecError(
+            "stratified estimation requires single-block injections "
+            f"(got n_blocks={result.config.n_blocks})"
+        )
+    tallies = [[0, 0] for _ in strata]  # [sdc, runs] per stratum
+    for record in result.records:
+        index = selection.stratum_of(record.faults[0].block_addr)
+        tallies[index][1] += 1
+        if record.outcome == "sdc":
+            tallies[index][0] += 1
+    return stratified_interval(
+        [
+            (stratum.weight, sdc, runs)
+            for stratum, (sdc, runs) in zip(strata, tallies)
+        ],
+        level=level,
+    )

@@ -31,8 +31,18 @@ module batches a span of run indices and splits the lanes analytically:
   flow (and hence the read trace) cannot diverge either; see
   docs/MODELING.md.
 
+* **Equivalence-class pruning** consumes the golden read/write
+  timeline (:class:`repro.obs.trace.GoldenTimeline`): faults in
+  objects that are provably dead (on no read path at all) and faults
+  in writable objects whose stuck bits agree with the object's
+  content at every golden-run read — overwritten-before-next-read
+  windows included — are tallied analytically as MASKED without
+  simulating.  Prune tallies surface as
+  ``campaign.batch.pruned.{dead,agrees,unread}`` counters.
+
 * Remaining **exec lanes** — any lane with visible divergence in an
-  unprotected or writable object — run through the application's
+  unprotected object, or a writable-object fault the snapshots cannot
+  clear — run through the application's
   ``execute_batch``, which vectorized kernels implement as stacked
   ``(N, ...)`` NumPy sweeps (scalar fallback otherwise), and are
   classified exactly like :meth:`Campaign._classify`.
@@ -54,6 +64,7 @@ from repro.faults.injector import apply_faults_merged, merge_fault_masks
 from repro.faults.model import FaultSpec, sample_word_fault
 from repro.faults.outcomes import Outcome, RunResult
 from repro.obs.records import RunRecord
+from repro.obs.trace import GoldenTimeline
 from repro.utils import fastseed
 from repro.utils.rng import RngStream, derive_seed
 
@@ -121,38 +132,16 @@ class BatchEngine:
         scheme = make_scheme(c.scheme_name, memory, protected)
         self._protected = scheme.protected_names
         self._kind = scheme.scheme_name
-        # Record every data consumption path: scheme reads (protected
-        # or not) AND direct ``memory.read_object`` calls from kernel
-        # code ("raw" — they bypass the scheme entirely, so divergence
-        # they observe can neither be detected nor corrected).  Scheme
-        # internals also call ``read_object``; the reentrancy flag
-        # keeps those out of the raw stream.
-        reads: list[tuple[str, str]] = []
-        inner_read = scheme.read
-        inner_read_object = memory.read_object
-        in_scheme = [False]
-
-        def recording_read(obj):
-            kind = "prot" if obj.name in scheme.protected_names \
-                else "unprot"
-            reads.append((obj.name, kind))
-            in_scheme[0] = True
-            try:
-                return inner_read(obj)
-            finally:
-                in_scheme[0] = False
-
-        def recording_read_object(obj):
-            if not in_scheme[0]:
-                reads.append((obj.name, "raw"))
-            return inner_read_object(obj)
-
-        scheme.read = recording_read
-        memory.read_object = recording_read_object
-        with np.errstate(all="ignore"):
-            output = c.app.execute(memory, scheme)
-        del scheme.read  # drop the shadowing instance attributes
-        del memory.read_object
+        # Record every data consumption path via the golden timeline:
+        # scheme reads (protected or not) AND direct
+        # ``memory.read_object`` calls from kernel code ("raw" — they
+        # bypass the scheme entirely, so divergence they observe can
+        # neither be detected nor corrected), plus write events and
+        # read-time content snapshots of writable objects for the
+        # outcome-equivalence pruning below.
+        self._timeline, output = GoldenTimeline.capture(
+            c.app, memory, scheme)
+        reads = self._timeline.reads()
         self._reads = reads
         self._clean_counters = dict(vars(scheme.stats))
         self._zero_counters = {k: 0 for k in self._clean_counters}
@@ -279,18 +268,24 @@ class BatchEngine:
             self._base_bytes[byte_addr] = value
         return value
 
-    def _analyze(self, lane: _Lane) -> tuple[dict[str, list[int]], bool]:
+    def _analyze(
+        self, lane: _Lane
+    ) -> tuple[dict[str, list[int]], bool, list[str]]:
         """Visible divergence of one lane's merged overlays.
 
-        Returns ``(divergent, rw_fault)``: per read-only object, the
-        sorted offsets whose faulted read differs from the clean byte;
-        and whether any overlay lands in a writable object (where the
-        effect depends on the value later written, so the lane must
-        execute for real).
+        Returns ``(divergent, must_exec, prunes)``: per read-only
+        object, the sorted offsets whose faulted read differs from the
+        clean byte; whether some writable-object overlay disagrees
+        with the golden timeline's read-time snapshots (so the lane
+        must execute for real); and the equivalence-class prune tags
+        earned by writable faults proven invisible (``dead`` — the
+        object is never read at all; ``agrees`` — the stuck bits match
+        the object's content at every consumption point, overwritten
+        windows included).
         """
         masks = merge_fault_masks(lane.faults)
         divergent: dict[str, list[int]] = {}
-        rw_fault = False
+        writable: dict[str, dict[int, tuple[int, int]]] = {}
         for byte_addr in sorted(masks):
             or_mask, and_mask = masks[byte_addr]
             # Word faults never straddle the 128B block, so the byte's
@@ -302,12 +297,48 @@ class BatchEngine:
             if offset >= obj.nbytes:
                 continue  # block padding: invisible to every read
             if not obj.read_only:
-                rw_fault = True
+                writable.setdefault(obj.name, {})[offset] = \
+                    (or_mask, and_mask)
                 continue
             raw = self._base_byte(byte_addr)
             if ((raw | or_mask) & ~and_mask & 0xFF) != raw:
                 divergent.setdefault(obj.name, []).append(offset)
-        return divergent, rw_fault
+        must_exec = False
+        prunes: list[str] = []
+        for name, byte_masks in writable.items():
+            tag = self._writable_verdict(name, byte_masks)
+            if tag is None:
+                must_exec = True
+            else:
+                prunes.append(tag)
+        return divergent, must_exec, prunes
+
+    def _writable_verdict(
+        self, name: str, byte_masks: dict[int, tuple[int, int]]
+    ) -> str | None:
+        """Prune tag for a writable object's faults, ``None`` to run.
+
+        ``dead``: the object is on no read path at all (scheme-internal
+        reads included), so its content can never influence execution.
+        ``agrees``: the stuck bits are a no-op against the object's
+        raw content at every golden-run read — by the clean-prefix
+        induction (writes store raw values, overlays re-apply on read)
+        the faulted execution is then bitwise identical to the clean
+        one.  Any snapshot mismatch — or a read path the timeline
+        could not snapshot — means only real execution can tell.
+        """
+        timeline = self._timeline
+        if name not in timeline.ever_read:
+            return "dead"
+        snapshots = timeline.read_values.get(name)
+        if not snapshots:
+            return None  # read somewhere we could not snapshot
+        for offset, (or_mask, and_mask) in byte_masks.items():
+            for snap in snapshots:
+                raw = snap[offset]
+                if ((raw | or_mask) & ~and_mask & 0xFF) != raw:
+                    return None
+        return "agrees"
 
     # ------------------------------------------------------------------
     # Analytic classification
@@ -315,20 +346,29 @@ class BatchEngine:
     def _classify_analytic(self, lane: _Lane):
         """Classify without executing; ``None`` if the lane must run.
 
-        Returns ``(RunResult, counters_dict)`` for lanes whose outcome
-        is fully determined by the clean read trace.
+        Returns ``(RunResult, counters_dict, prune_tags)`` for lanes
+        whose outcome is fully determined by the clean read trace and
+        the golden timeline.
         """
-        divergent, rw_fault = self._analyze(lane)
-        if rw_fault:
-            # A fault in a writable object bites data written *during*
-            # the run; its visibility depends on the written values, so
-            # only real execution can tell.
+        divergent, must_exec, prunes = self._analyze(lane)
+        if must_exec:
+            # A writable-object fault that disagrees with some read-
+            # time snapshot bites data written *during* the run; only
+            # real execution can tell its visibility.
             return None
-        for name in divergent:
-            if name not in self._first_read:
-                # Divergent object never seen on any recorded read path
-                # — we cannot prove it is unread, so execute.
+        visible: dict[str, list[int]] = {}
+        for name, offsets in divergent.items():
+            if name in self._first_read:
+                visible[name] = offsets
+            elif name in self._timeline.ever_read:
+                # Consumed only by scheme-internal reads — a path the
+                # positional trace cannot reason about, so execute.
                 return None
+            else:
+                # Provably on no read path at all: the divergence is
+                # invisible, the lane is bitwise clean.
+                prunes.append("unread")
+        divergent = visible
         prot_read = {
             name: offsets for name, offsets in divergent.items()
             if name in self._protected and name in self._first_prot_read
@@ -355,6 +395,7 @@ class BatchEngine:
             return (
                 RunResult(lane.run_index, Outcome.DETECTED, 0.0, str(exc)),
                 counters,
+                prunes,
             )
         if unchecked:
             return None
@@ -378,12 +419,14 @@ class BatchEngine:
                     f"{corrected_bytes} byte(s) voted out",
                 ),
                 counters,
+                prunes,
             )
         return (
             RunResult(
                 lane.run_index, Outcome.MASKED, self._clean_metric.error
             ),
             dict(self._clean_counters),
+            prunes,
         )
 
     # ------------------------------------------------------------------
@@ -450,6 +493,7 @@ class BatchEngine:
         lanes = self._plan(start, stop)
         decided: dict[int, tuple] = {}
         exec_lanes: list[_Lane] = []
+        pruned: dict[str, int] = {}
         for lane in lanes:
             verdict = (
                 self._classify_analytic(lane) if self._analytic else None
@@ -457,7 +501,10 @@ class BatchEngine:
             if verdict is None:
                 exec_lanes.append(lane)
             else:
-                decided[lane.run_index] = verdict
+                run, counters, prunes = verdict
+                decided[lane.run_index] = (run, counters)
+                for tag in prunes:
+                    pruned[tag] = pruned.get(tag, 0) + 1
         if exec_lanes:
             for run, counters in self._run_exec(exec_lanes):
                 decided[run.run_index] = (run, counters)
@@ -467,6 +514,8 @@ class BatchEngine:
                 len(lanes) - len(exec_lanes),
             )
             metrics.inc("campaign.batch.exec_lanes", len(exec_lanes))
+            for tag in sorted(pruned):
+                metrics.inc(f"campaign.batch.pruned.{tag}", pruned[tag])
         results = []
         for lane in lanes:
             run, counters = decided[lane.run_index]

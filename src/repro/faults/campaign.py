@@ -47,7 +47,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.records import RunRecord
 from repro.utils.canonical import canonical_digest
 from repro.utils.rng import RngStream, derive_seed
-from repro.utils.stats import ConfidenceInterval, confidence_interval
+from repro.utils.stats import (
+    ConfidenceInterval,
+    confidence_interval,
+    zero_run_interval,
+)
 
 #: Per-run memory strategies: ``"cow"`` clones the prepared (replica-
 #: populated) image copy-on-write; ``"full"`` deep-copies the pristine
@@ -327,7 +331,14 @@ class CampaignResult:
         return self.sdc_count / self.n_runs if self.n_runs else 0.0
 
     def sdc_interval(self, level: float = 0.95) -> ConfidenceInterval:
-        """Confidence interval on the SDC rate."""
+        """Confidence interval on the SDC rate.
+
+        An empty result (zero runs — e.g. rebuilt from a truncated
+        telemetry stream) yields the vacuous [0, 1] interval rather
+        than raising.
+        """
+        if self.n_runs == 0:
+            return zero_run_interval(level)
         return confidence_interval(self.sdc_count, self.n_runs, level)
 
     def count(self, outcome: Outcome) -> int:
@@ -383,6 +394,8 @@ class Campaign:
         metrics: MetricsRegistry | None = None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
+        target_margin: float | None = None,
+        adaptive=None,
         scheme_name: str = UNSET,
         protected_names: tuple[str, ...] = UNSET,
     ):
@@ -426,6 +439,25 @@ class Campaign:
         #: effective size so large apps cannot OOM.
         self.batch = batch
         self.max_batch_bytes = max_batch_bytes
+        #: Early-stopping rule (an
+        #: :class:`~repro.faults.adaptive.AdaptiveConfig`), built from
+        #: the ``target_margin`` shorthand when only that is given.
+        #: Unlike ``jobs``/``batch`` this *does* change the committed
+        #: result (how many runs it holds), so it joins
+        #: :meth:`spec_identity` — but only when enabled, keeping
+        #: every exhaustive campaign's digest unchanged.
+        if target_margin is not None and adaptive is not None:
+            raise ConfigError(
+                "pass either target_margin or adaptive, not both"
+            )
+        if target_margin is not None:
+            from repro.faults.adaptive import AdaptiveConfig
+
+            adaptive = AdaptiveConfig(target_margin=float(target_margin))
+        self.adaptive = adaptive
+        #: The full AdaptiveResult of the last adaptive run (decision
+        #: trail, convergence flag); None until one completes.
+        self.adaptive_result = None
         self._batch_engine: BatchEngine | None = None
         #: Observability sink for this campaign (and, when run through
         #: the executor, for the executor's own chunk/utilization
@@ -466,7 +498,7 @@ class Campaign:
         from repro.runtime.cache import app_cache_key
 
         module, qualname, scalars = app_cache_key(self.app)
-        return {
+        identity = {
             "app": {
                 "class": f"{module}.{qualname}",
                 "params": [[name, value] for name, value in scalars],
@@ -478,6 +510,9 @@ class Campaign:
             "keep_runs": self.keep_runs,
             "collect_records": self.collect_records,
         }
+        if self.adaptive is not None:
+            identity["adaptive"] = self.adaptive.to_dict()
+        return identity
 
     def identity_digest(self) -> str:
         """Content address of :meth:`spec_identity` (checkpoint key)."""
@@ -487,7 +522,13 @@ class Campaign:
         """Execute every run and aggregate the outcomes.
 
         ``jobs`` overrides the campaign's parallelism for this call.
+        With an ``adaptive`` config (or ``target_margin``) set, runs
+        commit in chunks and the campaign stops at the first chunk
+        boundary whose Wilson CI meets the target margin; the full
+        decision trail lands in :attr:`adaptive_result`.
         """
+        if self.adaptive is not None:
+            return self.run_adaptive(jobs=jobs).result
         n_jobs = self.jobs if jobs is None else jobs
         if n_jobs != 1:
             from repro.runtime.executor import CampaignExecutor
@@ -496,6 +537,25 @@ class Campaign:
         result = self.run_span(0, self.config.runs)
         self.metrics.merge_snapshot(result.metrics_snapshot)
         return result
+
+    def run_adaptive(self, jobs: int | None = None, config=None):
+        """Execute under the CI-driven early-stopping rule.
+
+        Returns the :class:`~repro.faults.adaptive.AdaptiveResult`
+        (committed result + stop-decision trail), also stored in
+        :attr:`adaptive_result`.  ``config`` overrides the campaign's
+        own ``adaptive`` config for this call.
+        """
+        from repro.faults.adaptive import run_adaptive
+
+        cfg = config if config is not None else self.adaptive
+        if cfg is None:
+            raise ConfigError(
+                "run_adaptive needs an AdaptiveConfig — construct the "
+                "campaign with target_margin/adaptive or pass config="
+            )
+        self.adaptive_result = run_adaptive(self, cfg, jobs=jobs)
+        return self.adaptive_result
 
     def run_span(self, start: int, stop: int) -> CampaignResult:
         """Execute runs ``start..stop`` serially (one parallel chunk).

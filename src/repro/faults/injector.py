@@ -45,21 +45,16 @@ def merge_fault_masks(
     faults hit the same bit, the later fault in the list wins, matching
     the merge order of sequential :func:`apply_faults` injection.
     """
-    masks: dict[int, list[int]] = {}
+    merged: dict[int, tuple[int, int]] = {}
     for fault in faults:
-        for byte_addr, bit, value in fault.byte_level_faults():
-            entry = masks.get(byte_addr)
-            if entry is None:
-                entry = [0, 0]
-                masks[byte_addr] = entry
-            mask = 1 << bit
-            if value:
-                entry[0] |= mask
-                entry[1] &= ~mask
-            else:
-                entry[0] &= ~mask
-                entry[1] |= mask
-    return {addr: (e[0], e[1]) for addr, e in masks.items()}
+        for byte_addr, (f_or, f_and) in fault.byte_masks().items():
+            m_or, m_and = merged.get(byte_addr, (0, 0))
+            # The later fault's bits override the earlier overlay.
+            merged[byte_addr] = (
+                (m_or & ~f_and) | f_or,
+                (m_and & ~f_or) | f_and,
+            )
+    return merged
 
 
 def apply_faults_merged(

@@ -64,6 +64,25 @@ class FaultSpec:
             out.append((self.word_addr + pos // 8, pos % 8, val))
         return out
 
+    def byte_masks(self) -> dict[int, tuple[int, int]]:
+        """This fault's stuck bits folded to per-byte overlay masks.
+
+        Returns ``{byte_addr: (or_mask, and_mask)}`` — the read value
+        of a faulted byte is ``(raw | or_mask) & ~and_mask``.  Bit
+        positions within one fault are distinct by construction, so no
+        tie-breaking applies here; merging *across* faults (where later
+        faults win) is :func:`repro.faults.injector.merge_fault_masks`.
+        """
+        masks: dict[int, tuple[int, int]] = {}
+        for byte_addr, bit, value in self.byte_level_faults():
+            or_mask, and_mask = masks.get(byte_addr, (0, 0))
+            if value:
+                or_mask |= 1 << bit
+            else:
+                and_mask |= 1 << bit
+            masks[byte_addr] = (or_mask, and_mask)
+        return masks
+
 
 def live_words(obj, block_addr: int) -> list[int]:
     """Word indices of ``block_addr`` that hold live data of ``obj``.

@@ -13,11 +13,12 @@ Two experiments in the paper select blocks differently:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.arch.address_space import BLOCK_BYTES
 from repro.errors import ConfigError
 from repro.utils.rng import RngStream
 
@@ -151,3 +152,235 @@ def access_weighted_selection(
     paper's full-size workloads have.
     """
     return _weighted(read_counts, "access-weighted")
+
+
+# ----------------------------------------------------------------------
+# Stratified sampling over fault sites
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Stratum:
+    """One disjoint slice of the fault-site population.
+
+    ``weight`` is the stratum's share of the target exposure
+    distribution (e.g. its fraction of all read transactions) — the
+    ``W_h`` that recombines per-stratum tallies into an unbiased
+    overall estimate via
+    :func:`repro.utils.stats.stratified_interval`.
+    """
+
+    name: str
+    weight: float
+    selection: BlockSelection
+
+
+class StratifiedSampler:
+    """Capacity-aware two-stage draws over disjoint strata.
+
+    Each of the ``n_blocks`` slots first draws a stratum with
+    probability proportional to the stratum weights (a stratum whose
+    remaining capacity is exhausted drops out of the draw), then the
+    per-stratum counts are realized with each stratum's own
+    without-replacement sampler.  All draws consume the one ``rng``
+    stream sequentially, so outcomes are a pure function of the run
+    seed — stratification changes *where* faults land, never breaks
+    the campaign's determinism contract.  Picklable, like the flat
+    samplers.
+    """
+
+    def __init__(self, strata: Sequence[Stratum]):
+        self.strata = tuple(strata)
+
+    def __call__(self, rng: RngStream, n_blocks: int) -> list[int]:
+        caps = [s.selection.population for s in self.strata]
+        counts = [0] * len(caps)
+        for _ in range(n_blocks):
+            weights = [
+                s.weight if counts[i] < caps[i] else 0.0
+                for i, s in enumerate(self.strata)
+            ]
+            counts[rng.weighted_index(weights)] += 1
+        picks: list[int] = []
+        for count, stratum in zip(counts, self.strata):
+            if count:
+                picks.extend(stratum.selection.pick(rng, count))
+        return picks
+
+
+@dataclass(frozen=True)
+class StratifiedSelection(BlockSelection):
+    """A block selection partitioned into named, weighted strata.
+
+    Behaves exactly like any :class:`BlockSelection` toward the
+    campaign; additionally exposes the strata and an address →
+    stratum-index resolver so per-stratum tallies can be rebuilt from
+    run records after the fact.
+    """
+
+    strata: tuple[Stratum, ...] = field(default=())
+
+    def stratum_of(self, addr: int) -> int:
+        """Index of the stratum whose pool holds block ``addr``."""
+        mapping = self.__dict__.get("_addr_stratum")
+        if mapping is None:
+            mapping = {}
+            for i, stratum in enumerate(self.strata):
+                for a in stratum.selection.sampler.pool:
+                    mapping[a] = i
+            object.__setattr__(self, "_addr_stratum", mapping)
+        try:
+            return mapping[addr]
+        except KeyError:
+            raise ConfigError(
+                f"{self.name}: block {addr:#x} is in no stratum"
+            ) from None
+
+
+def stratified_selection(
+    strata: Sequence[Stratum], name: str = "stratified"
+) -> StratifiedSelection:
+    """Compose disjoint strata into one selection policy.
+
+    Every stratum's underlying sampler must expose its block ``pool``
+    (all policies in this module do); pools must be pairwise disjoint
+    so each fault site belongs to exactly one stratum and the
+    recombined estimate stays unbiased.
+    """
+    strata = tuple(strata)
+    if not strata:
+        raise ConfigError(f"{name}: no strata")
+    seen: set[int] = set()
+    population = 0
+    total_weight = 0.0
+    for stratum in strata:
+        if stratum.weight < 0:
+            raise ConfigError(
+                f"{name}: stratum {stratum.name!r} has negative weight"
+            )
+        total_weight += stratum.weight
+        pool = getattr(stratum.selection.sampler, "pool", None)
+        if pool is None:
+            raise ConfigError(
+                f"{name}: stratum {stratum.name!r} sampler exposes no "
+                "block pool"
+            )
+        overlap = seen.intersection(pool)
+        if overlap:
+            raise ConfigError(
+                f"{name}: stratum {stratum.name!r} overlaps an earlier "
+                f"stratum at block {min(overlap):#x}"
+            )
+        seen.update(pool)
+        population += stratum.selection.population
+    if total_weight <= 0:
+        raise ConfigError(f"{name}: stratum weights must not all be zero")
+    return StratifiedSelection(
+        name, StratifiedSampler(strata), population, strata
+    )
+
+
+def _object_block_counts(
+    read_counts: dict[int, int], obj
+) -> dict[int, int]:
+    end = obj.base_addr + obj.n_blocks * BLOCK_BYTES
+    return {
+        addr: count for addr, count in read_counts.items()
+        if obj.base_addr <= addr < end and count > 0
+    }
+
+
+def stratify_by_object(
+    read_counts: dict[int, int],
+    objects: Iterable,
+    name: str = "stratified",
+) -> StratifiedSelection:
+    """One stratum per data object, weighted by its read share.
+
+    Within a stratum blocks are drawn access-weighted, so the overall
+    exposure distribution matches :func:`access_weighted_selection`
+    while every object is guaranteed proportional representation —
+    the variance-reduction move for campaigns whose SDC rates differ
+    strongly between objects.
+    """
+    strata = []
+    for obj in objects:
+        counts = _object_block_counts(read_counts, obj)
+        if not counts:
+            continue
+        strata.append(Stratum(
+            obj.name,
+            float(sum(counts.values())),
+            _weighted(counts, f"object:{obj.name}"),
+        ))
+    if not strata:
+        raise ConfigError(f"{name}: no object has read-weighted blocks")
+    return stratified_selection(strata, name)
+
+
+def stratify_by_read_count(
+    read_counts: dict[int, int],
+    bins: int = 3,
+    name: str = "stratified-reads",
+) -> StratifiedSelection:
+    """Strata of blocks with similar read counts (quantile bins).
+
+    Blocks are sorted by read count and split into ``bins`` contiguous
+    groups; each group samples access-weighted within itself and
+    carries its total read share as the stratum weight.
+    """
+    if bins <= 0:
+        raise ConfigError(f"{name}: bins must be positive")
+    items = sorted(
+        (count, addr) for addr, count in read_counts.items() if count > 0
+    )
+    if not items:
+        raise ConfigError(f"{name}: no read-weighted blocks")
+    strata = []
+    for i, chunk in enumerate(np.array_split(np.arange(len(items)), bins)):
+        if not len(chunk):
+            continue
+        counts = {
+            items[j][1]: items[j][0] for j in chunk
+        }
+        strata.append(Stratum(
+            f"bin{i}",
+            float(sum(counts.values())),
+            _weighted(counts, f"{name}:bin{i}"),
+        ))
+    return stratified_selection(strata, name)
+
+
+def stratify_by_liveness(
+    read_counts: dict[int, int],
+    objects: Iterable,
+    liveness: dict[str, object],
+    name: str = "stratified-liveness",
+) -> StratifiedSelection:
+    """Strata of objects sharing a liveness window classification.
+
+    ``liveness`` maps object names to
+    :class:`repro.obs.trace.ObjectLiveness` digests (from
+    :meth:`~repro.obs.trace.GoldenTimeline.liveness`); objects whose
+    golden-run windows match (pure inputs vs read/write working sets)
+    pool into one stratum, weighted by their combined read share.
+    Dead objects (never read) carry no exposure and are skipped.
+    """
+    pools: dict[str, dict[int, int]] = {}
+    for obj in objects:
+        digest = liveness.get(obj.name)
+        if digest is None or digest.window == "dead":
+            continue
+        counts = _object_block_counts(read_counts, obj)
+        if not counts:
+            continue
+        pools.setdefault(digest.window, {}).update(counts)
+    if not pools:
+        raise ConfigError(f"{name}: no live read-weighted blocks")
+    strata = [
+        Stratum(
+            window,
+            float(sum(counts.values())),
+            _weighted(counts, f"{name}:{window}"),
+        )
+        for window, counts in sorted(pools.items())
+    ]
+    return stratified_selection(strata, name)

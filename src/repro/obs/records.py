@@ -55,17 +55,47 @@ FAULT_SCHEMA: dict[str, type] = {
 }
 
 
+#: Bumped whenever the stop-decision record shape changes incompatibly.
+DECISION_RECORD_VERSION = 1
+
+#: Required top-level keys of one adaptive stop-decision record.
+DECISION_RECORD_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "version": int,
+    "committed": int,
+    "sdc": int,
+    "stop": bool,
+    "interval": dict,
+}
+
+#: Required keys of a decision record's embedded interval image
+#: (:meth:`repro.utils.stats.ConfidenceInterval.to_dict`).
+INTERVAL_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "proportion": (int, float),
+    "margin": (int, float),
+    "low": (int, float),
+    "high": (int, float),
+    "level": (int, float),
+    "runs": int,
+}
+
+
 __all__ = [
     "RUN_RECORD_VERSION",
     "RUN_RECORD_SCHEMA",
+    "DECISION_RECORD_VERSION",
+    "DECISION_RECORD_SCHEMA",
     "FAULT_SCHEMA",
+    "INTERVAL_SCHEMA",
     "RunRecord",
     "TelemetryError",
     "TelemetryWriter",
     "iter_records",
+    "read_decisions",
     "read_records",
     "records_in_order",
+    "validate_decision",
     "validate_record",
+    "write_decisions",
 ]
 
 
@@ -260,6 +290,85 @@ def iter_records(path: str) -> Iterator[dict]:
 def read_records(path: str) -> list[dict]:
     """Load and validate every record of a telemetry JSONL file."""
     return list(iter_records(path))
+
+
+def validate_decision(data: dict) -> None:
+    """Check one decoded stop-decision record against the schema.
+
+    Raises :class:`TelemetryError` on missing keys, wrong types, or an
+    internally inconsistent tally (``sdc`` exceeding ``committed``).
+    """
+    if not isinstance(data, dict):
+        raise TelemetryError(
+            f"decision must be an object, got {type(data)}"
+        )
+    for key, typ in DECISION_RECORD_SCHEMA.items():
+        if key not in data:
+            raise TelemetryError(f"decision missing key {key!r}")
+        value = data[key]
+        if not isinstance(value, typ) \
+                or (typ is not bool and isinstance(value, bool)):
+            raise TelemetryError(
+                f"decision key {key!r} has type {type(value).__name__}"
+            )
+    if data["version"] != DECISION_RECORD_VERSION:
+        raise TelemetryError(
+            f"unsupported decision version {data['version']} "
+            f"(expected {DECISION_RECORD_VERSION})"
+        )
+    if data["committed"] <= 0:
+        raise TelemetryError("decision committed count must be positive")
+    if not 0 <= data["sdc"] <= data["committed"]:
+        raise TelemetryError("decision sdc count outside [0, committed]")
+    for key, typ in INTERVAL_SCHEMA.items():
+        value = data["interval"].get(key)
+        if not isinstance(value, typ) or isinstance(value, bool):
+            raise TelemetryError(
+                f"decision interval key {key!r} bad/missing"
+            )
+
+
+def write_decisions(path: str, decisions: Iterable) -> int:
+    """Write an adaptive campaign's stop-decision trail as JSONL.
+
+    ``decisions`` is the
+    :attr:`~repro.faults.adaptive.AdaptiveResult.decisions` list; each
+    becomes one canonical JSON line, so the file — like run telemetry —
+    is byte-identical for any worker count or batch size.  Returns the
+    number of lines written.
+    """
+    n = 0
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        for decision in decisions:
+            data = {"version": DECISION_RECORD_VERSION}
+            data.update(decision.to_dict())
+            fh.write(json.dumps(
+                data, sort_keys=True, separators=(",", ":")
+            ) + "\n")
+            n += 1
+    return n
+
+
+def read_decisions(path: str) -> list[dict]:
+    """Load and validate a stop-decision JSONL file."""
+    decisions = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            try:
+                validate_decision(data)
+            except TelemetryError as exc:
+                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            decisions.append(data)
+    return decisions
 
 
 def records_in_order(records: Iterable[RunRecord]) -> list[RunRecord]:

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.faults.outcomes import Outcome
 from repro.obs.records import read_records
-from repro.utils.stats import ConfidenceInterval, confidence_interval
+from repro.utils.stats import (
+    ConfidenceInterval,
+    confidence_interval,
+    zero_run_interval,
+)
 from repro.utils.tables import TextTable
 
 
@@ -46,7 +50,14 @@ class GroupSummary:
         return self.sdc_count / self.runs if self.runs else 0.0
 
     def sdc_interval(self, level: float = 0.95) -> ConfidenceInterval:
-        """Confidence interval on the group's SDC rate."""
+        """Confidence interval on the group's SDC rate.
+
+        A group with zero runs (a truncated or filtered-empty stream)
+        reports the vacuous [0, 1] interval instead of raising, so
+        ``repro stats`` always renders.
+        """
+        if self.runs == 0:
+            return zero_run_interval(level)
         return confidence_interval(self.sdc_count, self.runs, level)
 
     @property

@@ -161,6 +161,102 @@ class _PoolUnavailable(Exception):
     """Raised internally when no worker pool can be stood up."""
 
 
+class SpanPool:
+    """A worker pool wired to one campaign, reusable across waves.
+
+    Owns the whole parallel-transport dance — multiprocessing context
+    choice, pool creation (translated to :class:`_PoolUnavailable` on
+    restricted platforms), fork-inheritance of the prepared campaign
+    vs. spawn-path :class:`CampaignSpec` shipping — behind a context
+    manager whose :meth:`run` executes one list of spans and returns
+    ``(start, result)`` pairs.  The one-shot
+    :class:`CampaignExecutor` runs all its chunks in a single
+    :meth:`run` call; the adaptive driver
+    (:mod:`repro.faults.adaptive`) calls :meth:`run` once per
+    speculation wave, reusing the warm workers between stop-rule
+    checks.
+    """
+
+    def __init__(
+        self,
+        campaign: "Campaign",
+        jobs: int,
+        start_method: str | None = None,
+    ):
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        self.campaign = campaign
+        self.jobs = jobs
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._fork = False
+        self._spec: CampaignSpec | None = None
+
+    def __enter__(self) -> "SpanPool":
+        global _ACTIVE_CAMPAIGN
+        context = self._mp_context()
+        self._fork = context.get_start_method() == "fork"
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        except (OSError, ValueError, RuntimeError,
+                NotImplementedError) as exc:
+            raise _PoolUnavailable("could not create worker pool") from exc
+        if self._fork:
+            # Workers fork lazily at first submit and inherit this;
+            # it stays set for the pool's lifetime so late-forking
+            # workers (e.g. after a wave grows the pool) see it too.
+            _ACTIVE_CAMPAIGN = self.campaign
+        else:
+            self._spec = CampaignSpec.from_campaign(self.campaign)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE_CAMPAIGN
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._pool = None
+            if self._fork:
+                _ACTIVE_CAMPAIGN = None
+
+    def run(
+        self, spans: list[tuple[int, int]]
+    ) -> list[tuple[int, "CampaignResult"]]:
+        """Execute ``spans`` on the pool; ``(start, result)`` pairs.
+
+        Results return in submission order (callers sort by start
+        index before merging anyway); a dead pool surfaces as
+        :class:`_PoolUnavailable` so callers can fall back to serial.
+        """
+        if self._pool is None:
+            raise _PoolUnavailable("pool is not open")
+        futures = []
+        for span in spans:
+            if self._fork:
+                fut = self._pool.submit(_run_span_inherited, span)
+            else:
+                fut = self._pool.submit(_run_span_spec, self._spec, span)
+            futures.append((span[0], fut))
+        parts: list[tuple[int, "CampaignResult"]] = []
+        try:
+            for start, fut in futures:
+                parts.append((start, fut.result()))
+        except BrokenProcessPool as exc:
+            raise _PoolUnavailable(
+                "worker pool died before completing"
+            ) from exc
+        return parts
+
+    def _mp_context(self):
+        if self.start_method is not None:
+            return mp.get_context(self.start_method)
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else None)
+
+
 class CampaignExecutor:
     """Runs one campaign's index space across worker processes.
 
@@ -256,43 +352,5 @@ class CampaignExecutor:
     def _run_parallel(
         self, spans: list[tuple[int, int]], jobs: int
     ) -> list[tuple[int, "CampaignResult"]]:
-        global _ACTIVE_CAMPAIGN
-        context = self._mp_context()
-        fork = context.get_start_method() == "fork"
-        try:
-            pool = ProcessPoolExecutor(max_workers=jobs,
-                                       mp_context=context)
-        except (OSError, ValueError, RuntimeError,
-                NotImplementedError) as exc:
-            raise _PoolUnavailable("could not create worker pool") from exc
-        parts: list[tuple[int, "CampaignResult"]] = []
-        spec = None if fork else CampaignSpec.from_campaign(self.campaign)
-        if fork:
-            # Workers fork lazily at first submit and inherit this.
-            _ACTIVE_CAMPAIGN = self.campaign
-        try:
-            with pool:
-                futures = {}
-                for span in spans:
-                    if fork:
-                        fut = pool.submit(_run_span_inherited, span)
-                    else:
-                        fut = pool.submit(_run_span_spec, spec, span)
-                    futures[fut] = span
-                try:
-                    for fut, span in futures.items():
-                        parts.append((span[0], fut.result()))
-                except BrokenProcessPool as exc:
-                    raise _PoolUnavailable(
-                        "worker pool died before completing"
-                    ) from exc
-        finally:
-            if fork:
-                _ACTIVE_CAMPAIGN = None
-        return parts
-
-    def _mp_context(self):
-        if self.start_method is not None:
-            return mp.get_context(self.start_method)
-        methods = mp.get_all_start_methods()
-        return mp.get_context("fork" if "fork" in methods else None)
+        with SpanPool(self.campaign, jobs, self.start_method) as pool:
+            return pool.run(spans)

@@ -157,6 +157,13 @@ class SweepSpec:
     keep_runs: bool = False
     collect_records: bool = True
     chunk_runs: int | None = None
+    #: CI-driven early stopping: when set, each cell stops at the
+    #: first chunk boundary where the Wilson interval on its SDC rate
+    #: reaches this margin (see :mod:`repro.faults.adaptive`); the
+    #: remaining planned chunks of that cell are skipped.  Chunk
+    #: boundaries are jobs-independent, so the committed sweep result
+    #: stays byte-identical at any parallelism.
+    target_margin: float | None = None
 
     def __post_init__(self):
         for name in ("apps", "schemes", "protects"):
@@ -200,6 +207,9 @@ class SweepSpec:
             raise SpecError("sweep runs must be positive")
         if self.chunk_runs is not None and self.chunk_runs <= 0:
             raise SpecError("chunk_runs must be positive")
+        if self.target_margin is not None \
+                and not 0.0 < self.target_margin < 1.0:
+            raise SpecError("target_margin must be in (0, 1)")
         if self.scale not in ("default", "small"):
             raise SpecError(f"unknown scale {self.scale!r} "
                             "(default|small)")
@@ -237,8 +247,12 @@ class SweepSpec:
         )
 
     def to_dict(self) -> dict:
-        """Canonical identity document (the checkpoint manifest body)."""
-        return {
+        """Canonical identity document (the checkpoint manifest body).
+
+        ``target_margin`` joins the document only when set, so every
+        pre-existing (exhaustive) sweep keeps its checkpoint digest.
+        """
+        doc = {
             "apps": list(self.apps),
             "schemes": list(self.schemes),
             "protects": list(self.protects),
@@ -254,6 +268,9 @@ class SweepSpec:
             "collect_records": self.collect_records,
             "chunk_runs": self.resolved_chunk_runs(),
         }
+        if self.target_margin is not None:
+            doc["target_margin"] = self.target_margin
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
@@ -323,6 +340,73 @@ class WorkUnit:
     cell_index: int
     start: int
     stop: int
+
+
+class _AdaptiveFrontier:
+    """Per-cell early-stop bookkeeping at chunk granularity.
+
+    Mirrors the campaign-level stopping rule of
+    :mod:`repro.faults.adaptive` on the sweep's durable work units:
+    tallies commit strictly in run-index order over each cell's
+    contiguous chunk prefix, the rule is evaluated at every chunk
+    boundary, and the first satisfied boundary freezes the cell — its
+    later units become skippable.  Chunk boundaries depend only on the
+    spec, so the frontier (and hence the committed sweep result) is
+    identical at any ``jobs``.  With no target margin every method is
+    a cheap no-op.
+    """
+
+    def __init__(self, target_margin: float | None,
+                 units: Sequence[WorkUnit]):
+        self.target_margin = target_margin
+        self._cell_units: dict[int, list[WorkUnit]] = {}
+        if target_margin is not None:
+            for unit in units:
+                self._cell_units.setdefault(
+                    unit.cell_index, []).append(unit)
+            for cell_units in self._cell_units.values():
+                cell_units.sort(key=lambda u: u.start)
+        #: cell -> {unit.start: (sdc, runs)} of known chunk tallies.
+        self._tallies: dict[int, dict[int, tuple[int, int]]] = {}
+        #: cell -> run index of the first satisfied chunk boundary.
+        self._frontier: dict[int, int] = {}
+
+    def record(self, unit: WorkUnit, result: CampaignResult) -> None:
+        """Note one finished chunk and advance the cell's frontier."""
+        if self.target_margin is None:
+            return
+        tallies = self._tallies.setdefault(unit.cell_index, {})
+        tallies[unit.start] = (result.sdc_count, result.n_runs)
+        self._advance(unit.cell_index)
+
+    def _advance(self, cell_index: int) -> None:
+        from repro.faults.adaptive import should_stop
+
+        if cell_index in self._frontier:
+            return
+        tallies = self._tallies.get(cell_index, {})
+        sdc = runs = 0
+        for unit in self._cell_units.get(cell_index, ()):
+            entry = tallies.get(unit.start)
+            if entry is None:
+                return  # gap: the prefix ends before this boundary
+            sdc += entry[0]
+            runs += entry[1]
+            stop, _interval = should_stop(sdc, runs, self.target_margin)
+            if stop:
+                self._frontier[cell_index] = unit.stop
+                return
+
+    def skippable(self, unit: WorkUnit) -> bool:
+        """True when the unit lies beyond its cell's stop frontier."""
+        if self.target_margin is None:
+            return False
+        frontier = self._frontier.get(unit.cell_index)
+        return frontier is not None and unit.start >= frontier
+
+    def required(self, units: Sequence[WorkUnit]) -> list[WorkUnit]:
+        """The units that the committed sweep result must contain."""
+        return [u for u in units if not self.skippable(u)]
 
 
 @dataclass(frozen=True)
@@ -417,6 +501,9 @@ class Session:
         self._sleep = sleep
         #: Why the session degraded to serial execution, if it did.
         self.fallback_reason: str | None = None
+        #: Early-stop bookkeeping; replaced per run() with a tracker
+        #: over that run's planned units.
+        self._frontier = _AdaptiveFrontier(None, ())
 
     # ------------------------------------------------------------------
     # Planning
@@ -458,12 +545,15 @@ class Session:
         self._emit("plan", detail=f"{len(cells)} cells, "
                                   f"{len(units)} chunks")
 
+        frontier = _AdaptiveFrontier(self.spec.target_margin, units)
+        self._frontier = frontier
         parts: dict[WorkUnit, CampaignResult] = {}
         pending: list[WorkUnit] = []
         for unit in units:
             loaded = self._load_checkpointed(unit, cells, digests)
             if loaded is not None:
                 parts[unit] = loaded
+                frontier.record(unit, loaded)
             else:
                 pending.append(unit)
         if len(parts):
@@ -477,6 +567,13 @@ class Session:
                     source: str) -> bool:
             """Persist one finished chunk; True to keep going."""
             nonlocal executed
+            frontier.record(unit, result)
+            if frontier.skippable(unit):
+                # Speculative chunk past the cell's stop boundary
+                # (finished in flight while the frontier settled):
+                # discard so the committed result is jobs-invariant.
+                self.metrics.inc("session.chunks.skipped")
+                return budget is None or executed < budget
             parts[unit] = result
             self._persist(unit, digests[unit.cell_index], result)
             self._emit("chunk", cell=digests[unit.cell_index],
@@ -493,13 +590,20 @@ class Session:
                        detail=f"SIGINT after {executed} chunk(s)")
             raise SessionInterrupted(len(parts), len(units),
                                      reason="interrupted") from None
-        if len(parts) < len(units):
+        required = frontier.required(units)
+        done = sum(1 for unit in required if unit in parts)
+        if done < len(required):
             self._emit("interrupted",
                        detail=f"chunk budget ({budget}) reached")
-            raise SessionInterrupted(len(parts), len(units),
+            raise SessionInterrupted(done, len(required),
                                      reason="stopped (chunk budget)")
+        skipped = len(units) - len(required)
+        if skipped:
+            self._emit("early_stop",
+                       detail=f"{skipped} chunk(s) under target margin "
+                              f"{self.spec.target_margin:g}")
 
-        result = self._merge(cells, digests, parts, units)
+        result = self._merge(cells, digests, parts, required)
         self.metrics.observe(
             "session.wall_ms", (time.perf_counter() - wall_begin) * 1e3
         )
@@ -561,10 +665,14 @@ class Session:
             merged = CampaignResult.merge(
                 [parts[u] for u in cell_units]
             )
-            if merged.n_runs != cell.runs:
+            # Early-stopped cells legitimately commit fewer runs than
+            # planned; the committed count must still match the
+            # required units exactly.
+            expected = sum(u.stop - u.start for u in cell_units)
+            if merged.n_runs != expected:
                 raise SessionError(
                     f"cell {cell.key}: merged {merged.n_runs} run(s), "
-                    f"planned {cell.runs}"
+                    f"planned {expected}"
                 )
             sweep.entries.append(SweepEntry(
                 cell=cell, digest=digests[cell_index], result=merged,
@@ -589,6 +697,9 @@ class Session:
 
     def _execute_serial(self, pending, campaigns, on_done) -> None:
         for unit in pending:
+            if self._frontier.skippable(unit):
+                self.metrics.inc("session.chunks.skipped")
+                continue
             result = self._attempt_serial(unit, campaigns)
             if not on_done(unit, result, "serial"):
                 return
@@ -652,6 +763,9 @@ class Session:
             while queue or inflight:
                 while queue and len(inflight) < self.config.jobs:
                     unit = queue.popleft()
+                    if self._frontier.skippable(unit):
+                        self.metrics.inc("session.chunks.skipped")
+                        continue
                     try:
                         fut = pool.submit(
                             _run_session_span,

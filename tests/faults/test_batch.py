@@ -127,3 +127,47 @@ class TestMergedInjection:
             n_merged = apply_faults_merged(merged_mem, masks)
             assert n_serial == n_merged
             assert serial_mem._overlays == merged_mem._overlays
+
+
+class TestEquivalencePruning:
+    """Outcome-equivalence pruning: lanes classified MASKED from the
+    golden timeline alone, without execution — and without perturbing
+    the scalar-identical results contract checked above."""
+
+    def test_agrees_prunes_fire_and_results_stay_identical(self):
+        serial = make_campaign("P-ATAX", "detection", ("A", "x"),
+                               runs=96).run()
+        batched = make_campaign("P-ATAX", "detection", ("A", "x"),
+                                runs=96, batch=32)
+        result = batched.run()
+        assert records_jsonl(result) == records_jsonl(serial)
+        counters = result.metrics_snapshot["counters"]
+        assert counters.get("campaign.batch.pruned.agrees", 0) > 0
+        assert counters["campaign.batch.analytic_lanes"] \
+            + counters["campaign.batch.exec_lanes"] == 96
+
+    def test_writable_verdict_classes(self):
+        campaign = make_campaign("P-BICG", "detection", ("A",))
+        engine = BatchEngine(campaign)
+        engine._prepare()
+        timeline = engine._timeline
+        # dead: a name on no read path at all
+        assert engine._writable_verdict("__not_read__", {0: (1, 0)}) \
+            == "dead"
+        # agrees / must-exec against a real snapshotted object
+        name = next(n for n in timeline.read_values
+                    if timeline.read_values[n])
+        snap = timeline.read_values[name][0]
+        raw = snap[0]
+        agreeing = ((raw & 1), (~raw) & 1)  # or/and masks matching bit 0
+        assert engine._writable_verdict(name, {0: agreeing}) == "agrees"
+        flipping = (((~raw) & 1), (raw & 1))  # stuck opposite to bit 0
+        assert engine._writable_verdict(name, {0: flipping}) is None
+
+    def test_unsnapshotted_read_paths_force_execution(self):
+        campaign = make_campaign("P-BICG", "detection", ("A",))
+        engine = BatchEngine(campaign)
+        engine._prepare()
+        name = next(iter(engine._timeline.read_values))
+        engine._timeline.read_values[name] = []
+        assert engine._writable_verdict(name, {0: (0, 0)}) is None

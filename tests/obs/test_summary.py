@@ -81,3 +81,19 @@ class TestRender:
         assert summary.n_records == 0
         assert summary.groups == []
         assert "0 run record(s)" in summary.render()
+
+
+class TestZeroRunGroups:
+    def test_zero_run_group_reports_vacuous_interval(self):
+        from repro.obs.summary import GroupSummary
+        from repro.utils.stats import zero_run_interval
+
+        group = GroupSummary(app="P-BICG", scheme="baseline",
+                             selection="uniform", n_blocks=1, n_bits=2)
+        assert group.runs == 0
+        assert group.sdc_rate == 0.0
+        interval = group.sdc_interval()
+        assert interval == zero_run_interval()
+        assert (interval.low, interval.high) == (0.0, 1.0)
+        # and it renders without dividing by zero
+        assert "[0.0000, 1.0000]" in str(interval)

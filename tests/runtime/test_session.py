@@ -222,3 +222,56 @@ class TestRetries:
                           config=SessionConfig(max_retries=1))
         with pytest.raises(SessionError, match="2 attempt"):
             session.run()
+
+
+class TestAdaptiveSweeps:
+    """CI-driven early stopping at durable-chunk granularity."""
+
+    def adaptive_spec(self, **overrides):
+        return small_spec(runs=96, chunk_runs=16, target_margin=0.2,
+                          **overrides)
+
+    def test_target_margin_validation(self):
+        with pytest.raises(SpecError, match="target_margin"):
+            small_spec(target_margin=0.0)
+        with pytest.raises(SpecError, match="target_margin"):
+            small_spec(target_margin=1.5)
+
+    def test_identity_gains_key_only_when_enabled(self):
+        plain = small_spec()
+        assert "target_margin" not in plain.to_dict()
+        adaptive = self.adaptive_spec()
+        assert adaptive.to_dict()["target_margin"] == 0.2
+        clone = SweepSpec.from_dict(adaptive.to_dict())
+        assert clone.digest() == adaptive.digest()
+        assert clone.digest() != plain.digest()
+
+    def test_early_stop_commits_a_prefix(self):
+        session = Session(self.adaptive_spec())
+        sweep = session.run()
+        result = sweep.entries[0].result
+        assert result.n_runs < 96
+        assert result.n_runs % 16 == 0  # stops at a chunk boundary
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["session.chunks.skipped"] > 0
+        # the committed prefix already satisfies the margin
+        assert result.sdc_interval().margin <= 0.2
+
+    def test_committed_result_is_jobs_invariant(self):
+        serial = Session(self.adaptive_spec()).run()
+        pooled = Session(self.adaptive_spec(),
+                         config=SessionConfig(jobs=2)).run()
+        assert canonical_json(pooled.to_dict()) \
+            == canonical_json(serial.to_dict())
+
+    def test_interrupt_and_resume_reach_the_same_stop(self, tmp_path):
+        reference = Session(self.adaptive_spec()).run()
+        store = tmp_path / "ckpt"
+        session = Session(self.adaptive_spec(), store=store,
+                          config=SessionConfig(stop_after_chunks=1))
+        with pytest.raises(SessionInterrupted):
+            session.run()
+        resumed = Session(self.adaptive_spec(), store=store).run(
+            resume=True)
+        assert canonical_json(resumed.to_dict()) \
+            == canonical_json(reference.to_dict())

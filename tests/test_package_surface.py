@@ -64,6 +64,15 @@ API_SURFACE = [
     "CampaignExecutor",
     "Outcome",
     "RunResult",
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "StopDecision",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "runs_for_margin",
+    "stratified_interval",
+    "StratifiedSelection",
+    "stratify_by_object",
     "SweepSpec",
     "CellSpec",
     "Session",
@@ -77,6 +86,8 @@ API_SURFACE = [
     "RunRecord",
     "TelemetryWriter",
     "read_records",
+    "write_decisions",
+    "read_decisions",
     "SessionLog",
     "read_session_events",
     "ReproError",

@@ -183,3 +183,111 @@ def test_trace_overhead(benchmark):
     simulate_app(app, trace=trace, memory=memory, scheme_name=_SCHEME,
                  protected_names=_PROTECT, tracer=probe)
     assert probe.emitted > 0 and probe.samples
+
+
+#: Provenance-enabled campaign slowdown bar over telemetry-only.
+MAX_PROVENANCE_RATIO = 1.15
+PROV_RUNS = int(os.environ.get("REPRO_BENCH_PROV_RUNS", "600"))
+PROV_SAMPLES = int(os.environ.get("REPRO_BENCH_PROV_SAMPLES", "7"))
+
+
+def _campaign_batch(app, provenance: bool) -> float:
+    """Seconds for one fresh batched campaign (telemetry always on)."""
+    from repro.faults.campaign import Campaign, CampaignConfig
+    from repro.faults.selection import uniform_selection
+
+    memory = app.fresh_memory()
+    pool = [a for o in memory.objects for a in o.block_addrs()]
+    campaign = Campaign(
+        app,
+        uniform_selection(pool),
+        scheme=_SCHEME,
+        protect=_PROTECT,
+        config=CampaignConfig(runs=PROV_RUNS, n_blocks=2, n_bits=2,
+                              seed=SEED),
+        collect_records=True,
+        collect_provenance=provenance,
+        batch=16,
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - start
+    assert len(result.records) == PROV_RUNS
+    assert len(result.provenance) == (PROV_RUNS if provenance else 0)
+    return elapsed
+
+
+def test_provenance_overhead(benchmark):
+    """Provenance derivation rides the golden evidence the batched
+    classifier already holds, so a provenance-enabled campaign must
+    stay within ``MAX_PROVENANCE_RATIO`` of the telemetry-only arm
+    (paired design, median of per-pair ratios)."""
+    app = create_app(_APP, scale=_SCALE, seed=SEED)
+
+    def compute():
+        _campaign_batch(app, provenance=False)   # warm-up (app cache)
+        _campaign_batch(app, provenance=True)
+        pairs = []
+        for i in range(PROV_SAMPLES):
+            order = (False, True) if i % 2 == 0 else (True, False)
+            sample = {}
+            for provenance in order:
+                gc.collect()
+                sample[provenance] = _campaign_batch(app, provenance)
+            pairs.append((sample[False], sample[True]))
+        return pairs
+
+    pairs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    pair_ratios = sorted(prov / base for base, prov in pairs)
+    # Two estimators, same rationale as ``disabled_ratio`` above: the
+    # paired median cancels slow drift, the ratio of per-arm minima
+    # approaches the no-contention cost; a genuine regression inflates
+    # both, so taking the smaller rejects one-sided sampling noise.
+    min_ratio = min(prov for _, prov in pairs) \
+        / min(base for base, _ in pairs)
+    ratio = min(statistics.median(pair_ratios), min_ratio)
+
+    report = {}
+    out = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+    if out.exists():
+        report = json.loads(out.read_text())
+    report["provenance"] = {
+        "app": _APP,
+        "scheme": _SCHEME,
+        "runs": PROV_RUNS,
+        "batch": 16,
+        "samples": PROV_SAMPLES,
+        "pair_ratios": [round(r, 4) for r in pair_ratios],
+        "min_ratio": round(min_ratio, 4),
+        "provenance_over_telemetry": round(ratio, 4),
+        "max_provenance_ratio": MAX_PROVENANCE_RATIO,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    banner(f"Provenance overhead ({_APP} {_SCHEME}, {PROV_RUNS} runs, "
+           f"{PROV_SAMPLES} samples)")
+    print(f"provenance/telemetry-only median pair ratio: {ratio:.3f} "
+          f"(bar: {MAX_PROVENANCE_RATIO}x)\nwrote {out}")
+
+    assert ratio <= MAX_PROVENANCE_RATIO, (
+        f"provenance-enabled campaign is {ratio:.3f}x the "
+        f"telemetry-only arm (bar: {MAX_PROVENANCE_RATIO}x)"
+    )
+    # Structural zero-cost check: with collection off, the golden
+    # evidence base is never even built.
+    from repro.faults.campaign import Campaign, CampaignConfig
+    from repro.faults.selection import uniform_selection
+
+    memory = app.fresh_memory()
+    pool = [a for o in memory.objects for a in o.block_addrs()]
+    scalar = Campaign(
+        app, uniform_selection(pool), scheme=_SCHEME,
+        protect=_PROTECT,
+        config=CampaignConfig(runs=4, n_blocks=1, n_bits=2, seed=SEED),
+    )
+    result = scalar.run()
+    assert scalar._evidence is None, (
+        "telemetry-only scalar campaign built the golden evidence "
+        "base — provenance is supposed to be pay-for-use"
+    )
+    assert result.provenance == []

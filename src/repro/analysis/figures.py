@@ -298,3 +298,64 @@ def table3_rows(
 ) -> list[Table3Row]:
     """Table III rows for the given applications."""
     return [m.table3() for m in managers]
+
+
+# ----------------------------------------------------------------------
+# Per-object vulnerability heatmap (provenance attribution)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VulnerabilityHeatmap:
+    """Objects x provenance causes for one (app, scheme) cell.
+
+    ``matrix[i][j]`` is the fraction of runs attributed to
+    ``objects[i]`` whose cause was ``causes[j]`` (rows sum to 1 for
+    any object with runs); ``sdc_rates[i]`` is the object's SDC
+    attribution rate — together the data behind a DVF-style "which
+    object is how vulnerable, and why" heatmap.
+    """
+
+    app_name: str
+    scheme_name: str
+    objects: tuple[str, ...]
+    regions: tuple[str, ...]
+    causes: tuple[str, ...]
+    matrix: tuple[tuple[float, ...], ...]
+    sdc_rates: tuple[float, ...]
+    runs: tuple[int, ...]
+
+
+def vulnerability_heatmap(profiles) -> list[VulnerabilityHeatmap]:
+    """One heatmap per (app, scheme) from vulnerability profiles.
+
+    ``profiles`` are the output of
+    :func:`repro.obs.provenance.vulnerability_profiles` (already
+    sorted by app/scheme/object), so the heatmaps — like everything
+    derived from provenance streams — are deterministic for a given
+    campaign.
+    """
+    from repro.obs.provenance import PROVENANCE_CAUSES
+
+    cells: dict[tuple[str, str], list] = {}
+    for profile in profiles:
+        cells.setdefault((profile.app, profile.scheme), []) \
+            .append(profile)
+    heatmaps = []
+    for (app, scheme), group in sorted(cells.items()):
+        matrix = []
+        for p in group:
+            total = max(p.runs, 1)
+            matrix.append(tuple(
+                p.cause_counts.get(cause, 0) / total
+                for cause in PROVENANCE_CAUSES
+            ))
+        heatmaps.append(VulnerabilityHeatmap(
+            app_name=app,
+            scheme_name=scheme,
+            objects=tuple(p.object for p in group),
+            regions=tuple(p.region for p in group),
+            causes=PROVENANCE_CAUSES,
+            matrix=tuple(matrix),
+            sdc_rates=tuple(p.sdc_rate for p in group),
+            runs=tuple(p.runs for p in group),
+        ))
+    return heatmaps

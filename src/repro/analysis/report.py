@@ -79,3 +79,47 @@ def performance_table(
             ]
         )
     return table
+
+
+def vulnerability_table(profiles: Sequence) -> TextTable:
+    """One row per (app, scheme, object) vulnerability profile.
+
+    ``profiles`` come from
+    :func:`repro.obs.provenance.vulnerability_profiles`; this is the
+    text body of ``repro vuln``.  ``top cause`` is the object's most
+    frequent provenance cause (ties break alphabetically, so the
+    rendering is deterministic).
+    """
+    table = TextTable(
+        [
+            "app", "scheme", "object", "region", "liveness", "runs",
+            "sdc", "sdc%", "±", "due", "masked", "reads@risk",
+            "top cause",
+        ],
+        float_format="{:.2f}",
+    )
+    for p in profiles:
+        interval = p.sdc_interval()
+        top_cause = ""
+        if p.cause_counts:
+            top_cause = min(
+                p.cause_counts, key=lambda c: (-p.cause_counts[c], c)
+            )
+        table.add_row(
+            [
+                p.app,
+                p.scheme,
+                p.object,
+                p.region,
+                p.liveness,
+                p.runs,
+                p.sdc_count,
+                100.0 * p.sdc_rate,
+                100.0 * interval.margin,
+                p.due_count,
+                p.outcome_counts["masked"],
+                p.reads_at_risk,
+                top_cause,
+            ]
+        )
+    return table

@@ -42,6 +42,7 @@ from repro.errors import (
     ConfigError,
     FaultDetected,
     KernelCrash,
+    MetricsError,
     ReproError,
     SessionError,
     SessionInterrupted,
@@ -69,6 +70,13 @@ from repro.kernels.registry import (
     resilience_apps,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    ProvenanceRecord,
+    ProvenanceWriter,
+    VulnerabilityProfile,
+    read_provenance,
+    vulnerability_profiles,
+)
 from repro.obs.records import (
     RunRecord,
     TelemetryWriter,
@@ -142,6 +150,12 @@ __all__ = [
     "read_decisions",
     "SessionLog",
     "read_session_events",
+    # provenance and vulnerability attribution
+    "ProvenanceRecord",
+    "ProvenanceWriter",
+    "read_provenance",
+    "VulnerabilityProfile",
+    "vulnerability_profiles",
     # errors
     "ReproError",
     "ConfigError",
@@ -152,6 +166,7 @@ __all__ = [
     "SessionError",
     "SessionInterrupted",
     "TelemetryError",
+    "MetricsError",
     "FaultDetected",
     "KernelCrash",
     # metadata

@@ -17,14 +17,23 @@ Commands mirror the paper's workflow:
 * ``export``   — write every exhibit's data for one application to
   CSV files (re-plottable with any tool).
 * ``stats``    — validate and summarize a telemetry JSONL file.
+* ``vuln``     — per-object vulnerability attribution from a
+  fault-provenance JSONL file (DVF-style profiles).
 * ``apps``     — list the available applications.
 
 ``campaign`` and ``tradeoff`` accept ``--telemetry PATH`` to stream
 one per-run :class:`~repro.obs.records.RunRecord` JSON line per
 fault-injection run; the file is byte-identical for any ``--jobs``
-setting and is what ``repro stats`` consumes.  ``campaign`` and
-``perf`` accept ``--trace PATH`` to additionally capture the golden
-(fault-free) timing run as a trace file.
+setting and is what ``repro stats`` consumes.  ``campaign`` also
+accepts ``--provenance PATH`` to stream one
+:class:`~repro.obs.provenance.ProvenanceRecord` JSON line per run
+(fault site, propagation story, masking/detection cause) — the input
+of ``repro vuln`` — with the same byte-identity guarantee at any
+``--jobs``/``--batch``.  ``campaign`` and ``perf`` accept
+``--trace PATH`` to additionally capture the golden (fault-free)
+timing run as a trace file; for ``campaign`` the export also carries
+the campaign-lifecycle track (campaign/chunk spans, per-run outcome
+instants, adaptive stop decisions).
 
 ``campaign`` and ``sweep`` accept ``--target-margin M`` for adaptive
 statistical campaigns: runs commit in fixed chunks and stop at the
@@ -120,12 +129,15 @@ def _write_golden_trace(
     protect: int | str,
     path: str,
     args,
+    extra_events: list[dict] | None = None,
 ) -> None:
     """Capture the golden (fault-free) timing run as a trace file.
 
     The trace is recorded parent-side as one single-threaded timing
     simulation, so the output is byte-identical for any ``--jobs``
     setting — the campaign workers never touch the trace session.
+    ``extra_events`` (e.g. campaign-lifecycle spans) are appended to
+    the export on their own Perfetto track.
     """
     from repro.obs.perfetto import write_chrome_trace
     from repro.obs.trace import TraceConfig, TraceSession
@@ -138,7 +150,8 @@ def _write_golden_trace(
               scheme, protect)
     manager.simulate_performance(scheme, protect, tracer=tracer)
     n = write_chrome_trace(
-        tracer, path, label=f"{manager.app.name} {scheme} golden run")
+        tracer, path, label=f"{manager.app.name} {scheme} golden run",
+        extra_events=extra_events)
     log.info(f"wrote {n} trace event(s) to {path}")
 
 
@@ -157,6 +170,7 @@ def _cmd_campaign(args) -> int:
         n_bits=args.bits,
         selection=args.selection,
         collect_records=args.telemetry is not None,
+        collect_provenance=args.provenance is not None,
         batch=args.batch,
         max_batch_bytes=args.max_batch_bytes,
     )
@@ -183,9 +197,23 @@ def _cmd_campaign(args) -> int:
         with TelemetryWriter(args.telemetry) as writer:
             n = writer.write_result(result)
         log.info(f"wrote {n} run record(s) to {args.telemetry}")
+    if args.provenance is not None:
+        from repro.obs.provenance import ProvenanceWriter
+
+        with ProvenanceWriter(args.provenance) as writer:
+            n = writer.write_result(result)
+        log.info(f"wrote {n} provenance record(s) to "
+                 f"{args.provenance}")
     if args.trace is not None:
+        from repro.obs.perfetto import campaign_lifecycle_events
+
+        lifecycle = campaign_lifecycle_events(
+            result,
+            decisions=adaptive.decisions if adaptive is not None
+            else None,
+        )
         _write_golden_trace(manager, args.scheme, protect,
-                            args.trace, args)
+                            args.trace, args, extra_events=lifecycle)
     return 0
 
 
@@ -385,7 +413,59 @@ def _cmd_stats(args) -> int:
     except ReproError as exc:
         log.error(f"stats: {exc}")
         return 2
-    log.result(summary.render())
+    if args.json:
+        from repro.utils.canonical import canonical_json
+
+        log.result(canonical_json(summary.to_dict()))
+    else:
+        log.result(summary.render())
+    return 0
+
+
+def _cmd_vuln(args) -> int:
+    from repro.analysis.report import vulnerability_table
+    from repro.errors import ReproError
+    from repro.obs.provenance import (
+        read_provenance,
+        top_sdc_objects,
+        vulnerability_profiles,
+    )
+
+    try:
+        records = read_provenance(args.file)
+    except FileNotFoundError:
+        log.error(f"vuln: provenance file not found: {args.file}")
+        return 2
+    except IsADirectoryError:
+        log.error(f"vuln: {args.file} is a directory, not a "
+                  "provenance file")
+        return 2
+    except ReproError as exc:
+        log.error(f"vuln: {exc}")
+        return 2
+    profiles = vulnerability_profiles(records)
+    if args.top is not None:
+        profiles = top_sdc_objects(profiles, args.top)
+    if args.json:
+        from repro.utils.canonical import canonical_json
+
+        log.result(canonical_json(
+            [profile.to_dict() for profile in profiles]))
+        return 0
+    log.result(f"{args.file}: {len(records)} provenance record(s), "
+               f"{len(profiles)} object profile(s)")
+    log.result(vulnerability_table(profiles).render())
+    ranked = top_sdc_objects(profiles)
+    worst = [p for p in ranked if p.sdc_count > 0][:3]
+    if worst:
+        log.result(
+            "most vulnerable: "
+            + ", ".join(
+                f"{p.app}/{p.scheme}:{p.object} "
+                f"({p.sdc_count} SDC, {100 * p.sdc_rate:.1f}%)"
+                for p in worst
+            )
+        )
     return 0
 
 
@@ -479,6 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", metavar="PATH", default=None,
                    help="write one JSONL run record per fault-injection"
                         " run to PATH")
+    p.add_argument("--provenance", metavar="PATH", default=None,
+                   help="write one JSONL fault-provenance record per "
+                        "run to PATH (byte-identical at any "
+                        "--jobs/--batch); feed it to `repro vuln`")
     _add_trace_capture(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -599,7 +683,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="summarize a telemetry JSONL file")
     p.add_argument("file", help="telemetry JSONL written by "
                                 "--telemetry")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as canonical JSON instead "
+                        "of the text table")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "vuln",
+        help="per-object vulnerability profiles from a provenance "
+             "file")
+    p.add_argument("file", help="provenance JSONL written by "
+                                "campaign --provenance")
+    p.add_argument("--json", action="store_true",
+                   help="emit the profiles as canonical JSON instead "
+                        "of the text table")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="keep only the N objects with the most SDC "
+                        "attributions")
+    p.set_defaults(func=_cmd_vuln)
 
     p = sub.add_parser("export", help="write exhibit data to CSV")
     _add_common(p)

@@ -179,6 +179,7 @@ class ReliabilityManager:
         keep_runs: bool = False,
         jobs: int | None = None,
         collect_records: bool = False,
+        collect_provenance: bool = False,
         metrics=None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
@@ -188,7 +189,10 @@ class ReliabilityManager:
 
         ``jobs`` (worker processes for the campaign) defaults to the
         manager's own ``jobs`` setting.  ``collect_records=True`` fills
-        the result's per-run telemetry records; ``metrics`` names the
+        the result's per-run telemetry records;
+        ``collect_provenance=True`` its per-run
+        :class:`~repro.obs.provenance.ProvenanceRecord` stream;
+        ``metrics`` names the
         :class:`~repro.obs.metrics.MetricsRegistry` observability
         accumulates into.  ``batch`` propagates that many runs per
         vectorized sweep (results are identical to ``batch=1``);
@@ -199,8 +203,8 @@ class ReliabilityManager:
         """
         campaign = self._evaluation_campaign(
             scheme, protect, runs, n_blocks, n_bits, selection, seed,
-            keep_runs, jobs, collect_records, metrics, batch,
-            max_batch_bytes, target_margin,
+            keep_runs, jobs, collect_records, collect_provenance,
+            metrics, batch, max_batch_bytes, target_margin,
         )
         return campaign.run()
 
@@ -217,6 +221,7 @@ class ReliabilityManager:
         keep_runs: bool = False,
         jobs: int | None = None,
         collect_records: bool = False,
+        collect_provenance: bool = False,
         metrics=None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
@@ -230,15 +235,15 @@ class ReliabilityManager:
         """
         campaign = self._evaluation_campaign(
             scheme, protect, runs, n_blocks, n_bits, selection, seed,
-            keep_runs, jobs, collect_records, metrics, batch,
-            max_batch_bytes, target_margin,
+            keep_runs, jobs, collect_records, collect_provenance,
+            metrics, batch, max_batch_bytes, target_margin,
         )
         return campaign.run_adaptive()
 
     def _evaluation_campaign(
         self, scheme, protect, runs, n_blocks, n_bits, selection,
-        seed, keep_runs, jobs, collect_records, metrics, batch,
-        max_batch_bytes, target_margin,
+        seed, keep_runs, jobs, collect_records, collect_provenance,
+        metrics, batch, max_batch_bytes, target_margin,
     ) -> Campaign:
         names = self.protected_names(protect)
         return Campaign(
@@ -252,6 +257,7 @@ class ReliabilityManager:
             keep_runs=keep_runs,
             jobs=self.jobs if jobs is None else jobs,
             collect_records=collect_records,
+            collect_provenance=collect_provenance,
             metrics=metrics,
             batch=batch,
             max_batch_bytes=max_batch_bytes,

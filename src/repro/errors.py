@@ -97,6 +97,15 @@ class TraceError(ReproError):
     """A kernel trace is malformed or inconsistent."""
 
 
+class MetricsError(ReproError):
+    """Metric snapshots from incompatible registries cannot merge.
+
+    Raised when a worker ships home a histogram snapshot whose bucket
+    bounds differ from the parent registry's — folding the counts
+    together would silently mix incomparable buckets.
+    """
+
+
 class FaultDetected(ReproError):
     """Raised by the detection-only scheme when replica copies mismatch.
 

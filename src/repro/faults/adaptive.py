@@ -12,8 +12,8 @@ prefix — never over whatever happens to have finished first.  Workers
 may speculate chunks beyond the eventual stop point (the wave-based
 parallel driver does exactly that), but speculative results past the
 stop boundary are discarded, so the committed result — tallies, kept
-runs, telemetry records, stop decisions — is byte-identical at any
-``--jobs``/``--batch``.
+runs, telemetry records, provenance records, stop decisions — is
+byte-identical at any ``--jobs``/``--batch``.
 
 Because every run is derived solely from ``(campaign seed, run
 index)``, an adaptive campaign's committed prefix is literally the

@@ -47,6 +47,13 @@ module batches a span of run indices and splits the lanes analytically:
   ``(N, ...)`` NumPy sweeps (scalar fallback otherwise), and are
   classified exactly like :meth:`Campaign._classify`.
 
+The fault-free evidence base (golden timeline, prefix read counts,
+clean counters, layout caches) and the analytic classifier itself live
+in :class:`repro.obs.provenance.GoldenEvidence`, shared with the
+scalar path's provenance derivation — both strategies reason from the
+same captured state, which is what makes telemetry *and* provenance
+streams byte-identical across ``--batch`` settings.
+
 The engine requires ``clone_mode="cow"`` and no SECDED filtering; the
 campaign falls back to the scalar loop otherwise.
 """
@@ -57,14 +64,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arch.address_space import BLOCK_BYTES, DataObject
 from repro.core.schemes import make_scheme
 from repro.errors import FaultDetected, KernelCrash
 from repro.faults.injector import apply_faults_merged, merge_fault_masks
 from repro.faults.model import FaultSpec, sample_word_fault
 from repro.faults.outcomes import Outcome, RunResult
 from repro.obs.records import RunRecord
-from repro.obs.trace import GoldenTimeline
 from repro.utils import fastseed
 from repro.utils.rng import RngStream, derive_seed
 
@@ -107,86 +112,28 @@ class BatchEngine:
 
     def __init__(self, campaign):
         self.campaign = campaign
-        self._prepared = False
         #: Whether the vectorized seed/generator emulation is trusted
         #: in this process (one-time self check + per-batch cross-check).
         self._fast = fastseed.self_check()
         self._parent = _FastStream()
         self._child = _FastStream()
-        #: Fault-block address -> owning object (shared layout).
-        self._block_objects: dict[int, DataObject] = {}
-        #: Byte address -> fault-free byte value in the base image.
-        self._base_bytes: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # One-time preparation: the fault-free reference execution
     # ------------------------------------------------------------------
-    def _prepare(self) -> None:
-        if self._prepared:
-            return
-        self._prepared = True
-        c = self.campaign
-        memory = c._run_memory()
-        self._base_memory = c._base_memory
-        protected = [memory.object(n) for n in c.protected_names]
-        scheme = make_scheme(c.scheme_name, memory, protected)
-        self._protected = scheme.protected_names
-        self._kind = scheme.scheme_name
-        # Record every data consumption path via the golden timeline:
-        # scheme reads (protected or not) AND direct
-        # ``memory.read_object`` calls from kernel code ("raw" — they
-        # bypass the scheme entirely, so divergence they observe can
-        # neither be detected nor corrected), plus write events and
-        # read-time content snapshots of writable objects for the
-        # outcome-equivalence pruning below.
-        self._timeline, output = GoldenTimeline.capture(
-            c.app, memory, scheme)
-        reads = self._timeline.reads()
-        self._reads = reads
-        self._clean_counters = dict(vars(scheme.stats))
-        self._zero_counters = {k: 0 for k in self._clean_counters}
-        # Prefix read counts and first-read positions drive the
-        # DETECTED stats reconstruction; per-object protected read
-        # counts drive the CORRECTED vote tallies; first *unchecked*
-        # (unprotected or raw) positions decide when divergent data
-        # escapes the scheme.
-        self._prot_prefix: list[int] = []
-        self._unprot_prefix: list[int] = []
-        self._first_prot_read: dict[str, int] = {}
-        self._first_read: dict[str, int] = {}
-        self._first_unchecked: dict[str, int] = {}
-        self._prot_read_count: dict[str, int] = {}
-        n_prot = n_unprot = 0
-        for i, (name, kind) in enumerate(reads):
-            if kind == "prot":
-                n_prot += 1
-                self._first_prot_read.setdefault(name, i)
-                self._prot_read_count[name] = \
-                    self._prot_read_count.get(name, 0) + 1
-            else:
-                if kind == "unprot":
-                    n_unprot += 1
-                self._first_unchecked.setdefault(name, i)
-            self._first_read.setdefault(name, i)
-            self._prot_prefix.append(n_prot)
-            self._unprot_prefix.append(n_unprot)
-        # The analytic shortcuts are sound only if the fault-free
-        # reference behaves exactly like the golden run; anything else
-        # (a nondeterministic app, a scheme that corrects spuriously)
-        # routes every lane through real execution instead.
-        metric = None
-        clean_ok = (
-            isinstance(output, np.ndarray)
-            and output.shape == c._golden.shape
-            and output.dtype == c._golden.dtype
-            and output.tobytes() == c._golden.tobytes()
-            and scheme.stats.corrected_reads == 0
-        )
-        if clean_ok:
-            metric = c.app.error_metric.compare(c._golden, output)
-            clean_ok = not metric.is_sdc
-        self._analytic = clean_ok
-        self._clean_metric = metric
+    def _prepare(self):
+        """The campaign's shared :class:`GoldenEvidence` base."""
+        return self.campaign._golden_evidence()
+
+    @property
+    def _timeline(self):
+        """The golden read/write timeline of the evidence base."""
+        return self._prepare().timeline
+
+    def _writable_verdict(self, name, byte_masks):
+        """Equivalence-class verdict for a writable-object overlay
+        (delegates to the shared evidence base)."""
+        return self._prepare().writable_verdict(name, byte_masks)
 
     # ------------------------------------------------------------------
     # Lane planning (vectorized seeds, reused generators)
@@ -252,184 +199,6 @@ class BatchEngine:
         return [self._plan_reference(i) for i in range(start, stop)]
 
     # ------------------------------------------------------------------
-    # Per-lane divergence analysis
-    # ------------------------------------------------------------------
-    def _object_for_block(self, block_addr: int) -> DataObject:
-        obj = self._block_objects.get(block_addr)
-        if obj is None:
-            obj = self.campaign._pristine.object_at(block_addr)
-            self._block_objects[block_addr] = obj
-        return obj
-
-    def _base_byte(self, byte_addr: int) -> int:
-        value = self._base_bytes.get(byte_addr)
-        if value is None:
-            value = self._base_memory.read_byte(byte_addr)
-            self._base_bytes[byte_addr] = value
-        return value
-
-    def _analyze(
-        self, lane: _Lane
-    ) -> tuple[dict[str, list[int]], bool, list[str]]:
-        """Visible divergence of one lane's merged overlays.
-
-        Returns ``(divergent, must_exec, prunes)``: per read-only
-        object, the sorted offsets whose faulted read differs from the
-        clean byte; whether some writable-object overlay disagrees
-        with the golden timeline's read-time snapshots (so the lane
-        must execute for real); and the equivalence-class prune tags
-        earned by writable faults proven invisible (``dead`` — the
-        object is never read at all; ``agrees`` — the stuck bits match
-        the object's content at every consumption point, overwritten
-        windows included).
-        """
-        masks = merge_fault_masks(lane.faults)
-        divergent: dict[str, list[int]] = {}
-        writable: dict[str, dict[int, tuple[int, int]]] = {}
-        for byte_addr in sorted(masks):
-            or_mask, and_mask = masks[byte_addr]
-            # Word faults never straddle the 128B block, so the byte's
-            # block is its fault's block — the memoized lookup applies.
-            obj = self._object_for_block(
-                byte_addr - byte_addr % BLOCK_BYTES
-            )
-            offset = byte_addr - obj.base_addr
-            if offset >= obj.nbytes:
-                continue  # block padding: invisible to every read
-            if not obj.read_only:
-                writable.setdefault(obj.name, {})[offset] = \
-                    (or_mask, and_mask)
-                continue
-            raw = self._base_byte(byte_addr)
-            if ((raw | or_mask) & ~and_mask & 0xFF) != raw:
-                divergent.setdefault(obj.name, []).append(offset)
-        must_exec = False
-        prunes: list[str] = []
-        for name, byte_masks in writable.items():
-            tag = self._writable_verdict(name, byte_masks)
-            if tag is None:
-                must_exec = True
-            else:
-                prunes.append(tag)
-        return divergent, must_exec, prunes
-
-    def _writable_verdict(
-        self, name: str, byte_masks: dict[int, tuple[int, int]]
-    ) -> str | None:
-        """Prune tag for a writable object's faults, ``None`` to run.
-
-        ``dead``: the object is on no read path at all (scheme-internal
-        reads included), so its content can never influence execution.
-        ``agrees``: the stuck bits are a no-op against the object's
-        raw content at every golden-run read — by the clean-prefix
-        induction (writes store raw values, overlays re-apply on read)
-        the faulted execution is then bitwise identical to the clean
-        one.  Any snapshot mismatch — or a read path the timeline
-        could not snapshot — means only real execution can tell.
-        """
-        timeline = self._timeline
-        if name not in timeline.ever_read:
-            return "dead"
-        snapshots = timeline.read_values.get(name)
-        if not snapshots:
-            return None  # read somewhere we could not snapshot
-        for offset, (or_mask, and_mask) in byte_masks.items():
-            for snap in snapshots:
-                raw = snap[offset]
-                if ((raw | or_mask) & ~and_mask & 0xFF) != raw:
-                    return None
-        return "agrees"
-
-    # ------------------------------------------------------------------
-    # Analytic classification
-    # ------------------------------------------------------------------
-    def _classify_analytic(self, lane: _Lane):
-        """Classify without executing; ``None`` if the lane must run.
-
-        Returns ``(RunResult, counters_dict, prune_tags)`` for lanes
-        whose outcome is fully determined by the clean read trace and
-        the golden timeline.
-        """
-        divergent, must_exec, prunes = self._analyze(lane)
-        if must_exec:
-            # A writable-object fault that disagrees with some read-
-            # time snapshot bites data written *during* the run; only
-            # real execution can tell its visibility.
-            return None
-        visible: dict[str, list[int]] = {}
-        for name, offsets in divergent.items():
-            if name in self._first_read:
-                visible[name] = offsets
-            elif name in self._timeline.ever_read:
-                # Consumed only by scheme-internal reads — a path the
-                # positional trace cannot reason about, so execute.
-                return None
-            else:
-                # Provably on no read path at all: the divergence is
-                # invisible, the lane is bitwise clean.
-                prunes.append("unread")
-        divergent = visible
-        prot_read = {
-            name: offsets for name, offsets in divergent.items()
-            if name in self._protected and name in self._first_prot_read
-        }
-        # Positions where some divergent object's data first escapes
-        # the scheme (read unprotected, or read raw past the scheme).
-        unchecked = [
-            self._first_unchecked[name] for name in divergent
-            if name in self._first_unchecked
-        ]
-        if self._kind == "detection" and prot_read:
-            i_star, det_name = min(
-                (self._first_prot_read[name], name) for name in prot_read
-            )
-            if any(pos < i_star for pos in unchecked):
-                return None
-            exc = FaultDetected(
-                det_name, prot_read[det_name][0] // BLOCK_BYTES
-            )
-            counters = dict(self._zero_counters)
-            counters["protected_reads"] = self._prot_prefix[i_star]
-            counters["comparisons"] = self._prot_prefix[i_star]
-            counters["unprotected_reads"] = self._unprot_prefix[i_star]
-            return (
-                RunResult(lane.run_index, Outcome.DETECTED, 0.0, str(exc)),
-                counters,
-                prunes,
-            )
-        if unchecked:
-            return None
-        if prot_read:
-            if self._kind != "correction":
-                return None
-            corrected_reads = sum(
-                self._prot_read_count[name] for name in prot_read
-            )
-            corrected_bytes = sum(
-                self._prot_read_count[name] * len(offsets)
-                for name, offsets in prot_read.items()
-            )
-            counters = dict(self._clean_counters)
-            counters["corrected_bytes"] = corrected_bytes
-            counters["corrected_reads"] = corrected_reads
-            return (
-                RunResult(
-                    lane.run_index, Outcome.CORRECTED,
-                    self._clean_metric.error,
-                    f"{corrected_bytes} byte(s) voted out",
-                ),
-                counters,
-                prunes,
-            )
-        return (
-            RunResult(
-                lane.run_index, Outcome.MASKED, self._clean_metric.error
-            ),
-            dict(self._clean_counters),
-            prunes,
-        )
-
-    # ------------------------------------------------------------------
     # Real execution for the undecidable lanes
     # ------------------------------------------------------------------
     def _run_exec(self, lanes: list[_Lane]) -> list[tuple]:
@@ -481,28 +250,33 @@ class BatchEngine:
     # Batch entry point
     # ------------------------------------------------------------------
     def run_batch(
-        self, start: int, stop: int, metrics=None, record_sink=None
+        self, start: int, stop: int, metrics=None, record_sink=None,
+        provenance_sink=None,
     ) -> list[RunResult]:
         """Execute runs ``start..stop`` as one batch.
 
-        Emits the same per-run metrics and (with ``record_sink``) the
-        same :class:`RunRecord` payloads as the scalar path, in run-
-        index order.
+        Emits the same per-run metrics and (with ``record_sink`` /
+        ``provenance_sink``) the same :class:`RunRecord` and
+        :class:`~repro.obs.provenance.ProvenanceRecord` payloads as
+        the scalar path, in run-index order.
         """
-        self._prepare()
+        ev = self._prepare()
         lanes = self._plan(start, stop)
         decided: dict[int, tuple] = {}
         exec_lanes: list[_Lane] = []
+        analytic_idx: set[int] = set()
         pruned: dict[str, int] = {}
         for lane in lanes:
             verdict = (
-                self._classify_analytic(lane) if self._analytic else None
+                ev.classify_analytic(lane.run_index, lane.faults)
+                if ev.analytic else None
             )
             if verdict is None:
                 exec_lanes.append(lane)
             else:
                 run, counters, prunes = verdict
                 decided[lane.run_index] = (run, counters)
+                analytic_idx.add(lane.run_index)
                 for tag in prunes:
                     pruned[tag] = pruned.get(tag, 0) + 1
         if exec_lanes:
@@ -521,9 +295,17 @@ class BatchEngine:
             run, counters = decided[lane.run_index]
             if metrics is not None:
                 for fault in lane.faults:
-                    obj = self._object_for_block(fault.block_addr)
+                    obj = ev.object_for_block(fault.block_addr)
                     metrics.inc(f"campaign.faults.object.{obj.name}")
                 metrics.inc(f"campaign.outcome.{run.outcome.value}")
+            if provenance_sink is not None:
+                provenance_sink.append(ev.provenance(
+                    lane.run_index, lane.seed, lane.faults, run,
+                    evidence=(
+                        "analytic" if lane.run_index in analytic_idx
+                        else "executed"
+                    ),
+                ))
             if record_sink is not None:
                 c = self.campaign
                 record_sink.append(RunRecord(

@@ -44,6 +44,7 @@ from repro.faults.outcomes import Outcome, RunResult
 from repro.faults.selection import BlockSelection
 from repro.kernels.base import GpuApplication
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import GoldenEvidence, ProvenanceRecord
 from repro.obs.records import RunRecord
 from repro.utils.canonical import canonical_digest
 from repro.utils.rng import RngStream, derive_seed
@@ -60,8 +61,9 @@ from repro.utils.stats import (
 CLONE_MODES = ("cow", "full")
 
 #: Bumped whenever the serialized campaign-result shape changes
-#: incompatibly (checkpoint chunks embed it).
-RESULT_VERSION = 1
+#: incompatibly (checkpoint chunks embed it).  v2 added the
+#: ``provenance`` record list.
+RESULT_VERSION = 2
 
 
 def merge_sorted_runs(parts: Iterable[list]) -> list:
@@ -164,6 +166,9 @@ class CampaignResult:
     #: Per-run telemetry (populated with ``collect_records=True``),
     #: ordered by strictly increasing run index like ``runs``.
     records: list[RunRecord] = field(default_factory=list)
+    #: Per-run fault provenance (populated with
+    #: ``collect_provenance=True``), same ordering contract.
+    provenance: list[ProvenanceRecord] = field(default_factory=list)
     #: Picklable :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of
     #: the metrics gathered while producing this (chunk) result.  Not
     #: part of result equality — wall-clock data is observability only.
@@ -179,7 +184,8 @@ class CampaignResult:
         ``runs`` and ``records`` must be strictly ordered by run index
         and, when kept, must agree in size with the outcome tallies.
         """
-        for kind, items in (("runs", self.runs), ("records", self.records)):
+        for kind, items in (("runs", self.runs), ("records", self.records),
+                            ("provenance", self.provenance)):
             for before, after in zip(items, items[1:]):
                 if after.run_index <= before.run_index:
                     raise ConfigError(
@@ -229,6 +235,9 @@ class CampaignResult:
         merged.records = merge_sorted_runs(
             part.records for part in parts
         )
+        merged.provenance = merge_sorted_runs(
+            part.provenance for part in parts
+        )
         if any(part.metrics_snapshot for part in parts):
             registry = MetricsRegistry()
             for part in parts:
@@ -264,6 +273,9 @@ class CampaignResult:
                 for r in self.runs
             ],
             "records": [record.to_dict() for record in self.records],
+            "provenance": [
+                record.to_dict() for record in self.provenance
+            ],
         }
 
     @classmethod
@@ -284,7 +296,7 @@ class CampaignResult:
             )
         for key, typ in (("app", str), ("scheme", str), ("selection", str),
                          ("counts", dict), ("runs", list),
-                         ("records", list)):
+                         ("records", list), ("provenance", list)):
             if not isinstance(data.get(key), typ):
                 raise SpecError(f"campaign result key {key!r} bad/missing")
         if set(data["counts"]) != {o.value for o in Outcome}:
@@ -318,6 +330,10 @@ class CampaignResult:
                 from None
         result.records = [
             RunRecord.from_dict(record) for record in data["records"]
+        ]
+        result.provenance = [
+            ProvenanceRecord.from_dict(record)
+            for record in data["provenance"]
         ]
         result.validate()
         return result
@@ -391,6 +407,7 @@ class Campaign:
         jobs: int = 1,
         clone_mode: str = "cow",
         collect_records: bool = False,
+        collect_provenance: bool = False,
         metrics: MetricsRegistry | None = None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
@@ -432,6 +449,11 @@ class Campaign:
         self.jobs = jobs
         self.clone_mode = clone_mode
         self.collect_records = collect_records
+        #: Emit one :class:`~repro.obs.provenance.ProvenanceRecord` per
+        #: run into the result.  Off by default: the derivation walks
+        #: the golden read timeline per run, a cost the plain
+        #: telemetry path must not pay.
+        self.collect_provenance = collect_provenance
         #: Runs propagated per batched sweep (1 = scalar ``run_one``
         #: loop).  Like ``jobs``/``clone_mode`` this is an execution
         #: knob, provably result-invariant, and stays out of
@@ -459,6 +481,9 @@ class Campaign:
         #: trail, convergence flag); None until one completes.
         self.adaptive_result = None
         self._batch_engine: BatchEngine | None = None
+        #: Lazily captured fault-free evidence base shared by the
+        #: batch classifier and the provenance derivation.
+        self._evidence: GoldenEvidence | None = None
         #: Observability sink for this campaign (and, when run through
         #: the executor, for the executor's own chunk/utilization
         #: metrics).  Never feeds back into results.
@@ -510,6 +535,10 @@ class Campaign:
             "keep_runs": self.keep_runs,
             "collect_records": self.collect_records,
         }
+        if self.collect_provenance:
+            # Conditional like "adaptive" below, so every digest taken
+            # before provenance existed stays valid.
+            identity["collect_provenance"] = True
         if self.adaptive is not None:
             identity["adaptive"] = self.adaptive.to_dict()
         return identity
@@ -572,6 +601,9 @@ class Campaign:
         )
         span_metrics = MetricsRegistry()
         record_sink = result.records if self.collect_records else None
+        provenance_sink = (
+            result.provenance if self.collect_provenance else None
+        )
         span_begin = time.perf_counter()
         step = self.effective_batch
         if step > 1:
@@ -582,6 +614,7 @@ class Campaign:
                 batch_runs = self.run_batch(
                     index, batch_stop,
                     metrics=span_metrics, record_sink=record_sink,
+                    provenance_sink=provenance_sink,
                 )
                 elapsed_ms = (time.perf_counter() - batch_begin) * 1e3
                 span_metrics.observe("campaign.batch_ms", elapsed_ms)
@@ -601,6 +634,7 @@ class Campaign:
                 run_result = self.run_one(
                     run_index, metrics=span_metrics,
                     record_sink=record_sink,
+                    provenance_sink=provenance_sink,
                 )
                 span_metrics.observe(
                     f"campaign.run_ms.{run_result.outcome.value}",
@@ -637,10 +671,12 @@ class Campaign:
         stop: int,
         metrics: MetricsRegistry | None = None,
         record_sink: list[RunRecord] | None = None,
+        provenance_sink: list[ProvenanceRecord] | None = None,
     ) -> list[RunResult]:
         """Execute runs ``start..stop`` as one batched sweep.
 
-        Results, metrics and (with ``record_sink``) RunRecords are
+        Results, metrics and (with ``record_sink`` /
+        ``provenance_sink``) RunRecords and ProvenanceRecords are
         identical to calling :meth:`run_one` per index — the batched
         engine (see :mod:`repro.faults.batch`) is an execution
         strategy, not a semantic variant.  Configurations the engine
@@ -649,14 +685,28 @@ class Campaign:
         """
         if self.config.secded or self.clone_mode != "cow":
             return [
-                self.run_one(i, metrics=metrics, record_sink=record_sink)
+                self.run_one(i, metrics=metrics, record_sink=record_sink,
+                             provenance_sink=provenance_sink)
                 for i in range(start, stop)
             ]
         if self._batch_engine is None:
             self._batch_engine = BatchEngine(self)
         return self._batch_engine.run_batch(
-            start, stop, metrics=metrics, record_sink=record_sink
+            start, stop, metrics=metrics, record_sink=record_sink,
+            provenance_sink=provenance_sink,
         )
+
+    def _golden_evidence(self) -> GoldenEvidence:
+        """The campaign's shared fault-free evidence base.
+
+        Captured on first use (one golden execution per process) and
+        reused by both the batched classifier and the scalar path's
+        provenance derivation — a single source of truth is what keeps
+        their record streams byte-identical.
+        """
+        if self._evidence is None:
+            self._evidence = GoldenEvidence(self)
+        return self._evidence
 
     def _run_memory(self) -> DeviceMemory:
         """Per-run device memory according to ``clone_mode``."""
@@ -691,12 +741,15 @@ class Campaign:
         run_index: int,
         metrics: MetricsRegistry | None = None,
         record_sink: list[RunRecord] | None = None,
+        provenance_sink: list[ProvenanceRecord] | None = None,
     ) -> RunResult:
         """Execute one reproducible fault-injected run.
 
         ``metrics`` receives observability counters (fault placement by
         object, outcome tallies); ``record_sink`` receives the run's
-        deterministic :class:`~repro.obs.records.RunRecord`.  Both are
+        deterministic :class:`~repro.obs.records.RunRecord`;
+        ``provenance_sink`` receives its
+        :class:`~repro.obs.provenance.ProvenanceRecord`.  All are
         optional so ad-hoc single-run calls stay cheap.
         """
         seed = derive_seed(self.config.seed, run_index)
@@ -716,7 +769,18 @@ class Campaign:
             )
             for i, addr in enumerate(block_addrs)
         ]
-        result = self._classify(run_index, memory, scheme, faults)
+        verdict_sink = (
+            [] if provenance_sink is not None and self.config.secded
+            else None
+        )
+        result = self._classify(
+            run_index, memory, scheme, faults, verdict_sink=verdict_sink
+        )
+        if provenance_sink is not None:
+            provenance_sink.append(self._golden_evidence().provenance(
+                run_index, seed, faults, result,
+                secded_verdicts=verdict_sink,
+            ))
         if metrics is not None:
             for fault in faults:
                 obj = self._pristine.object_at(fault.block_addr)
@@ -755,10 +819,19 @@ class Campaign:
         memory: DeviceMemory,
         scheme,
         faults: list[FaultSpec],
+        verdict_sink: list | None = None,
     ) -> RunResult:
-        """Inject ``faults``, execute the app, classify the outcome."""
+        """Inject ``faults``, execute the app, classify the outcome.
+
+        ``verdict_sink`` (SECDED campaigns only) receives the per-fault
+        :class:`~repro.faults.secded_filter.EccVerdict` s of the
+        filtering pass, which the provenance derivation attributes
+        causes from.
+        """
         if self.config.secded:
-            _verdicts, due = apply_filtered_faults(memory, faults)
+            verdicts, due = apply_filtered_faults(memory, faults)
+            if verdict_sink is not None:
+                verdict_sink.extend(verdicts)
             if due:
                 return RunResult(
                     run_index, Outcome.DETECTED, 0.0,

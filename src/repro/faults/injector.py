@@ -24,6 +24,17 @@ from repro.arch.address_space import DeviceMemory
 from repro.faults.model import FaultSpec
 
 
+def overlay_read_value(raw: int, or_mask: int, and_mask: int) -> int:
+    """The value a faulted byte reads back as under the overlay algebra.
+
+    Stuck-at-1 bits OR in, stuck-at-0 bits mask out — the single
+    expression both the batch classifier and the provenance analyzer
+    compare against raw bytes, kept here so analysis and injection can
+    never disagree on the semantics.
+    """
+    return (raw | or_mask) & ~and_mask & 0xFF
+
+
 def apply_faults(memory: DeviceMemory, faults: list[FaultSpec]) -> int:
     """Install the stuck-at overlays for every fault; returns the number
     of stuck bits injected."""

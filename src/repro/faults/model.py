@@ -72,7 +72,13 @@ class FaultSpec:
         positions within one fault are distinct by construction, so no
         tie-breaking applies here; merging *across* faults (where later
         faults win) is :func:`repro.faults.injector.merge_fault_masks`.
+
+        The result is cached on the (frozen) instance — callers must
+        treat it as read-only.
         """
+        cached = self.__dict__.get("_byte_masks")
+        if cached is not None:
+            return cached
         masks: dict[int, tuple[int, int]] = {}
         for byte_addr, bit, value in self.byte_level_faults():
             or_mask, and_mask = masks.get(byte_addr, (0, 0))
@@ -81,6 +87,7 @@ class FaultSpec:
             else:
                 and_mask |= 1 << bit
             masks[byte_addr] = (or_mask, and_mask)
+        object.__setattr__(self, "_byte_masks", masks)
         return masks
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import MetricsError
+
 #: Default histogram bucket upper bounds: exponential, base 2, from 1
 #: to ~1M — wide enough for cycle counts and millisecond latencies
 #: alike.  The last bucket is the +inf overflow.
@@ -80,9 +82,15 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "Histogram") -> None:
-        """Fold another histogram (same bounds) into this one."""
+        """Fold another histogram into this one.
+
+        Raises :class:`~repro.errors.MetricsError` when the bucket
+        bounds differ — the counts would land in incomparable buckets.
+        """
         if tuple(other.bounds) != tuple(self.bounds):
-            raise ValueError("cannot merge histograms with different bounds")
+            raise MetricsError(
+                "cannot merge histograms with different bucket bounds"
+            )
         self.count += other.count
         self.total += other.total
         if other.count:
@@ -164,7 +172,15 @@ class MetricsRegistry:
         }
 
     def merge_snapshot(self, snap: dict | None) -> None:
-        """Fold a :meth:`snapshot` dict into this registry (additive)."""
+        """Fold a :meth:`snapshot` dict into this registry (additive).
+
+        Every histogram in the snapshot must share its bucket bounds
+        with the registry's histogram of the same name (absent names
+        adopt the snapshot's bounds); a mismatch — workers configured
+        with different bucket layouts — raises
+        :class:`~repro.errors.MetricsError` naming the metric instead
+        of silently mixing incomparable buckets.
+        """
         if not snap:
             return
         for name, value in snap.get("counters", {}).items():
@@ -178,6 +194,14 @@ class MetricsRegistry:
                 vmin=data["vmin"],
                 vmax=data["vmax"],
             )
+            mine = self._histograms.get(name)
+            if mine is not None \
+                    and tuple(mine.bounds) != tuple(other.bounds):
+                raise MetricsError(
+                    f"histogram {name!r}: snapshot bucket bounds do not "
+                    "match this registry's — the snapshot comes from a "
+                    "registry configured with a different bucket layout"
+                )
             self.histogram(name, bounds=other.bounds).merge(other)
 
     def merge(self, other: "MetricsRegistry") -> None:

@@ -12,6 +12,14 @@ which object's traffic occupies an SM, a DRAM bank or a NoC link.
 Serialization is canonical (sorted keys, fixed separators), so two
 exports of deterministic sessions are byte-comparable — the jobs=1
 vs jobs=N golden-trace equivalence test relies on this.
+
+Campaign lifecycle spans bridge into the same document:
+:func:`campaign_lifecycle_events` renders a campaign result (and its
+adaptive stop decisions) onto the dedicated :data:`PID_CAMPAIGN`
+process — a campaign-wide span, committed-chunk spans, one outcome
+instant per run, one instant per stop decision — with the run index
+as the clock.  Passed as ``extra_events`` to :func:`chrome_trace`,
+they land next to the simulator tracks in one Perfetto view.
 """
 
 from __future__ import annotations
@@ -20,8 +28,13 @@ import json
 from typing import Any
 
 from repro.errors import ReproError
+from repro.faults.outcomes import Outcome
 from repro.obs.trace import (
+    PID_CAMPAIGN,
     PID_COUNTERS,
+    TID_CAMPAIGN_DECISIONS,
+    TID_CAMPAIGN_RUNS,
+    TID_CAMPAIGN_SPANS,
     TID_MAIN,
     TraceSession,
 )
@@ -45,8 +58,113 @@ class TraceExportError(ReproError):
     """An exported trace document failed validation."""
 
 
-def chrome_trace(session: TraceSession, label: str = "") -> dict:
-    """Render a session as a Chrome/Perfetto ``trace_events`` document."""
+def campaign_lifecycle_events(result, decisions=None) -> list[dict]:
+    """Campaign lifecycle as ``trace_events`` on :data:`PID_CAMPAIGN`.
+
+    ``result`` is a :class:`~repro.faults.campaign.CampaignResult`
+    (duck-typed: only its names, config, counts and record lists are
+    touched); ``decisions`` the optional
+    :class:`~repro.faults.adaptive.StopDecision` trail.  The clock is
+    the run index — position in the deterministic run sequence — so
+    the rendered events are byte-identical at any ``--jobs``/
+    ``--batch``: chunk spans come from the *committed* decision
+    boundaries, never from worker scheduling.
+
+    Per-run outcome instants prefer the result's provenance records
+    (each instant then carries the cause, evidence and primary fault
+    object in ``args``), falling back to telemetry records, else no
+    run track is emitted.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "pid": PID_CAMPAIGN, "tid": TID_MAIN,
+            "name": "process_name",
+            "args": {"name": "campaign lifecycle"},
+        },
+        {
+            "ph": "M", "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_SPANS,
+            "name": "thread_name", "args": {"name": "campaign"},
+        },
+        {
+            "ph": "M", "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_RUNS,
+            "name": "thread_name", "args": {"name": "runs"},
+        },
+        {
+            "ph": "M", "pid": PID_CAMPAIGN,
+            "tid": TID_CAMPAIGN_DECISIONS,
+            "name": "thread_name", "args": {"name": "adaptive decisions"},
+        },
+    ]
+    n_runs = result.n_runs
+    events.append({
+        "ph": "X", "ts": 0, "dur": max(n_runs, 1),
+        "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_SPANS,
+        "cat": "campaign",
+        "name": f"campaign {result.app_name}/{result.scheme_name}",
+        "args": {
+            "app": result.app_name,
+            "scheme": result.scheme_name,
+            "selection": result.selection_name,
+            "runs": n_runs,
+        },
+    })
+    for decision in decisions or ():
+        events.append({
+            "ph": "i", "ts": decision.committed, "s": "t",
+            "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_DECISIONS,
+            "cat": "campaign", "name": "stop-decision",
+            "args": {
+                "committed": decision.committed,
+                "sdc": decision.sdc,
+                "margin": decision.interval.margin,
+                "stop": decision.stop,
+            },
+        })
+    # Chunk spans between committed decision boundaries — a partition
+    # of the run index space that every worker layout agrees on.
+    prev = 0
+    for decision in decisions or ():
+        events.append({
+            "ph": "X", "ts": prev, "dur": decision.committed - prev,
+            "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_SPANS,
+            "cat": "campaign", "name": "chunk",
+            "args": {
+                "committed": decision.committed,
+                "sdc": decision.sdc,
+                "stop": decision.stop,
+            },
+        })
+        prev = decision.committed
+    if result.provenance:
+        for record in result.provenance:
+            args = {"cause": record.cause, "evidence": record.evidence}
+            if record.sites:
+                args["obj"] = record.sites[0].object
+            events.append({
+                "ph": "i", "ts": record.run_index, "s": "t",
+                "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_RUNS,
+                "cat": "campaign", "name": record.outcome,
+                "args": args,
+            })
+    elif result.records:
+        for record in result.records:
+            events.append({
+                "ph": "i", "ts": record.run_index, "s": "t",
+                "pid": PID_CAMPAIGN, "tid": TID_CAMPAIGN_RUNS,
+                "cat": "campaign", "name": record.outcome,
+            })
+    return events
+
+
+def chrome_trace(
+    session: TraceSession, label: str = "",
+    extra_events: list[dict] | None = None,
+) -> dict:
+    """Render a session as a Chrome/Perfetto ``trace_events`` document.
+
+    ``extra_events`` (e.g. :func:`campaign_lifecycle_events` output)
+    are appended verbatim after the session's own events.
+    """
     events: list[dict[str, Any]] = []
     for pid, name in sorted(session.process_names.items()):
         events.append({
@@ -94,6 +212,8 @@ def chrome_trace(session: TraceSession, label: str = "") -> dict:
             "ph": "M", "pid": PID_COUNTERS, "tid": TID_MAIN,
             "name": "process_name", "args": {"name": "interval counters"},
         })
+    if extra_events:
+        events.extend(extra_events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -109,19 +229,23 @@ def chrome_trace(session: TraceSession, label: str = "") -> dict:
     }
 
 
-def render_chrome_trace(session: TraceSession, label: str = "") -> str:
+def render_chrome_trace(
+    session: TraceSession, label: str = "",
+    extra_events: list[dict] | None = None,
+) -> str:
     """Canonical JSON text of :func:`chrome_trace` (byte-comparable)."""
     return json.dumps(
-        chrome_trace(session, label=label),
+        chrome_trace(session, label=label, extra_events=extra_events),
         sort_keys=True, separators=(",", ":"),
     ) + "\n"
 
 
 def write_chrome_trace(
-    session: TraceSession, path: str, label: str = ""
+    session: TraceSession, path: str, label: str = "",
+    extra_events: list[dict] | None = None,
 ) -> int:
     """Write the session's trace to ``path``; returns the event count."""
-    doc = chrome_trace(session, label=label)
+    doc = chrome_trace(session, label=label, extra_events=extra_events)
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
         fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
         fh.write("\n")
@@ -182,7 +306,25 @@ def validate_trace_events(doc: Any) -> int:
                 raise TraceExportError(
                     f"event {i}: metadata args.name must be a string"
                 )
+        elif ev.get("pid") == PID_CAMPAIGN:
+            # Campaign-lifecycle track contract: everything is in the
+            # "campaign" category, and the run track's instants are
+            # named by the outcome taxonomy.
+            if ev.get("cat") != "campaign":
+                raise TraceExportError(
+                    f"event {i}: campaign-track events must have "
+                    "cat 'campaign'"
+                )
+            if ph == "i" and ev.get("tid") == TID_CAMPAIGN_RUNS \
+                    and ev["name"] not in _OUTCOME_NAMES:
+                raise TraceExportError(
+                    f"event {i}: run instant name {ev['name']!r} is "
+                    "not an outcome"
+                )
     return len(events)
+
+
+_OUTCOME_NAMES = frozenset(o.value for o in Outcome)
 
 
 def validate_trace_file(path: str) -> int:

@@ -86,10 +86,12 @@ __all__ = [
     "DECISION_RECORD_SCHEMA",
     "FAULT_SCHEMA",
     "INTERVAL_SCHEMA",
+    "JsonlWriter",
     "RunRecord",
     "TelemetryError",
     "TelemetryWriter",
     "iter_records",
+    "iter_validated_jsonl",
     "read_decisions",
     "read_records",
     "records_in_order",
@@ -217,12 +219,13 @@ def validate_record(data: dict) -> None:
             raise TelemetryError("counters must map str -> int")
 
 
-class TelemetryWriter:
-    """Append-only JSONL sink for :class:`RunRecord` streams.
+class JsonlWriter:
+    """Append-only canonical-JSONL sink for record streams.
 
-    Use as a context manager; records are written one canonical JSON
-    line each, in the order given — callers hand over result records
-    that are already in run-index order.
+    Shared base of the telemetry and provenance writers: anything with
+    a ``to_json()`` canonical single-line encoding is written one LF
+    line each, in the order given — callers hand over result streams
+    that are already in run-index order.  Use as a context manager.
     """
 
     def __init__(self, path: str):
@@ -230,19 +233,29 @@ class TelemetryWriter:
         self._fh: IO[str] | None = None
         self.n_written = 0
 
-    def __enter__(self) -> "TelemetryWriter":
+    def __enter__(self) -> "JsonlWriter":
         self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def write(self, record: RunRecord) -> None:
-        """Append one record as a JSON line."""
+    def write(self, record) -> None:
+        """Append one record as a canonical JSON line."""
         if self._fh is None:
             self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
         self._fh.write(record.to_json() + "\n")
         self.n_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class TelemetryWriter(JsonlWriter):
+    """Append-only JSONL sink for :class:`RunRecord` streams."""
 
     def write_result(self, result) -> int:
         """Append every record of a campaign result; returns the count.
@@ -260,15 +273,15 @@ class TelemetryWriter:
             self.write(record)
         return len(result.records)
 
-    def close(self) -> None:
-        """Flush and close the underlying file."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
 
+def iter_validated_jsonl(path: str, validate) -> Iterator[dict]:
+    """Yield decoded dicts from a JSONL file, one per non-blank line.
 
-def iter_records(path: str) -> Iterator[dict]:
-    """Yield validated record dicts from a telemetry JSONL file."""
+    Each line is parsed and passed through ``validate`` (a callable
+    raising :class:`TelemetryError` on a bad record); any failure is
+    re-raised with a ``path:lineno:`` prefix.  Shared by the telemetry
+    and provenance readers.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
@@ -281,10 +294,15 @@ def iter_records(path: str) -> Iterator[dict]:
                     f"{path}:{lineno}: not valid JSON ({exc})"
                 ) from None
             try:
-                validate_record(data)
+                validate(data)
             except TelemetryError as exc:
                 raise TelemetryError(f"{path}:{lineno}: {exc}") from None
             yield data
+
+
+def iter_records(path: str) -> Iterator[dict]:
+    """Yield validated record dicts from a telemetry JSONL file."""
+    return iter_validated_jsonl(path, validate_record)
 
 
 def read_records(path: str) -> list[dict]:

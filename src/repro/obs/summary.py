@@ -65,6 +65,29 @@ class GroupSummary:
         """Mean error metric over the group's runs."""
         return self.error_total / self.runs if self.runs else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready image of the group (``repro stats --json``).
+
+        Deterministic for a given record stream — sets render as
+        counts, floats stay Python floats — so the canonical encoding
+        is byte-stable.
+        """
+        return {
+            "app": self.app,
+            "scheme": self.scheme,
+            "selection": self.selection,
+            "n_blocks": self.n_blocks,
+            "n_bits": self.n_bits,
+            "runs": self.runs,
+            "outcomes": dict(self.outcome_counts),
+            "sdc_rate": self.sdc_rate,
+            "sdc_interval": self.sdc_interval().to_dict(),
+            "mean_error": self.mean_error,
+            "error_max": self.error_max,
+            "fault_bits": self.fault_bits,
+            "distinct_blocks": len(self.fault_blocks),
+        }
+
 
 @dataclass
 class TelemetrySummary:
@@ -98,6 +121,14 @@ class TelemetrySummary:
                 f"{g.fault_bits} stuck bit(s) injected"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready image of the whole summary."""
+        return {
+            "path": self.path,
+            "n_records": self.n_records,
+            "groups": [group.to_dict() for group in self.groups],
+        }
 
 
 def summarize_records(path: str, records: list[dict]) -> TelemetrySummary:

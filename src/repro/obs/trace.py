@@ -68,12 +68,21 @@ UNATTRIBUTED = "(unattributed)"
 # timeline and a counter process.
 PID_TIMELINE = 1
 PID_COUNTERS = 2
+#: Campaign-lifecycle process: campaign/chunk spans, per-run outcome
+#: instants and adaptive stop decisions (see
+#: :func:`repro.obs.perfetto.campaign_lifecycle_events`).  Its clock
+#: is the run index, not simulated cycles.
+PID_CAMPAIGN = 3
 PID_SM_BASE = 100
 PID_L2_BASE = 300
 PID_DRAM_BASE = 400
 PID_NOC_BASE = 500
 
 TID_MAIN = 0
+#: Campaign-lifecycle thread tracks under :data:`PID_CAMPAIGN`.
+TID_CAMPAIGN_SPANS = 0
+TID_CAMPAIGN_RUNS = 1
+TID_CAMPAIGN_DECISIONS = 2
 #: Thread track of an SM's LD/ST unit (L1/MSHR lifecycle events).
 TID_LDST = 9000
 #: Thread track of a DRAM channel's shared data bus.

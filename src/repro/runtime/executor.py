@@ -89,6 +89,7 @@ class CampaignSpec:
     keep_runs: bool
     clone_mode: str
     collect_records: bool = False
+    collect_provenance: bool = False
     batch: int = 1
     max_batch_bytes: int = 256 * 1024 * 1024
 
@@ -109,6 +110,7 @@ class CampaignSpec:
             keep_runs=campaign.keep_runs,
             clone_mode=campaign.clone_mode,
             collect_records=campaign.collect_records,
+            collect_provenance=campaign.collect_provenance,
             batch=campaign.batch,
             max_batch_bytes=campaign.max_batch_bytes,
         )
@@ -149,6 +151,7 @@ def _run_span_spec(
             keep_runs=spec.keep_runs,
             clone_mode=spec.clone_mode,
             collect_records=spec.collect_records,
+            collect_provenance=spec.collect_provenance,
             batch=spec.batch,
             max_batch_bytes=spec.max_batch_bytes,
         )

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import MetricsError, ReproError
 from repro.obs.metrics import (
     DEFAULT_BUCKET_BOUNDS,
     Counter,
@@ -53,8 +54,13 @@ class TestHistogram:
     def test_merge_rejects_bound_mismatch(self):
         a = Histogram(bounds=(1.0, 2.0))
         b = Histogram()
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             a.merge(b)
+
+    def test_merge_mismatch_is_catchable_as_repro_error(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        with pytest.raises(ReproError):
+            a.merge(Histogram())
 
     def test_merge_with_empty_keeps_extrema(self):
         a, b = Histogram(), Histogram()
@@ -89,6 +95,24 @@ class TestRegistry:
         reg = MetricsRegistry()
         reg.merge_snapshot(None)
         assert reg.counters == {}
+
+    def test_merge_snapshot_rejects_bound_mismatch_by_name(self):
+        a = MetricsRegistry()
+        a.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.observe("lat", 1.5)  # default bounds: incompatible layout
+        with pytest.raises(MetricsError, match="lat"):
+            a.merge_snapshot(b.snapshot())
+        # Nothing was folded in before the mismatch was caught.
+        assert a.histogram("lat").count == 1
+
+    def test_merge_snapshot_adopts_bounds_for_new_names(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.histogram("lat").bounds == (1.0, 2.0)
+        assert a.histogram("lat").count == 1
 
     def test_merge_registries(self):
         a, b = MetricsRegistry(), MetricsRegistry()

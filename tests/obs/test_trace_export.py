@@ -2,7 +2,8 @@
 
 Validates the emitted schema (phases, required keys, metadata), the
 canonical-serialization byte determinism the golden-trace equivalence
-check relies on, and the validator's rejection of malformed documents.
+check relies on, the campaign-lifecycle track bridged from campaign
+results, and the validator's rejection of malformed documents.
 """
 
 import json
@@ -11,6 +12,7 @@ import pytest
 
 from repro.obs.perfetto import (
     TraceExportError,
+    campaign_lifecycle_events,
     chrome_trace,
     render_chrome_trace,
     validate_trace_events,
@@ -18,8 +20,12 @@ from repro.obs.perfetto import (
     write_chrome_trace,
 )
 from repro.obs.trace import (
+    PID_CAMPAIGN,
     PID_COUNTERS,
     PID_TIMELINE,
+    TID_CAMPAIGN_DECISIONS,
+    TID_CAMPAIGN_RUNS,
+    TID_CAMPAIGN_SPANS,
     TID_MAIN,
     TraceConfig,
     TraceSession,
@@ -154,3 +160,114 @@ class TestValidator:
         bad.write_text("{not json", encoding="utf-8")
         with pytest.raises(TraceExportError, match="not valid JSON"):
             validate_trace_file(str(bad))
+
+    def test_rejects_foreign_cat_on_campaign_pid(self):
+        with pytest.raises(TraceExportError, match="campaign"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "X", "name": "x", "cat": "kernel", "ts": 0,
+                 "dur": 1, "pid": PID_CAMPAIGN,
+                 "tid": TID_CAMPAIGN_SPANS},
+            ]})
+
+    def test_rejects_unknown_outcome_run_instant(self):
+        with pytest.raises(TraceExportError, match="outcome"):
+            validate_trace_events({"traceEvents": [
+                {"ph": "i", "name": "exploded", "cat": "campaign",
+                 "s": "t", "ts": 0, "pid": PID_CAMPAIGN,
+                 "tid": TID_CAMPAIGN_RUNS},
+            ]})
+
+
+def _campaign(runs=12, provenance=True, seed=20210621):
+    from repro.faults.campaign import Campaign, CampaignConfig
+    from repro.faults.selection import uniform_selection
+    from repro.kernels.registry import create_app
+
+    app = create_app("P-BICG", scale="small")
+    memory = app.fresh_memory()
+    pool = [a for o in memory.objects for a in o.block_addrs()]
+    return Campaign(
+        app,
+        uniform_selection(pool),
+        scheme="detection",
+        protect=("A",),
+        config=CampaignConfig(runs=runs, n_blocks=2, n_bits=2,
+                              seed=seed),
+        collect_records=True,
+        collect_provenance=provenance,
+    )
+
+
+def _decisions(result):
+    from repro.faults.adaptive import StopDecision, should_stop
+
+    decisions = []
+    for committed in (4, 8, result.n_runs):
+        sdc = sum(1 for r in result.provenance[:committed]
+                  if r.outcome == "sdc")
+        stop, interval = should_stop(sdc, committed, 0.5)
+        decisions.append(StopDecision(
+            committed=committed, sdc=sdc, interval=interval,
+            stop=stop or committed == result.n_runs))
+    return decisions
+
+
+class TestCampaignLifecycle:
+    def test_events_validate_inside_full_export(self):
+        result = _campaign().run()
+        extra = campaign_lifecycle_events(result,
+                                          decisions=_decisions(result))
+        doc = chrome_trace(_session(), label="t", extra_events=extra)
+        assert validate_trace_events(doc) == len(doc["traceEvents"])
+
+    def test_campaign_span_clock_is_run_index(self):
+        result = _campaign().run()
+        events = campaign_lifecycle_events(result)
+        (span,) = [e for e in events if e["ph"] == "X"]
+        assert span["ts"] == 0 and span["dur"] == result.n_runs
+        assert span["name"] == "campaign P-BICG/detection"
+        assert span["tid"] == TID_CAMPAIGN_SPANS
+
+    def test_run_instants_carry_provenance_args(self):
+        result = _campaign().run()
+        events = campaign_lifecycle_events(result)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == result.n_runs
+        assert [e["ts"] for e in instants] == list(range(result.n_runs))
+        for instant, record in zip(instants, result.provenance):
+            assert instant["tid"] == TID_CAMPAIGN_RUNS
+            assert instant["name"] == record.outcome
+            assert instant["args"]["cause"] == record.cause
+            assert instant["args"]["evidence"] == record.evidence
+
+    def test_run_instants_fall_back_to_telemetry(self):
+        result = _campaign(provenance=False).run()
+        events = campaign_lifecycle_events(result)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == result.n_runs
+        assert all("args" not in e for e in instants)
+
+    def test_decision_track_and_chunk_partition(self):
+        result = _campaign().run()
+        decisions = _decisions(result)
+        events = campaign_lifecycle_events(result, decisions=decisions)
+        stops = [e for e in events
+                 if e["tid"] == TID_CAMPAIGN_DECISIONS
+                 and e["ph"] == "i"]
+        assert [e["ts"] for e in stops] == [d.committed
+                                            for d in decisions]
+        chunks = [e for e in events
+                  if e["ph"] == "X" and e["name"] == "chunk"]
+        # Chunk spans partition [0, n_runs) at committed boundaries.
+        assert [(c["ts"], c["ts"] + c["dur"]) for c in chunks] \
+            == [(0, 4), (4, 8), (8, result.n_runs)]
+
+    def test_lifecycle_render_is_deterministic(self):
+        renders = []
+        for _ in range(2):
+            result = _campaign().run()
+            extra = campaign_lifecycle_events(
+                result, decisions=_decisions(result))
+            renders.append(render_chrome_trace(
+                _session(), label="t", extra_events=extra))
+        assert renders[0] == renders[1]

@@ -10,6 +10,7 @@ from repro.errors import (
     ConfigError,
     FaultDetected,
     KernelCrash,
+    MetricsError,
     ReproError,
     SessionError,
     SessionInterrupted,
@@ -90,6 +91,11 @@ API_SURFACE = [
     "read_decisions",
     "SessionLog",
     "read_session_events",
+    "ProvenanceRecord",
+    "ProvenanceWriter",
+    "read_provenance",
+    "VulnerabilityProfile",
+    "vulnerability_profiles",
     "ReproError",
     "ConfigError",
     "SpecError",
@@ -99,6 +105,7 @@ API_SURFACE = [
     "SessionError",
     "SessionInterrupted",
     "TelemetryError",
+    "MetricsError",
     "FaultDetected",
     "KernelCrash",
     "__version__",
@@ -141,7 +148,7 @@ class TestErrorTaxonomy:
         AllocationError, AddressError, ConfigError, TraceError,
         FaultDetected, UncorrectableFault, KernelCrash,
         UnknownAppError, UnknownSchemeError, SpecError,
-        TelemetryError, CheckpointError, SessionError,
+        TelemetryError, MetricsError, CheckpointError, SessionError,
         SessionInterrupted,
     ])
     def test_all_derive_from_repro_error(self, exc_type):

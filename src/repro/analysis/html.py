@@ -1,0 +1,288 @@
+"""Deterministic, self-contained HTML reliability reports.
+
+``render_html_report(store)`` turns a
+:class:`~repro.obs.store.ResultsStore` into one static HTML page:
+per-cell SDC Wilson CIs, the per-object vulnerability heatmap, the
+outcome/cause taxonomy breakdown, adaptive-stop history, and every
+warehoused ``BENCH_*`` snapshot flattened into tables.
+
+Determinism is the whole design: no timestamps, no environment
+fingerprints, fixed float formats, and every collection emitted in a
+stable (store-defined) order — identical store contents render to
+byte-identical HTML, which makes the report diffable and its bytes a
+valid regression check.  The store's version stamps (library +
+schema versions) are the only provenance in the header.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable
+
+from repro.analysis.figures import vulnerability_heatmap
+from repro.obs.provenance import vulnerability_profiles
+
+_CSS = """
+body { font-family: Georgia, serif; margin: 2em auto; max-width: 72em;
+       color: #1a1a1a; }
+h1 { border-bottom: 3px double #888; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; border-bottom: 1px solid #bbb; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.92em; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.6em;
+         text-align: left; }
+th { background: #f0f0eb; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { background: #e8e8e2; position: relative; min-width: 12em; }
+.bar span { position: absolute; top: 0; bottom: 0; left: 0;
+            background: #b03a2e; opacity: 0.55; }
+.bar b { position: relative; font-weight: normal; padding-left: 0.3em; }
+.cell { text-align: center; min-width: 3.2em; }
+.stamp { color: #666; font-size: 0.85em; }
+.mono { font-family: monospace; font-size: 0.85em; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _f(value: float, digits: int = 4) -> str:
+    """Fixed-precision float text (the only float formatter used)."""
+    return f"{value:.{digits}f}"
+
+
+def _heat_color(fraction: float) -> str:
+    """Deterministic background for one heatmap cell.
+
+    White at 0 to a saturated red at 1; computed from the fraction
+    rounded to 3 places so float noise cannot wiggle a byte.
+    """
+    level = round(max(0.0, min(1.0, fraction)), 3)
+    red = 255 - int(level * 79)
+    other = 255 - int(level * 197)
+    return f"#{red:02x}{other:02x}{other:02x}"
+
+
+def _table(headers: Iterable[str], rows: Iterable[Iterable[str]]) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(cells) + "</tr>" for cells in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _td(text: str, cls: str = "", style: str = "") -> str:
+    attrs = ""
+    if cls:
+        attrs += f' class="{cls}"'
+    if style:
+        attrs += f' style="{style}"'
+    return f"<td{attrs}>{text}</td>"
+
+
+def _section_header(store) -> str:
+    # Only the store's *content* may appear — never its path, so two
+    # stores holding the same corpus render byte-identical reports.
+    meta = store.meta()
+    stamps = ", ".join(
+        f"{_esc(key)}={_esc(value)}" for key, value in sorted(meta.items())
+    )
+    return (
+        "<h1>Reliability report</h1>\n"
+        f'<p class="stamp">{stamps}</p>\n'
+    )
+
+
+def _section_cells(store) -> str:
+    summaries = store.query()
+    if not summaries:
+        return "<h2>Campaign cells</h2>\n<p>No run cells warehoused.</p>\n"
+    rows = []
+    for cell in summaries:
+        ci = cell["sdc_interval"]
+        width_pct = _f(100.0 * min(1.0, ci["proportion"]), 1)
+        bar = (
+            f'<td class="bar"><span style="width:{width_pct}%"></span>'
+            f'<b>{_f(ci["proportion"])} '
+            f'[{_f(ci["low"])}, {_f(ci["high"])}]</b></td>'
+        )
+        rows.append([
+            _td(_esc(cell["app"])),
+            _td(_esc(cell["scheme"])),
+            _td(_esc(cell["selection"])),
+            _td(f'{cell["n_blocks"]}&times;{cell["n_bits"]}', "num"),
+            _td(str(cell["runs"]), "num"),
+            _td(str(cell["outcomes"].get("sdc", 0)), "num"),
+            bar,
+            _td(_f(ci["margin"]), "num"),
+            _td(_esc(cell["digest"][:12]), "mono"),
+        ])
+    table = _table(
+        ["app", "scheme", "selection", "faults", "runs", "SDC",
+         "SDC rate (95% Wilson CI)", "margin", "cell"],
+        rows,
+    )
+    return "<h2>Campaign cells</h2>\n" + table + "\n"
+
+
+def _section_outcomes(store) -> str:
+    summaries = store.query()
+    outcome_names = sorted({
+        name for cell in summaries for name in cell["outcomes"]
+    })
+    parts = ["<h2>Outcome and cause taxonomy</h2>\n"]
+    if summaries and outcome_names:
+        rows = []
+        for cell in summaries:
+            cells = [_td(_esc(cell["label"]))]
+            cells += [
+                _td(str(cell["outcomes"].get(name, 0)), "num")
+                for name in outcome_names
+            ]
+            rows.append(cells)
+        parts.append(_table(["cell"] + outcome_names, rows))
+    causes = store.cause_counts()
+    if causes:
+        rows = [
+            [_td(_esc(app)), _td(_esc(scheme)), _td(_esc(cause)),
+             _td(str(count), "num")]
+            for app, scheme, cause, count in causes
+        ]
+        parts.append("<h3>Provenance causes</h3>\n")
+        parts.append(_table(["app", "scheme", "cause", "runs"], rows))
+    if len(parts) == 1:
+        parts.append("<p>No outcome data warehoused.</p>\n")
+    return "".join(parts)
+
+
+def _section_heatmap(store) -> str:
+    records = store.provenance_records()
+    parts = ["<h2>Per-object vulnerability heatmap</h2>\n"]
+    if not records:
+        parts.append("<p>No provenance records warehoused.</p>\n")
+        return "".join(parts)
+    heatmaps = vulnerability_heatmap(vulnerability_profiles(records))
+    for heatmap in heatmaps:
+        parts.append(
+            f"<h3>{_esc(heatmap.app_name)} / "
+            f"{_esc(heatmap.scheme_name)}</h3>\n"
+        )
+        rows = []
+        for i, obj in enumerate(heatmap.objects):
+            cells = [
+                _td(_esc(obj)),
+                _td(_esc(heatmap.regions[i])),
+                _td(str(heatmap.runs[i]), "num"),
+                _td(_f(heatmap.sdc_rates[i]), "num"),
+            ]
+            for j in range(len(heatmap.causes)):
+                fraction = heatmap.matrix[i][j]
+                cells.append(_td(
+                    _f(fraction, 2), "cell",
+                    f"background:{_heat_color(fraction)}",
+                ))
+            rows.append(cells)
+        headers = (["object", "region", "runs", "SDC rate"]
+                   + [_esc(c) for c in heatmap.causes])
+        parts.append(_table(headers, rows))
+    return "".join(parts)
+
+
+def _section_adaptive(store) -> str:
+    trails = store.decision_trails()
+    parts = ["<h2>Adaptive stop history</h2>\n"]
+    if not trails:
+        parts.append("<p>No stop-decision trails warehoused.</p>\n")
+        return "".join(parts)
+    for trail in trails:
+        parts.append(
+            f"<h3>{_esc(trail['label'])} "
+            f'<span class="mono">{_esc(trail["digest"][:12])}</span>'
+            "</h3>\n"
+        )
+        rows = []
+        for decision in trail["decisions"]:
+            ci = decision["interval"]
+            rows.append([
+                _td(str(decision["committed"]), "num"),
+                _td(str(decision["sdc"]), "num"),
+                _td(_f(ci["proportion"]), "num"),
+                _td(_f(ci["margin"]), "num"),
+                _td("stop" if decision["stop"] else "continue"),
+            ])
+        parts.append(_table(
+            ["committed", "SDC", "rate", "margin", "decision"], rows,
+        ))
+    return "".join(parts)
+
+
+def _flatten(prefix: str, value, out: list) -> None:
+    """Flatten nested JSON into sorted dotted-key scalar rows."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(f"{prefix}.{key}" if prefix else str(key),
+                     value[key], out)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _flatten(f"{prefix}[{index}]", item, out)
+    else:
+        if isinstance(value, float):
+            text = _f(value)
+        else:
+            text = str(value)
+        out.append((prefix, text))
+
+
+def _section_bench(store) -> str:
+    snapshots = store.bench_snapshots()
+    parts = ["<h2>Benchmark trajectory</h2>\n"]
+    if not snapshots:
+        parts.append("<p>No bench snapshots warehoused.</p>\n")
+        return "".join(parts)
+    for entry in snapshots:
+        parts.append(
+            f"<h3>BENCH_{_esc(entry['name'])} "
+            f'<span class="mono">{_esc(entry["digest"][:12])}</span>'
+            "</h3>\n"
+        )
+        flat: list[tuple[str, str]] = []
+        _flatten("", entry["snapshot"], flat)
+        rows = [
+            [_td(_esc(key), "mono"), _td(_esc(value), "num")]
+            for key, value in flat
+        ]
+        parts.append(_table(["metric", "value"], rows))
+    return "".join(parts)
+
+
+def render_html_report(store) -> str:
+    """Render the full reliability report for one results store.
+
+    Byte-identical output for identical store contents — the function
+    reads only the store (no clocks, no environment) and formats every
+    number through fixed-precision specifiers.
+    """
+    body = "".join([
+        _section_header(store),
+        _section_cells(store),
+        _section_outcomes(store),
+        _section_heatmap(store),
+        _section_adaptive(store),
+        _section_bench(store),
+    ])
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        "<title>repro reliability report</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"{body}"
+        "</body>\n</html>\n"
+    )
+
+
+def write_html_report(store, path: str) -> int:
+    """Write :func:`render_html_report` to ``path``; bytes written."""
+    text = render_html_report(store)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    return len(text.encode("utf-8"))

@@ -47,6 +47,7 @@ from repro.errors import (
     SessionError,
     SessionInterrupted,
     SpecError,
+    StoreError,
     TelemetryError,
     UnknownAppError,
     UnknownSchemeError,
@@ -70,6 +71,7 @@ from repro.kernels.registry import (
     resilience_apps,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressEvent, TtyProgress
 from repro.obs.provenance import (
     ProvenanceRecord,
     ProvenanceWriter,
@@ -91,6 +93,8 @@ from repro.utils.stats import (
     stratified_interval,
 )
 from repro.obs.session import SessionLog, read_session_events
+from repro.obs.store import ResultsStore, ingest_files
+from repro.analysis.html import render_html_report, write_html_report
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.executor import CampaignExecutor
 from repro.runtime.session import (
@@ -156,6 +160,13 @@ __all__ = [
     "read_provenance",
     "VulnerabilityProfile",
     "vulnerability_profiles",
+    # results warehouse, reporting and live progress
+    "ResultsStore",
+    "ingest_files",
+    "render_html_report",
+    "write_html_report",
+    "ProgressEvent",
+    "TtyProgress",
     # errors
     "ReproError",
     "ConfigError",
@@ -165,6 +176,7 @@ __all__ = [
     "CheckpointError",
     "SessionError",
     "SessionInterrupted",
+    "StoreError",
     "TelemetryError",
     "MetricsError",
     "FaultDetected",

@@ -16,9 +16,18 @@ Commands mirror the paper's workflow:
   Perfetto/Chrome ``trace_events`` JSON with per-object attribution.
 * ``export``   — write every exhibit's data for one application to
   CSV files (re-plottable with any tool).
-* ``stats``    — validate and summarize a telemetry JSONL file.
+* ``stats``    — validate and summarize a telemetry JSONL file
+  (``-`` reads the JSONL from stdin).
 * ``vuln``     — per-object vulnerability attribution from a
-  fault-provenance JSONL file (DVF-style profiles).
+  fault-provenance JSONL file (DVF-style profiles; ``-`` reads
+  from stdin).
+* ``db``       — the results warehouse: ``db ingest`` loads
+  telemetry/provenance/decision/session/bench files into a SQLite
+  store keyed by content-addressed cell digests (re-ingest is a
+  no-op), ``db cells`` / ``db query`` inspect it, ``db export``
+  reconstructs a cell's canonical JSONL byte-identically.
+* ``report``   — render a warehouse as one self-contained,
+  deterministic static HTML dashboard.
 * ``apps``     — list the available applications.
 
 ``campaign`` and ``tradeoff`` accept ``--telemetry PATH`` to stream
@@ -43,6 +52,13 @@ at chunk boundaries in run-index order, so the committed results and
 telemetry stay byte-identical at any ``--jobs``/``--batch``;
 ``campaign --decisions PATH`` records the decision trail as JSONL.
 
+``campaign`` and ``sweep`` accept ``--progress`` for a live one-line
+TTY progress display (runs done, rate, ETA, and — for adaptive or
+sweep cells — the current Wilson CI margin), refreshed at chunk
+boundaries.  Progress is purely observational: results and telemetry
+are byte-identical with or without it, and the flag is rejected
+nowhere — on a pipe it degrades to one line per event.
+
 Output honors the global ``-q/--quiet`` and ``-v/--verbose`` flags:
 result tables always print, progress lines are silenced by ``-q``,
 and diagnostics appear on stderr under ``-v``.
@@ -51,9 +67,10 @@ Exit codes map the :mod:`repro.errors` hierarchy so schedulers can
 react without parsing stderr: ``0`` success, ``2`` usage errors,
 ``3`` unknown application or scheme, ``4`` invalid spec or
 configuration, ``5`` checkpoint-store failures, ``6`` session
-failures (retries exhausted), ``75`` interrupted-but-checkpointed
-(rerun ``sweep`` with ``--resume`` to continue), ``1`` any other
-library error.
+failures (retries exhausted), ``7`` results-warehouse failures
+(corrupt input, schema mismatch, unknown digest), ``75``
+interrupted-but-checkpointed (rerun ``sweep`` with ``--resume`` to
+continue), ``1`` any other library error.
 """
 
 from __future__ import annotations
@@ -92,6 +109,20 @@ def _protect_level(value: str) -> int | str:
             f"protection level {value!r} must be none, hot, all, or "
             "an object count"
         ) from None
+
+
+def _progress_sink(args):
+    """A :class:`~repro.obs.progress.TtyProgress` for ``--progress``.
+
+    Returns ``None`` unless the flag was given (and not silenced by
+    ``-q``), so drivers take the exact pre-progress code path by
+    default — the campaign engine never sees a disabled sink.
+    """
+    if not getattr(args, "progress", False) or args.quiet:
+        return None
+    from repro.obs.progress import TtyProgress
+
+    return TtyProgress()
 
 
 def _cmd_apps(_args) -> int:
@@ -175,12 +206,18 @@ def _cmd_campaign(args) -> int:
         max_batch_bytes=args.max_batch_bytes,
     )
     adaptive = None
-    if args.target_margin is not None:
-        adaptive = manager.evaluate_adaptive(
-            target_margin=args.target_margin, **kwargs)
-        result = adaptive.result
-    else:
-        result = manager.evaluate(**kwargs)
+    progress = _progress_sink(args)
+    try:
+        if args.target_margin is not None:
+            adaptive = manager.evaluate_adaptive(
+                target_margin=args.target_margin, progress=progress,
+                **kwargs)
+            result = adaptive.result
+        else:
+            result = manager.evaluate(progress=progress, **kwargs)
+    finally:
+        if progress is not None:
+            progress.close()
     log.result(campaign_table([result]).render())
     log.result("")
     log.result(f"SDC rate: {result.sdc_interval()}")
@@ -309,8 +346,9 @@ def _cmd_sweep(args) -> int:
     )
     events = (SessionLog(args.session_log)
               if args.session_log is not None else None)
+    progress = _progress_sink(args)
     session = Session(spec, store=args.checkpoint_dir, config=config,
-                      events=events)
+                      events=events, progress=progress)
     log.info(f"sweep: {len(spec.cells())} cell(s) x {spec.runs} runs, "
              f"jobs={args.jobs}"
              + (f", checkpoints in {args.checkpoint_dir}"
@@ -318,6 +356,8 @@ def _cmd_sweep(args) -> int:
     try:
         sweep = session.run(resume=args.resume)
     finally:
+        if progress is not None:
+            progress.close()
         if events is not None:
             events.close()
     rows = summarize_sweep(sweep)
@@ -399,10 +439,20 @@ def _cmd_trace(args) -> int:
 
 def _cmd_stats(args) -> int:
     from repro.errors import ReproError
-    from repro.obs.summary import summarize_file
+    from repro.obs.summary import summarize_file, summarize_records
 
     try:
-        summary = summarize_file(args.file)
+        if args.file == "-":
+            from repro.obs.records import (
+                iter_validated_lines,
+                validate_record,
+            )
+
+            records = list(iter_validated_lines(
+                sys.stdin, validate_record, label="<stdin>"))
+            summary = summarize_records("<stdin>", records)
+        else:
+            summary = summarize_file(args.file)
     except FileNotFoundError:
         log.error(f"stats: telemetry file not found: {args.file}")
         return 2
@@ -428,11 +478,18 @@ def _cmd_vuln(args) -> int:
     from repro.obs.provenance import (
         read_provenance,
         top_sdc_objects,
+        validate_provenance,
         vulnerability_profiles,
     )
 
     try:
-        records = read_provenance(args.file)
+        if args.file == "-":
+            from repro.obs.records import iter_validated_lines
+
+            records = list(iter_validated_lines(
+                sys.stdin, validate_provenance, label="<stdin>"))
+        else:
+            records = read_provenance(args.file)
     except FileNotFoundError:
         log.error(f"vuln: provenance file not found: {args.file}")
         return 2
@@ -466,6 +523,91 @@ def _cmd_vuln(args) -> int:
                 for p in worst
             )
         )
+    return 0
+
+
+def _cmd_db_ingest(args) -> int:
+    from repro.obs.store import ResultsStore, ingest_files
+
+    with ResultsStore(args.store) as store:
+        receipts = ingest_files(store, args.files, kind=args.kind)
+    new = sum(1 for r in receipts if not r["deduped"])
+    for receipt in receipts:
+        state = "deduped" if receipt["deduped"] else "ingested"
+        log.info(f"{state} {receipt['kind']} cell "
+                 f"{receipt['digest'][:12]} ({receipt['label']}, "
+                 f"{receipt['rows']} row(s))")
+    log.result(f"{args.store}: {new} new cell(s), "
+               f"{len(receipts) - new} deduplicated")
+    return 0
+
+
+def _cmd_db_cells(args) -> int:
+    from repro.obs.store import ResultsStore
+
+    with ResultsStore(args.store) as store:
+        cells = store.cells()
+    if args.json:
+        from repro.utils.canonical import canonical_json
+
+        log.result(canonical_json(cells))
+        return 0
+    table = TextTable(["digest", "kind", "label", "rows"])
+    for cell in cells:
+        table.add_row([cell["digest"][:12], cell["kind"],
+                       cell["label"], cell["rows"]])
+    log.result(table.render())
+    return 0
+
+
+def _cmd_db_query(args) -> int:
+    from repro.obs.store import ResultsStore
+
+    with ResultsStore(args.store) as store:
+        summaries = store.query(app=args.app, scheme=args.scheme)
+    if args.json:
+        from repro.utils.canonical import canonical_json
+
+        log.result(canonical_json(summaries))
+        return 0
+    table = TextTable(
+        ["app", "scheme", "selection", "faults", "runs", "SDC",
+         "SDC rate", "CI margin"],
+        float_format="{:.4f}",
+    )
+    for cell in summaries:
+        ci = cell["sdc_interval"]
+        table.add_row([
+            cell["app"], cell["scheme"], cell["selection"],
+            f'{cell["n_blocks"]}x{cell["n_bits"]}', cell["runs"],
+            cell["outcomes"].get("sdc", 0), ci["proportion"],
+            ci["margin"],
+        ])
+    log.result(table.render())
+    return 0
+
+
+def _cmd_db_export(args) -> int:
+    from repro.obs.store import ResultsStore
+
+    with ResultsStore(args.store) as store:
+        text = store.export(args.digest)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(text)
+        log.info(f"wrote {text.count(chr(10))} line(s) to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.html import write_html_report
+    from repro.obs.store import ResultsStore
+
+    with ResultsStore(args.store) as store:
+        n = write_html_report(store, args.out)
+    log.result(f"wrote {n} byte(s) of report to {args.out}")
     return 0
 
 
@@ -507,11 +649,15 @@ def _add_trace_capture(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Data-centric GPU reliability management (DSN'21) "
                     "reproduction",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress progress output (results and "
                              "errors still print)")
@@ -563,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write one JSONL fault-provenance record per "
                         "run to PATH (byte-identical at any "
                         "--jobs/--batch); feed it to `repro vuln`")
+    p.add_argument("--progress", action="store_true",
+                   help="live one-line progress on stderr, refreshed "
+                        "at chunk boundaries; never affects results")
     _add_trace_capture(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -650,6 +799,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--session-log", metavar="PATH", default=None,
                    help="narrate orchestration (chunks, retries, "
                         "fallbacks) as JSONL events at PATH")
+    p.add_argument("--progress", action="store_true",
+                   help="live one-line progress on stderr with the "
+                        "active cell and its Wilson CI margin; never "
+                        "affects results or checkpoints")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -682,7 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats",
                        help="summarize a telemetry JSONL file")
     p.add_argument("file", help="telemetry JSONL written by "
-                                "--telemetry")
+                                "--telemetry, or - for stdin")
     p.add_argument("--json", action="store_true",
                    help="emit the summary as canonical JSON instead "
                         "of the text table")
@@ -693,7 +846,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-object vulnerability profiles from a provenance "
              "file")
     p.add_argument("file", help="provenance JSONL written by "
-                                "campaign --provenance")
+                                "campaign --provenance, or - for "
+                                "stdin")
     p.add_argument("--json", action="store_true",
                    help="emit the profiles as canonical JSON instead "
                         "of the text table")
@@ -701,6 +855,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep only the N objects with the most SDC "
                         "attributions")
     p.set_defaults(func=_cmd_vuln)
+
+    p = sub.add_parser(
+        "db",
+        help="the SQLite results warehouse (ingest/cells/query/"
+             "export)")
+    dbsub = p.add_subparsers(dest="db_command", required=True)
+
+    d = dbsub.add_parser(
+        "ingest",
+        help="load JSONL/JSON result files into a store; re-ingest "
+             "of identical content is a no-op")
+    d.add_argument("store", help="SQLite store path (created on "
+                                 "first use)")
+    d.add_argument("files", nargs="+", metavar="FILE",
+                   help="telemetry / provenance / decision / "
+                        "session-event JSONL or BENCH_*.json files")
+    d.add_argument("--kind", default=None,
+                   choices=("runs", "provenance", "decisions",
+                            "session", "bench"),
+                   help="force the record kind (default: "
+                        "auto-detect per file)")
+    d.set_defaults(func=_cmd_db_ingest)
+
+    d = dbsub.add_parser("cells",
+                         help="list the warehoused cells")
+    d.add_argument("store")
+    d.add_argument("--json", action="store_true",
+                   help="emit canonical JSON instead of the table")
+    d.set_defaults(func=_cmd_db_cells)
+
+    d = dbsub.add_parser(
+        "query",
+        help="per-cell outcome tallies with Wilson CIs")
+    d.add_argument("store")
+    d.add_argument("--app", default=None,
+                   help="restrict to one application")
+    d.add_argument("--scheme", default=None,
+                   help="restrict to one protection scheme")
+    d.add_argument("--json", action="store_true",
+                   help="emit canonical JSON instead of the table")
+    d.set_defaults(func=_cmd_db_query)
+
+    d = dbsub.add_parser(
+        "export",
+        help="reconstruct one cell's canonical JSONL, byte-identical "
+             "to the ingested file")
+    d.add_argument("store")
+    d.add_argument("digest", help="full cell digest (see `db cells`)")
+    d.add_argument("--out", metavar="PATH", default=None,
+                   help="write to PATH instead of stdout")
+    d.set_defaults(func=_cmd_db_export)
+
+    p = sub.add_parser(
+        "report",
+        help="render a results warehouse as one static HTML page")
+    p.add_argument("store", help="SQLite store written by `db ingest`")
+    p.add_argument("--out", metavar="PATH", default="report.html",
+                   help="output HTML path (default: report.html)")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("export", help="write exhibit data to CSV")
     _add_common(p)
@@ -723,6 +936,7 @@ def _exit_code_for(exc) -> int:
         (errors.SessionInterrupted, 75),
         (errors.SessionError, 6),
         (errors.CheckpointError, 5),
+        (errors.StoreError, 7),
         (errors.UnknownAppError, 3),
         (errors.UnknownSchemeError, 3),
         (errors.ConfigError, 4),

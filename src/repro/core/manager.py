@@ -184,6 +184,7 @@ class ReliabilityManager:
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
         target_margin: float | None = None,
+        progress=None,
     ) -> CampaignResult:
         """The reliability evaluation (one Fig 9 configuration).
 
@@ -199,12 +200,14 @@ class ReliabilityManager:
         ``max_batch_bytes`` clamps its memory footprint.
         ``target_margin`` turns on CI-driven early stopping with
         ``runs`` as the budget (see :meth:`evaluate_adaptive` for the
-        full decision trail).
+        full decision trail).  ``progress`` names a live-progress sink
+        (one :class:`~repro.obs.progress.ProgressEvent` per chunk);
+        campaign results are identical with or without it.
         """
         campaign = self._evaluation_campaign(
             scheme, protect, runs, n_blocks, n_bits, selection, seed,
             keep_runs, jobs, collect_records, collect_provenance,
-            metrics, batch, max_batch_bytes, target_margin,
+            metrics, batch, max_batch_bytes, target_margin, progress,
         )
         return campaign.run()
 
@@ -225,6 +228,7 @@ class ReliabilityManager:
         metrics=None,
         batch: int = 1,
         max_batch_bytes: int = 256 * 1024 * 1024,
+        progress=None,
     ):
         """Adaptive reliability evaluation: stop at the target margin.
 
@@ -236,14 +240,14 @@ class ReliabilityManager:
         campaign = self._evaluation_campaign(
             scheme, protect, runs, n_blocks, n_bits, selection, seed,
             keep_runs, jobs, collect_records, collect_provenance,
-            metrics, batch, max_batch_bytes, target_margin,
+            metrics, batch, max_batch_bytes, target_margin, progress,
         )
         return campaign.run_adaptive()
 
     def _evaluation_campaign(
         self, scheme, protect, runs, n_blocks, n_bits, selection,
         seed, keep_runs, jobs, collect_records, collect_provenance,
-        metrics, batch, max_batch_bytes, target_margin,
+        metrics, batch, max_batch_bytes, target_margin, progress=None,
     ) -> Campaign:
         names = self.protected_names(protect)
         return Campaign(
@@ -262,6 +266,7 @@ class ReliabilityManager:
             batch=batch,
             max_batch_bytes=max_batch_bytes,
             target_margin=target_margin,
+            progress=progress,
         )
 
     def motivation(

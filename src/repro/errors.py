@@ -93,6 +93,18 @@ class SessionInterrupted(SessionError):
         )
 
 
+class StoreError(ReproError):
+    """A results-warehouse operation failed.
+
+    Raised when a store file cannot be opened or carries an
+    incompatible schema version, when an ingest source is truncated,
+    corrupt, or of an unrecognizable record kind, or when an export
+    target cell does not exist.  The CLI maps it to its own exit code
+    (7) so batch pipelines can distinguish warehouse trouble from
+    configuration errors.
+    """
+
+
 class TraceError(ReproError):
     """A kernel trace is malformed or inconsistent."""
 

@@ -235,12 +235,32 @@ def run_adaptive(
     (or it dies mid-wave) the whole campaign deterministically
     restarts on the serial path.
     """
+    import time
+
     from repro.faults.campaign import CampaignResult
     from repro.runtime.executor import SpanPool, _PoolUnavailable
 
     n_jobs = campaign.jobs if jobs is None else int(jobs)
     if n_jobs < 1:
         raise ConfigError("jobs must be >= 1")
+    progress = getattr(campaign, "progress", None)
+    wall_begin = time.perf_counter()
+
+    def observe(committer: "_Committer") -> None:
+        # Live progress at each commit boundary; purely observational,
+        # a None sink skips even the event construction.
+        if progress is None or not committer.decisions:
+            return
+        from repro.obs.progress import ProgressEvent
+
+        progress(ProgressEvent(
+            phase="adaptive",
+            done=committer.committed,
+            total=budget,
+            elapsed_s=time.perf_counter() - wall_begin,
+            margin=committer.decisions[-1].interval.margin,
+        ))
+
     if campaign.batch <= 1:
         # Result-invariant execution knob: sweep whole commit chunks
         # through the batch engine so analytic classification (and
@@ -261,6 +281,7 @@ def run_adaptive(
                             discarded += part.n_runs
                         else:
                             committer.commit(part)
+                            observe(committer)
                     index += len(wave)
         except _PoolUnavailable:
             # Deterministic restart: the committed prefix of a serial
@@ -270,7 +291,9 @@ def run_adaptive(
             n_jobs = 1
     if n_jobs == 1:
         for start, stop in spans:
-            if committer.commit(campaign.run_span(start, stop)):
+            stopped = committer.commit(campaign.run_span(start, stop))
+            observe(committer)
+            if stopped:
                 break
     merged = CampaignResult.merge(committer.parts)
     campaign.metrics.merge_snapshot(merged.metrics_snapshot)

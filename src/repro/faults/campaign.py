@@ -413,6 +413,7 @@ class Campaign:
         max_batch_bytes: int = 256 * 1024 * 1024,
         target_margin: float | None = None,
         adaptive=None,
+        progress=None,
         scheme_name: str = UNSET,
         protected_names: tuple[str, ...] = UNSET,
     ):
@@ -477,6 +478,13 @@ class Campaign:
 
             adaptive = AdaptiveConfig(target_margin=float(target_margin))
         self.adaptive = adaptive
+        #: Live-progress sink: a callable taking one
+        #: :class:`~repro.obs.progress.ProgressEvent`, invoked at chunk
+        #: granularity by the drivers.  Observational only — never part
+        #: of :meth:`spec_identity`, never shipped to workers, and when
+        #: ``None`` (the default) every driver takes its pre-progress
+        #: code path unchanged.
+        self.progress = progress
         #: The full AdaptiveResult of the last adaptive run (decision
         #: trail, convergence flag); None until one completes.
         self.adaptive_result = None
@@ -559,7 +567,9 @@ class Campaign:
         if self.adaptive is not None:
             return self.run_adaptive(jobs=jobs).result
         n_jobs = self.jobs if jobs is None else jobs
-        if n_jobs != 1:
+        if n_jobs != 1 or self.progress is not None:
+            # The executor owns chunking, and with it the chunk
+            # boundaries progress events are emitted at.
             from repro.runtime.executor import CampaignExecutor
 
             return CampaignExecutor(self, jobs=n_jobs).run()

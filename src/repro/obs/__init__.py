@@ -42,6 +42,11 @@ from repro.obs.trace import (
     TraceEvent,
     TraceSession,
 )
+from repro.obs.progress import (
+    PROGRESS_EVENT_VERSION,
+    ProgressEvent,
+    TtyProgress,
+)
 from repro.obs.records import (
     RUN_RECORD_VERSION,
     RunRecord,
@@ -51,6 +56,12 @@ from repro.obs.records import (
     read_records,
     records_in_order,
     validate_record,
+)
+from repro.obs.store import (
+    STORE_SCHEMA_VERSION,
+    ResultsStore,
+    detect_kind,
+    ingest_files,
 )
 from repro.obs.session import (
     SESSION_EVENT_VERSION,
@@ -89,6 +100,13 @@ __all__ = [
     "iter_session_events",
     "read_session_events",
     "validate_event",
+    "PROGRESS_EVENT_VERSION",
+    "ProgressEvent",
+    "TtyProgress",
+    "STORE_SCHEMA_VERSION",
+    "ResultsStore",
+    "detect_kind",
+    "ingest_files",
     "Logger",
     "configure",
     "get_logger",

@@ -1,0 +1,160 @@
+"""Live campaign progress: chunk-granularity events and a TTY line.
+
+A :class:`ProgressEvent` is emitted by the execution drivers — the
+parallel executor, the adaptive wave loop, and sweep sessions — once
+per completed chunk: runs done so far, effective runs per second, the
+ETA those two imply, and (for adaptive campaigns) the Wilson CI margin
+over the committed prefix.  Progress is *observational*: events carry
+wall-clock data, are explicitly outside every byte-identity guarantee,
+and are **off by default** — a campaign without a progress sink takes
+exactly the pre-progress code path (the disabled-path timing guard in
+``benchmarks/bench_store_ingest.py`` pins this).
+
+Sinks are plain callables taking one event.  :class:`TtyProgress`
+renders a single rewriting status line on stderr (``repro campaign
+--progress``); sweep sessions additionally mirror each event into the
+session JSONL log as a ``progress`` event (see
+:mod:`repro.obs.session`).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import IO
+
+#: Bumped whenever the event shape changes incompatibly.
+PROGRESS_EVENT_VERSION = 1
+
+#: The closed vocabulary of progress phases.
+PROGRESS_PHASES = (
+    "campaign",  # exhaustive campaign, fixed budget
+    "adaptive",  # CI-driven campaign (margin carries the stop rule)
+    "sweep",     # sweep session (cell labels the current grid cell)
+)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One chunk-boundary progress observation.
+
+    ``done``/``total`` count runs (chunk-granular, monotonic within a
+    phase); ``elapsed_s`` is wall time since the driver started;
+    ``margin`` is the Wilson CI margin over the committed prefix where
+    a stopping rule is active, else ``None``; ``cell`` labels the
+    sweep cell an event belongs to (empty for single campaigns).
+    """
+
+    phase: str
+    done: int
+    total: int
+    elapsed_s: float
+    cell: str = ""
+    margin: float | None = None
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the budget in [0, 1]."""
+        return self.done / self.total if self.total else 0.0
+
+    @property
+    def runs_per_sec(self) -> float:
+        """Effective throughput so far (0.0 until the clock ticks)."""
+        return self.done / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def eta_s(self) -> float | None:
+        """Seconds to finish at the current rate; None when unknown."""
+        rate = self.runs_per_sec
+        if rate <= 0 or self.done >= self.total:
+            return None
+        return (self.total - self.done) / rate
+
+    def to_dict(self) -> dict:
+        """JSON-ready image (schema-versioned, wall-clock included)."""
+        return {
+            "version": PROGRESS_EVENT_VERSION,
+            "phase": self.phase,
+            "done": self.done,
+            "total": self.total,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "runs_per_sec": round(self.runs_per_sec, 1),
+            "eta_s": (None if self.eta_s is None
+                      else round(self.eta_s, 1)),
+            "margin": self.margin,
+            "cell": self.cell,
+        }
+
+    def to_detail(self) -> str:
+        """Compact ``key=value`` form for session-event mirroring."""
+        parts = [
+            f"done={self.done}/{self.total}",
+            f"rps={self.runs_per_sec:.1f}",
+        ]
+        if self.eta_s is not None:
+            parts.append(f"eta={self.eta_s:.1f}s")
+        if self.margin is not None:
+            parts.append(f"margin={self.margin:.4f}")
+        return " ".join(parts)
+
+    def render(self) -> str:
+        """One human-readable status line."""
+        head = self.phase if not self.cell else f"{self.phase} {self.cell}"
+        line = (f"{head}: {self.done}/{self.total} runs "
+                f"({100.0 * self.fraction:.1f}%)")
+        if self.runs_per_sec > 0:
+            line += f", {self.runs_per_sec:.1f} runs/s"
+        if self.eta_s is not None:
+            line += f", eta {self.eta_s:.1f}s"
+        if self.margin is not None:
+            line += f", CI margin {self.margin:.4f}"
+        return line
+
+
+class TtyProgress:
+    """Progress sink rendering one rewriting status line.
+
+    On a TTY the line rewrites in place (``\\r`` + pad-out); on a pipe
+    each event becomes its own line so logs stay readable.  Call
+    :meth:`close` (or use as a context manager) to terminate the line.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.n_events = 0
+        self._last_len = 0
+
+    @property
+    def _tty(self) -> bool:
+        isatty = getattr(self.stream, "isatty", None)
+        return bool(isatty()) if isatty is not None else False
+
+    def __call__(self, event: ProgressEvent) -> None:
+        line = event.render()
+        try:
+            if self._tty:
+                pad = " " * max(0, self._last_len - len(line))
+                self.stream.write("\r" + line + pad)
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except BrokenPipeError:
+            return
+        self._last_len = len(line)
+        self.n_events += 1
+
+    def close(self) -> None:
+        """Finish the in-place line with a newline (idempotent)."""
+        if self._tty and self.n_events and self._last_len:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except BrokenPipeError:
+                pass
+        self._last_len = 0
+
+    def __enter__(self) -> "TtyProgress":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -92,6 +92,7 @@ __all__ = [
     "TelemetryWriter",
     "iter_records",
     "iter_validated_jsonl",
+    "iter_validated_lines",
     "read_decisions",
     "read_records",
     "records_in_order",
@@ -274,30 +275,43 @@ class TelemetryWriter(JsonlWriter):
         return len(result.records)
 
 
-def iter_validated_jsonl(path: str, validate) -> Iterator[dict]:
-    """Yield decoded dicts from a JSONL file, one per non-blank line.
+def iter_validated_lines(
+    lines: Iterable[str], validate, label: str = "<stream>"
+) -> Iterator[dict]:
+    """Yield decoded dicts from JSONL lines, one per non-blank line.
 
     Each line is parsed and passed through ``validate`` (a callable
     raising :class:`TelemetryError` on a bad record); any failure is
-    re-raised with a ``path:lineno:`` prefix.  Shared by the telemetry
-    and provenance readers.
+    re-raised with a ``label:lineno:`` prefix.  The source-agnostic
+    core of :func:`iter_validated_jsonl`, also fed directly from stdin
+    by ``repro stats -`` / ``repro vuln -``.
+    """
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"{label}:{lineno}: not valid JSON ({exc})"
+            ) from None
+        try:
+            validate(data)
+        except TelemetryError as exc:
+            raise TelemetryError(f"{label}:{lineno}: {exc}") from None
+        yield data
+
+
+def iter_validated_jsonl(path: str, validate) -> Iterator[dict]:
+    """Yield decoded dicts from a JSONL file, one per non-blank line.
+
+    File-opening wrapper over :func:`iter_validated_lines`; failures
+    carry a ``path:lineno:`` prefix.  Shared by the telemetry and
+    provenance readers.
     """
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TelemetryError(
-                    f"{path}:{lineno}: not valid JSON ({exc})"
-                ) from None
-            try:
-                validate(data)
-            except TelemetryError as exc:
-                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
-            yield data
+        yield from iter_validated_lines(fh, validate, label=path)
 
 
 def iter_records(path: str) -> Iterator[dict]:

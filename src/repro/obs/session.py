@@ -31,6 +31,8 @@ EVENT_KINDS = (
     "retry",        # a chunk attempt failed and will be retried
     "timeout",      # a chunk attempt exceeded its deadline
     "fallback",     # the session degraded to in-process serial execution
+    "early_stop",   # adaptive cells under target margin skipped chunks
+    "progress",     # mirrored live-progress observation (detail field)
     "interrupted",  # the session stopped early with durable progress
     "finish",       # the session completed every planned chunk
 )

@@ -226,13 +226,15 @@ class SpanPool:
                 _ACTIVE_CAMPAIGN = None
 
     def run(
-        self, spans: list[tuple[int, int]]
+        self, spans: list[tuple[int, int]], on_result=None
     ) -> list[tuple[int, "CampaignResult"]]:
         """Execute ``spans`` on the pool; ``(start, result)`` pairs.
 
         Results return in submission order (callers sort by start
         index before merging anyway); a dead pool surfaces as
         :class:`_PoolUnavailable` so callers can fall back to serial.
+        ``on_result`` (if given) observes each ``(start, result)`` pair
+        as it is collected — the live-progress hook; it must not raise.
         """
         if self._pool is None:
             raise _PoolUnavailable("pool is not open")
@@ -246,7 +248,10 @@ class SpanPool:
         parts: list[tuple[int, "CampaignResult"]] = []
         try:
             for start, fut in futures:
-                parts.append((start, fut.result()))
+                result = fut.result()
+                parts.append((start, result))
+                if on_result is not None:
+                    on_result(start, result)
         except BrokenProcessPool as exc:
             raise _PoolUnavailable(
                 "worker pool died before completing"
@@ -300,19 +305,33 @@ class CampaignExecutor:
 
         runs = self.campaign.config.runs
         jobs = min(self.jobs, runs)
+        progress = getattr(self.campaign, "progress", None)
         wall_begin = time.perf_counter()
         if jobs <= 1:
             self.used_jobs = 1
-            result = self.campaign.run_span(0, runs)
+            if progress is None:
+                result = self.campaign.run_span(0, runs)
+            else:
+                result = self._run_serial_chunked(
+                    runs, progress, wall_begin
+                )
         else:
             spans = plan_chunks(runs, jobs, self.chunk_size,
                                 align=self.campaign.effective_batch)
             try:
-                parts = self._run_parallel(spans, jobs)
+                parts = self._run_parallel(
+                    spans, jobs,
+                    self._progress_hook(runs, progress, wall_begin),
+                )
             except _PoolUnavailable as exc:
                 self.used_jobs = 1
                 self.fallback_reason = str(exc.__cause__ or exc)
-                result = self.campaign.run_span(0, runs)
+                if progress is None:
+                    result = self.campaign.run_span(0, runs)
+                else:
+                    result = self._run_serial_chunked(
+                        runs, progress, wall_begin
+                    )
             else:
                 self.used_jobs = jobs
                 parts.sort(key=lambda item: item[0])
@@ -323,6 +342,54 @@ class CampaignExecutor:
             result, (time.perf_counter() - wall_begin) * 1e3
         )
         return result
+
+    def _run_serial_chunked(
+        self, runs: int, progress, wall_begin: float
+    ) -> "CampaignResult":
+        """Serial execution with chunk-boundary progress events.
+
+        Splits the index space exactly like the parallel path would for
+        one worker; the merged result is byte-identical to a single
+        ``run_span(0, runs)`` by the engine's span-merge invariant.
+        """
+        import time
+
+        from repro.faults.campaign import CampaignResult
+
+        from repro.obs.progress import ProgressEvent
+
+        spans = plan_chunks(runs, 1, self.chunk_size,
+                            align=self.campaign.effective_batch)
+        parts = []
+        done = 0
+        for start, stop in spans:
+            parts.append(self.campaign.run_span(start, stop))
+            done += stop - start
+            progress(ProgressEvent(
+                phase="campaign", done=done, total=runs,
+                elapsed_s=time.perf_counter() - wall_begin,
+            ))
+        return CampaignResult.merge(parts)
+
+    def _progress_hook(self, runs: int, progress, wall_begin: float):
+        """Build the pool's ``on_result`` observer (None when off)."""
+        if progress is None:
+            return None
+        import time
+
+        from repro.obs.progress import ProgressEvent
+
+        done = 0
+
+        def on_result(start: int, result) -> None:
+            nonlocal done
+            done += result.n_runs
+            progress(ProgressEvent(
+                phase="campaign", done=done, total=runs,
+                elapsed_s=time.perf_counter() - wall_begin,
+            ))
+
+        return on_result
 
     def _publish_metrics(
         self, result: "CampaignResult", wall_ms: float
@@ -353,7 +420,8 @@ class CampaignExecutor:
         metrics.counter("runtime.app_cache.misses").set(info["misses"])
 
     def _run_parallel(
-        self, spans: list[tuple[int, int]], jobs: int
+        self, spans: list[tuple[int, int]], jobs: int,
+        on_result=None,
     ) -> list[tuple[int, "CampaignResult"]]:
         with SpanPool(self.campaign, jobs, self.start_method) as pool:
-            return pool.run(spans)
+            return pool.run(spans, on_result)

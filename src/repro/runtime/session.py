@@ -488,6 +488,7 @@ class Session:
         config: SessionConfig | None = None,
         metrics: MetricsRegistry | None = None,
         events: SessionLog | None = None,
+        progress=None,
         sleep: Callable[[float], None] = time.sleep,
     ):
         self.spec = spec
@@ -498,6 +499,11 @@ class Session:
         self.config.validate()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
+        #: Live-progress sink (one
+        #: :class:`~repro.obs.progress.ProgressEvent` per committed
+        #: chunk, mirrored into the session log when one is attached).
+        #: Observational only; ``None`` (default) costs nothing.
+        self.progress = progress
         self._sleep = sleep
         #: Why the session degraded to serial execution, if it did.
         self.fallback_reason: str | None = None
@@ -562,11 +568,13 @@ class Session:
 
         executed = 0
         budget = self.config.stop_after_chunks
+        total_runs = sum(u.stop - u.start for u in units)
+        done_runs = sum(r.n_runs for r in parts.values())
 
         def on_done(unit: WorkUnit, result: CampaignResult,
                     source: str) -> bool:
             """Persist one finished chunk; True to keep going."""
-            nonlocal executed
+            nonlocal executed, done_runs
             frontier.record(unit, result)
             if frontier.skippable(unit):
                 # Speculative chunk past the cell's stop boundary
@@ -580,6 +588,13 @@ class Session:
                        start=unit.start, stop=unit.stop, source=source)
             self.metrics.inc("session.chunks.executed")
             executed += 1
+            done_runs += result.n_runs
+            if self.progress is not None:
+                self._observe_progress(
+                    cells[unit.cell_index].key,
+                    digests[unit.cell_index], unit,
+                    done_runs, total_runs, parts, wall_begin,
+                )
             return budget is None or executed < budget
 
         try:
@@ -893,6 +908,36 @@ class Session:
         if self.events is not None:
             self.events.emit(kind, **fields)
 
+    def _observe_progress(
+        self, cell_key: str, digest: str, unit: WorkUnit,
+        done: int, total: int,
+        parts: dict[WorkUnit, CampaignResult], wall_begin: float,
+    ) -> None:
+        """Emit one sweep progress event and mirror it to the log.
+
+        The margin is the Wilson CI width over the current cell's
+        committed runs so far — the "CI width so far" an operator
+        watches an adaptive sweep converge on.
+        """
+        from repro.obs.progress import ProgressEvent
+        from repro.utils.stats import confidence_interval
+
+        sdc = runs = 0
+        for other, result in parts.items():
+            if other.cell_index == unit.cell_index:
+                sdc += result.sdc_count
+                runs += result.n_runs
+        margin = (confidence_interval(sdc, runs).margin
+                  if runs else None)
+        event = ProgressEvent(
+            phase="sweep", done=done, total=total,
+            elapsed_s=time.perf_counter() - wall_begin,
+            cell=cell_key, margin=margin,
+        )
+        self.progress(event)
+        self._emit("progress", cell=digest, start=unit.start,
+                   stop=unit.stop, detail=event.to_detail())
+
 
 class _FallBackToSerial(Exception):
     """Internal: the pool path gave up; serial picks up the rest."""
@@ -907,6 +952,7 @@ def run_sweep(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     jobs: int = 1,
+    progress=None,
     **config_kwargs,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`Session`."""
@@ -914,5 +960,6 @@ def run_sweep(
         spec,
         store=checkpoint_dir,
         config=SessionConfig(jobs=jobs, **config_kwargs),
+        progress=progress,
     )
     return session.run(resume=resume)

@@ -15,6 +15,7 @@ from repro.errors import (
     SessionError,
     SessionInterrupted,
     SpecError,
+    StoreError,
     TelemetryError,
     TraceError,
     UncorrectableFault,
@@ -96,6 +97,12 @@ API_SURFACE = [
     "read_provenance",
     "VulnerabilityProfile",
     "vulnerability_profiles",
+    "ResultsStore",
+    "ingest_files",
+    "render_html_report",
+    "write_html_report",
+    "ProgressEvent",
+    "TtyProgress",
     "ReproError",
     "ConfigError",
     "SpecError",
@@ -104,6 +111,7 @@ API_SURFACE = [
     "CheckpointError",
     "SessionError",
     "SessionInterrupted",
+    "StoreError",
     "TelemetryError",
     "MetricsError",
     "FaultDetected",
@@ -149,7 +157,7 @@ class TestErrorTaxonomy:
         FaultDetected, UncorrectableFault, KernelCrash,
         UnknownAppError, UnknownSchemeError, SpecError,
         TelemetryError, MetricsError, CheckpointError, SessionError,
-        SessionInterrupted,
+        SessionInterrupted, StoreError,
     ])
     def test_all_derive_from_repro_error(self, exc_type):
         assert issubclass(exc_type, ReproError)

@@ -5,10 +5,13 @@ paper, the rows/series the benchmark harness prints; :mod:`tradeoff`
 implements the Section V-C reliability/performance sweep.
 """
 
+from repro.analysis.figures import ParetoPoint, pareto_front_series
 from repro.analysis.report import (
     campaign_table,
+    outcome_count_table,
     performance_table,
     sdc_drop_percent,
+    vulnerability_table,
 )
 from repro.analysis.sweep import (
     SweepCellSummary,
@@ -20,8 +23,12 @@ from repro.analysis.tradeoff import TradeoffPoint, tradeoff_curve
 
 __all__ = [
     "campaign_table",
+    "outcome_count_table",
+    "ParetoPoint",
+    "pareto_front_series",
     "performance_table",
     "sdc_drop_percent",
+    "vulnerability_table",
     "SweepCellSummary",
     "sdc_reduction_by_app",
     "summarize_sweep",

@@ -359,3 +359,49 @@ def vulnerability_heatmap(profiles) -> list[VulnerabilityHeatmap]:
             runs=tuple(p.runs for p in group),
         ))
     return heatmaps
+
+
+# ----------------------------------------------------------------------
+# Pareto front — reliability / overhead / footprint design space
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design-space configuration in the Pareto-front figure.
+
+    ``on_front`` distinguishes the non-dominated configurations from
+    the dominated remainder (plotted greyed-out for context);
+    ``sdc_reduction`` is the percent of baseline SDCs the
+    configuration removes.
+    """
+
+    app_name: str
+    label: str
+    digest: str
+    sdc_rate: float
+    overhead: float
+    replica_bytes: int
+    sdc_reduction: float
+    on_front: bool
+
+
+def pareto_front_series(result) -> list[ParetoPoint]:
+    """Figure data from an :class:`~repro.search.engine.OptimizeResult`.
+
+    Every evaluated configuration becomes one point, front members
+    flagged, in canonical (objectives, digest) order — so the series,
+    like the search it came from, is identical at any ``--jobs``.
+    """
+    on_front = {e.digest for e in result.front}
+    return [
+        ParetoPoint(
+            app_name=result.app,
+            label=e.point.label,
+            digest=e.digest,
+            sdc_rate=e.sdc_rate,
+            overhead=e.overhead,
+            replica_bytes=e.replica_bytes,
+            sdc_reduction=result.sdc_reduction(e),
+            on_front=e.digest in on_front,
+        )
+        for e in result.evaluations
+    ]

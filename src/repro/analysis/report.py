@@ -25,33 +25,58 @@ def sdc_drop_percent(
     return 100.0 * drop / baseline.sdc_count
 
 
-def campaign_table(results: Sequence[CampaignResult]) -> TextTable:
-    """One row per campaign: configuration and outcome counts."""
+def outcome_count_table(
+    identity_headers: Sequence[str],
+    entries: Sequence[tuple],
+    extra_headers: Sequence[str] = (),
+    float_format: str = "{:.2f}",
+) -> TextTable:
+    """The canonical outcome-count table every surface renders.
+
+    One renderer for every "identity columns + runs + one column per
+    :class:`~repro.faults.outcomes.Outcome` + SDC percentage" table
+    (``repro campaign``, ``repro stats``, ``repro vuln``), so the
+    column order and number formats cannot drift between subcommands.
+    ``entries`` yield ``(identity_cells, runs, outcome_counts,
+    extra_cells)`` with ``outcome_counts`` keyed by outcome value
+    (missing outcomes count zero).
+    """
     table = TextTable(
         [
-            "app", "scheme", "selection", "blocks", "bits", "runs",
-            "masked", "sdc", "detected", "corrected", "crash", "sdc%",
+            *identity_headers, "runs",
+            *[o.value for o in Outcome], "sdc%",
+            *extra_headers,
         ],
-        float_format="{:.2f}",
+        float_format=float_format,
     )
-    for r in results:
+    for identity, runs, counts, extras in entries:
+        sdc = counts.get(Outcome.SDC.value, 0)
         table.add_row(
             [
-                r.app_name,
-                r.scheme_name,
-                r.selection_name,
-                r.config.n_blocks,
-                r.config.n_bits,
-                r.n_runs,
-                r.count(Outcome.MASKED),
-                r.count(Outcome.SDC),
-                r.count(Outcome.DETECTED),
-                r.count(Outcome.CORRECTED),
-                r.count(Outcome.CRASH),
-                100.0 * r.sdc_rate,
+                *identity, runs,
+                *[counts.get(o.value, 0) for o in Outcome],
+                100.0 * sdc / runs if runs else 0.0,
+                *extras,
             ]
         )
     return table
+
+
+def campaign_table(results: Sequence[CampaignResult]) -> TextTable:
+    """One row per campaign: configuration and outcome counts."""
+    return outcome_count_table(
+        ("app", "scheme", "selection", "blocks", "bits"),
+        [
+            (
+                (r.app_name, r.scheme_name, r.selection_name,
+                 r.config.n_blocks, r.config.n_bits),
+                r.n_runs,
+                {o.value: r.count(o) for o in Outcome},
+                (),
+            )
+            for r in results
+        ],
+    )
 
 
 def performance_table(
@@ -86,40 +111,29 @@ def vulnerability_table(profiles: Sequence) -> TextTable:
 
     ``profiles`` come from
     :func:`repro.obs.provenance.vulnerability_profiles`; this is the
-    text body of ``repro vuln``.  ``top cause`` is the object's most
+    text body of ``repro vuln``, rendered through the shared
+    :func:`outcome_count_table`.  ``top cause`` is the object's most
     frequent provenance cause (ties break alphabetically, so the
     rendering is deterministic).
     """
-    table = TextTable(
-        [
-            "app", "scheme", "object", "region", "liveness", "runs",
-            "sdc", "sdc%", "±", "due", "masked", "reads@risk",
-            "top cause",
-        ],
-        float_format="{:.2f}",
-    )
+    entries = []
     for p in profiles:
-        interval = p.sdc_interval()
         top_cause = ""
         if p.cause_counts:
             top_cause = min(
                 p.cause_counts, key=lambda c: (-p.cause_counts[c], c)
             )
-        table.add_row(
-            [
-                p.app,
-                p.scheme,
-                p.object,
-                p.region,
-                p.liveness,
+        entries.append(
+            (
+                (p.app, p.scheme, p.object, p.region, p.liveness),
                 p.runs,
-                p.sdc_count,
-                100.0 * p.sdc_rate,
-                100.0 * interval.margin,
-                p.due_count,
-                p.outcome_counts["masked"],
-                p.reads_at_risk,
-                top_cause,
-            ]
+                dict(p.outcome_counts),
+                (100.0 * p.sdc_interval().margin, p.reads_at_risk,
+                 top_cause),
+            )
         )
-    return table
+    return outcome_count_table(
+        ("app", "scheme", "object", "region", "liveness"),
+        entries,
+        extra_headers=("±", "reads@risk", "top cause"),
+    )

@@ -32,11 +32,29 @@ Quickstart::
     session = Session(spec, store="sweep.ckpt",
                       config=SessionConfig(jobs=8))
     sweep = session.run(resume=True)
+
+    # One request value drives every entry point:
+    from repro.api import EvaluationRequest, ProtectionSpec
+
+    request = EvaluationRequest(app="P-BICG", runs=1000, jobs=4,
+                                protect=ProtectionSpec.parse(
+                                    "p=correction,r=detection"))
+    result = manager.evaluate(request=request)
+
+    # Design-space exploration with Pareto-front extraction:
+    from repro.api import optimize
+
+    search = optimize(app="P-BICG", strategy="greedy", runs=500,
+                      store="dse.ckpt", resume=True,
+                      max_overhead=0.02)
+    print(search.best, search.front)
 """
 
 from repro import __version__
 from repro.arch.config import GpuConfig, PAPER_CONFIG
 from repro.core.manager import ReliabilityManager
+from repro.core.protection import ProtectionSpec
+from repro.core.request import EvaluationRequest
 from repro.errors import (
     CheckpointError,
     ConfigError,
@@ -105,8 +123,13 @@ from repro.runtime.session import (
     SweepSpec,
     run_sweep,
 )
+from repro.analysis.figures import ParetoPoint, pareto_front_series
 from repro.analysis.sweep import summarize_sweep
 from repro.analysis.tradeoff import tradeoff_curve
+from repro.obs.search import read_search_trail
+from repro.search.engine import OptimizeResult, optimize
+from repro.search.pareto import Evaluation, budget_best, pareto_front
+from repro.search.space import DesignPoint, DesignSpace
 
 __all__ = [
     # applications
@@ -114,8 +137,10 @@ __all__ = [
     "FLAT_APPLICATIONS",
     "create_app",
     "resilience_apps",
-    # end-to-end management
+    # end-to-end management and the unified evaluation surface
     "ReliabilityManager",
+    "EvaluationRequest",
+    "ProtectionSpec",
     "GpuConfig",
     "PAPER_CONFIG",
     # campaigns
@@ -145,6 +170,17 @@ __all__ = [
     "run_sweep",
     "summarize_sweep",
     "tradeoff_curve",
+    # design-space exploration
+    "optimize",
+    "OptimizeResult",
+    "DesignPoint",
+    "DesignSpace",
+    "Evaluation",
+    "pareto_front",
+    "budget_best",
+    "ParetoPoint",
+    "pareto_front_series",
+    "read_search_trail",
     # observability
     "MetricsRegistry",
     "RunRecord",

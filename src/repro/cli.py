@@ -12,6 +12,14 @@ Commands mirror the paper's workflow:
 * ``sweep``    — a resumable grid of campaign cells (apps × schemes ×
   protection levels) with durable chunk-level checkpoints
   (``--checkpoint-dir`` / ``--resume``).
+* ``optimize`` — protection design-space exploration: search the
+  per-object scheme assignments with a pluggable strategy
+  (exhaustive / greedy / evolutionary / random), extract the Pareto
+  front over (SDC rate, performance overhead, replica footprint),
+  and solve "best SDC reduction under an overhead/memory budget"
+  (``--budget-overhead`` / ``--budget-memory``); checkpointed and
+  resumable like ``sweep``, with a byte-deterministic ``--trail``
+  decision log.
 * ``trace``    — cycle-level trace of one timing run, exported as
   Perfetto/Chrome ``trace_events`` JSON with per-object attribution.
 * ``export``   — write every exhibit's data for one application to
@@ -69,8 +77,8 @@ react without parsing stderr: ``0`` success, ``2`` usage errors,
 configuration, ``5`` checkpoint-store failures, ``6`` session
 failures (retries exhausted), ``7`` results-warehouse failures
 (corrupt input, schema mismatch, unknown digest), ``75``
-interrupted-but-checkpointed (rerun ``sweep`` with ``--resume`` to
-continue), ``1`` any other library error.
+interrupted-but-checkpointed (rerun ``sweep``/``optimize`` with
+``--resume`` to continue), ``1`` any other library error.
 """
 
 from __future__ import annotations
@@ -376,6 +384,89 @@ def _cmd_sweep(args) -> int:
         with open(args.out, "w", encoding="utf-8", newline="\n") as fh:
             fh.write(canonical_json(sweep.to_dict()) + "\n")
         log.info(f"wrote merged sweep results to {args.out}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.errors import SpecError
+    from repro.search import optimize
+
+    if args.resume and args.checkpoint_dir is None:
+        raise SpecError("--resume requires --checkpoint-dir")
+    if args.json:
+        # --json promises machine-readable stdout; round-progress info
+        # lines would corrupt it.
+        configure_logging(quiet=True)
+    progress = _progress_sink(args)
+    try:
+        result = optimize(
+            app=args.app,
+            strategy=args.strategy,
+            objects=args.objects,
+            runs=args.runs,
+            n_blocks=args.blocks,
+            n_bits=args.bits,
+            selection=args.selection,
+            seed=args.seed,
+            search_seed=args.search_seed,
+            scale=args.scale,
+            app_seed=args.app_seed,
+            population=args.population,
+            generations=args.generations,
+            max_evals=args.max_evals,
+            chunk_runs=args.chunk_runs,
+            store=args.checkpoint_dir,
+            resume=args.resume,
+            jobs=args.jobs,
+            batch=args.batch,
+            stop_after_chunks=args.stop_after_chunks,
+            trail=args.trail,
+            progress=progress,
+            max_overhead=args.budget_overhead,
+            max_replica_bytes=args.budget_memory,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
+    if args.json:
+        from repro.utils.canonical import canonical_json
+
+        log.result(canonical_json(result.to_dict()))
+        return 0
+    front = {e.digest for e in result.front}
+    table = TextTable(
+        ["configuration", "runs", "sdc", "sdc%", "overhead%",
+         "replica-bytes", "front"],
+        float_format="{:.2f}",
+    )
+    for e in result.evaluations:
+        table.add_row([
+            e.point.label, e.runs, e.sdc_count, 100.0 * e.sdc_rate,
+            100.0 * e.overhead, e.replica_bytes,
+            "*" if e.digest in front else "",
+        ])
+    log.result(f"{result.app}: {len(result.evaluations)} "
+               f"configuration(s) evaluated in {result.rounds} "
+               f"round(s) ({result.strategy}), front size "
+               f"{len(result.front)}")
+    log.result(table.render())
+    if args.budget_overhead is not None or args.budget_memory is not None:
+        if result.best is None:
+            log.result("budget: no front configuration fits")
+        else:
+            b = result.best
+            log.result(
+                f"budget pick: {b.point.label} — removes "
+                f"{result.sdc_reduction(b):.1f}% of baseline SDCs at "
+                f"{100.0 * b.overhead:.2f}% overhead, "
+                f"{b.replica_bytes} replica bytes"
+            )
+    if args.out is not None:
+        from repro.utils.canonical import canonical_json
+
+        with open(args.out, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(canonical_json(result.to_dict()) + "\n")
+        log.info(f"wrote search results to {args.out}")
     return 0
 
 
@@ -804,6 +895,85 @@ def build_parser() -> argparse.ArgumentParser:
                         "active cell and its Wilson CI margin; never "
                         "affects results or checkpoints")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "optimize",
+        help="protection design-space exploration (Pareto front over "
+             "SDC rate, overhead, replica footprint)")
+    p.add_argument("app", help="application name, e.g. P-BICG")
+    p.add_argument("--strategy", default="greedy",
+                   choices=("exhaustive", "greedy", "evolutionary",
+                            "random"),
+                   help="search strategy (default: greedy, seeded "
+                        "from per-object vulnerability attribution)")
+    p.add_argument("--objects", type=int, default=None, metavar="N",
+                   help="restrict the design space to the first N "
+                        "objects of the importance order "
+                        "(default: all)")
+    p.add_argument("--runs", type=int, default=200,
+                   help="fault-injection runs per configuration "
+                        "(default 200)")
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--bits", type=int, default=2)
+    p.add_argument("--selection", default="access-weighted",
+                   choices=("access-weighted", "miss-weighted",
+                            "uniform", "hot", "rest", "stratified"))
+    p.add_argument("--seed", type=int, default=20210621,
+                   help="campaign seed (default 20210621)")
+    p.add_argument("--app-seed", type=int, default=1234,
+                   help="application input seed (default 1234)")
+    p.add_argument("--scale", default="default",
+                   choices=("default", "small"))
+    p.add_argument("--search-seed", type=int, default=1,
+                   help="strategy randomness seed (default 1); part "
+                        "of the search identity")
+    p.add_argument("--population", type=int, default=12,
+                   help="evolutionary/random candidates per round "
+                        "(default 12)")
+    p.add_argument("--generations", type=int, default=6,
+                   help="evolutionary generations (default 6)")
+    p.add_argument("--max-evals", type=int, default=None, metavar="N",
+                   help="stop after N evaluated configurations")
+    p.add_argument("--budget-overhead", type=float, default=None,
+                   metavar="F",
+                   help="budget solver: best SDC reduction with "
+                        "simulated overhead <= F (e.g. 0.02 = 2%%)")
+    p.add_argument("--budget-memory", type=int, default=None,
+                   metavar="BYTES",
+                   help="budget solver: replica footprint <= BYTES")
+    p.add_argument("--chunk-runs", type=int, default=None,
+                   help="runs per durable work unit (default: each "
+                        "configuration split into 16 chunks)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1); never affects "
+                        "the front or the trail")
+    p.add_argument("--batch", type=int, default=1,
+                   help="runs propagated per batched sweep "
+                        "(default 1); never affects results")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="persist the search (manifest + per-round "
+                        "campaign chunks) under DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="continue the search already in "
+                        "--checkpoint-dir")
+    p.add_argument("--stop-after-chunks", type=int, default=None,
+                   metavar="N",
+                   help="stop (exit 75, checkpointed) after N newly "
+                        "executed campaign chunks")
+    p.add_argument("--trail", metavar="PATH", default=None,
+                   help="write the per-round search decision log as "
+                        "JSONL at PATH (byte-identical at any "
+                        "--jobs/--batch and across resume)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full search result as canonical "
+                        "JSON instead of tables")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the search result as canonical "
+                        "JSON to PATH")
+    p.add_argument("--progress", action="store_true",
+                   help="live one-line campaign progress on stderr; "
+                        "never affects results")
+    p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
         "trace",

@@ -16,6 +16,8 @@ from functools import cached_property
 from repro.arch.address_space import DeviceMemory
 from repro.arch.config import GpuConfig, PAPER_CONFIG
 from repro.core.hardware import HardwareBudget
+from repro.core.protection import ProtectionSpec
+from repro.core.request import EvaluationRequest
 from repro.errors import ConfigError, SpecError
 from repro.faults.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.faults.selection import (
@@ -116,7 +118,29 @@ class ReliabilityManager:
                     f"protect={protect} outside [0, {len(order)}]"
                 )
             return tuple(order[:protect])
+        if isinstance(protect, ProtectionSpec):
+            return protect.objects
         raise SpecError(f"bad protection level {protect!r}")
+
+    def protection_spec(
+        self, scheme: str, protect
+    ) -> ProtectionSpec:
+        """Resolve any protection spelling to a typed spec.
+
+        ``protect`` may already be a
+        :class:`~repro.core.protection.ProtectionSpec`, an explicit
+        assignment string (``"obj=detection,obj2=correction"``), or
+        the contextual shorthands :meth:`protected_names` resolves
+        (``"none"``/``"hot"``/``"all"``/count) — the latter protected
+        uniformly with ``scheme``.
+        """
+        if isinstance(protect, ProtectionSpec):
+            return protect
+        if isinstance(protect, str) and "=" in protect:
+            return ProtectionSpec.parse(protect)
+        return ProtectionSpec.uniform(
+            scheme, self.protected_names(protect)
+        )
 
     # ------------------------------------------------------------------
     # Block selections
@@ -185,6 +209,7 @@ class ReliabilityManager:
         max_batch_bytes: int = 256 * 1024 * 1024,
         target_margin: float | None = None,
         progress=None,
+        request: EvaluationRequest | None = None,
     ) -> CampaignResult:
         """The reliability evaluation (one Fig 9 configuration).
 
@@ -203,7 +228,19 @@ class ReliabilityManager:
         full decision trail).  ``progress`` names a live-progress sink
         (one :class:`~repro.obs.progress.ProgressEvent` per chunk);
         campaign results are identical with or without it.
+
+        Alternatively pass the whole experiment as one
+        :class:`~repro.core.request.EvaluationRequest` via
+        ``request=`` — the unified surface shared with
+        :class:`~repro.runtime.session.Session` and
+        :func:`~repro.search.engine.optimize` — in which case the
+        request supplies every field above (its ``app`` must name
+        this manager's application).
         """
+        if request is not None:
+            return self._request_campaign(
+                request, metrics=metrics, progress=progress
+            ).run()
         campaign = self._evaluation_campaign(
             scheme, protect, runs, n_blocks, n_bits, selection, seed,
             keep_runs, jobs, collect_records, collect_provenance,
@@ -244,19 +281,52 @@ class ReliabilityManager:
         )
         return campaign.run_adaptive()
 
+    def _request_campaign(
+        self, request: EvaluationRequest, metrics=None, progress=None,
+    ) -> Campaign:
+        """Materialize an :class:`EvaluationRequest` as a campaign.
+
+        Explicitly passed sinks win over the request's own.
+        """
+        if request.app != self.app.name:
+            raise SpecError(
+                f"request is for {request.app!r}, this manager "
+                f"drives {self.app.name!r}"
+            )
+        return self._evaluation_campaign(
+            request.scheme, request.protect, request.runs,
+            request.n_blocks, request.n_bits, request.selection,
+            request.seed, request.keep_runs, request.jobs,
+            request.collect_records, request.collect_provenance,
+            metrics if metrics is not None else request.metrics,
+            request.batch, request.max_batch_bytes,
+            request.target_margin,
+            progress if progress is not None else request.progress,
+            secded=request.secded,
+        )
+
     def _evaluation_campaign(
         self, scheme, protect, runs, n_blocks, n_bits, selection,
         seed, keep_runs, jobs, collect_records, collect_provenance,
         metrics, batch, max_batch_bytes, target_margin, progress=None,
+        secded=False,
     ) -> Campaign:
-        names = self.protected_names(protect)
+        if isinstance(protect, ProtectionSpec) or (
+            isinstance(protect, str) and "=" in protect
+        ):
+            # Typed (or explicit per-object) protection fully
+            # determines scheme and objects; ``scheme`` is unused.
+            how = {"protection": self.protection_spec(scheme, protect)}
+        else:
+            how = {"scheme": scheme,
+                   "protect": self.protected_names(protect)}
         return Campaign(
             self.app,
             self.selection(selection),
-            scheme=scheme,
-            protect=names,
+            **how,
             config=CampaignConfig(
-                runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed
+                runs=runs, n_blocks=n_blocks, n_bits=n_bits, seed=seed,
+                secded=secded,
             ),
             keep_runs=keep_runs,
             jobs=self.jobs if jobs is None else jobs,
@@ -294,10 +364,16 @@ class ReliabilityManager:
         return campaign.run()
 
     def simulate_performance(
-        self, scheme: str = "baseline", protect: int | str = "none",
+        self, scheme: str = "baseline",
+        protect: int | str | ProtectionSpec = "none",
         metrics=None, tracer=None,
     ):
         """One timing run (a Fig 7 bar): returns a SimReport.
+
+        ``protect`` accepts every spelling
+        :meth:`protection_spec` does — a typed
+        :class:`~repro.core.protection.ProtectionSpec` (mixed
+        per-object schemes included) or the string shorthands.
 
         Imported lazily to keep the functional pipeline import-light.
         ``metrics`` optionally receives the simulator's observability
@@ -307,15 +383,16 @@ class ReliabilityManager:
         """
         from repro.sim.simulator import simulate_app
 
-        names = self.protected_names(protect)
+        spec = self.protection_spec(scheme, protect)
         return simulate_app(
             self.app,
             trace=self.trace,
             memory=self.memory,
             config=self.config,
-            scheme_name=scheme if names else "baseline",
-            protected_names=names,
+            scheme_name=spec.scheme_label,
+            protected_names=spec.objects,
             budget=self.budget,
             metrics=metrics,
             tracer=tracer,
+            schemes=spec.schemes if spec.is_mixed else None,
         )

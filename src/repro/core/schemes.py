@@ -221,6 +221,84 @@ class CorrectionScheme(_ReplicatedScheme):
         )
 
 
+class MixedScheme:
+    """Per-object mix of detection and correction.
+
+    Composes one :class:`DetectionScheme` over the duplicated objects
+    and one :class:`CorrectionScheme` over the triplicated ones,
+    sharing a single :class:`SchemeStats` so the campaign's counters
+    read like any other scheme's.  The shared start-address table is
+    budget-checked as a whole: a detection entry costs one replica
+    address, a correction entry two.
+    """
+
+    scheme_name = "mixed"
+    extra_copies = 0  # varies per object; see the sub-schemes
+
+    def __init__(
+        self,
+        memory: DeviceMemory,
+        detection_objects: list[DataObject],
+        correction_objects: list[DataObject],
+        budget: HardwareBudget | None = None,
+    ):
+        if not detection_objects or not correction_objects:
+            raise ConfigError(
+                "mixed: needs at least one detection and one "
+                "correction object (use a uniform scheme otherwise)"
+            )
+        budget = budget or HardwareBudget()
+        n_objects = len(detection_objects) + len(correction_objects)
+        table_bytes = 4 * (
+            len(detection_objects) + 2 * len(correction_objects)
+        )
+        if table_bytes > budget.addr_table_bytes:
+            raise ConfigError(
+                f"mixed protection of {n_objects} objects needs "
+                f"{table_bytes}B of start-address table "
+                f"(limit {budget.addr_table_bytes}B)"
+            )
+        budget.check(
+            n_protected_objects=1,  # table checked jointly above
+            n_protected_loads=n_objects,
+            extra_copies=1,
+        )
+        self.memory = memory
+        self.budget = budget
+        self.stats = SchemeStats()
+        self._detection = DetectionScheme(
+            memory, detection_objects, budget
+        )
+        self._correction = CorrectionScheme(
+            memory, correction_objects, budget
+        )
+        # One stats block for the whole configuration: sub-scheme
+        # reads tally into the composite's counters.
+        self._detection.stats = self.stats
+        self._correction.stats = self.stats
+        self.replica_sets: dict[str, ReplicaSet] = {
+            **self._detection.replica_sets,
+            **self._correction.replica_sets,
+        }
+        self.protected_names = frozenset(self.replica_sets)
+        self._scheme_by_name = {
+            name: self._detection
+            for name in self._detection.protected_names
+        }
+        self._scheme_by_name.update(
+            (name, self._correction)
+            for name in self._correction.protected_names
+        )
+
+    def read(self, obj: DataObject) -> np.ndarray:
+        """Dispatch the read to the object's own sub-scheme."""
+        sub = self._scheme_by_name.get(obj.name)
+        if sub is None:
+            self.stats.unprotected_reads += 1
+            return self.memory.read_object(obj)
+        return sub.read(obj)
+
+
 SCHEME_NAMES = ("baseline", "detection", "correction")
 
 
@@ -244,3 +322,26 @@ def make_scheme(
     if name == "detection":
         return DetectionScheme(memory, protected_objects, budget)
     return CorrectionScheme(memory, protected_objects, budget)
+
+
+def make_protection(
+    memory: DeviceMemory,
+    spec,
+    budget: HardwareBudget | None = None,
+):
+    """Factory: build the scheme a :class:`ProtectionSpec` describes.
+
+    Uniform specs build the same objects :func:`make_scheme` would
+    (so existing campaign identities are untouched); specs mixing
+    detection and correction build a :class:`MixedScheme`.
+    """
+    if spec.is_baseline:
+        return BaselineScheme(memory)
+    uniform = spec.uniform_scheme
+    objects = [memory.object(name) for name in spec.objects]
+    if uniform is not None:
+        return make_scheme(uniform, memory, objects, budget)
+    schemes = spec.schemes
+    detection = [o for o in objects if schemes[o.name] == "detection"]
+    correction = [o for o in objects if schemes[o.name] == "correction"]
+    return MixedScheme(memory, detection, correction, budget)

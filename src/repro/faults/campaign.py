@@ -28,7 +28,8 @@ import numpy as np
 
 from repro._compat import UNSET, resolve_renamed
 from repro.arch.address_space import DeviceMemory
-from repro.core.schemes import SCHEME_NAMES, make_scheme
+from repro.core.protection import ProtectionSpec
+from repro.core.schemes import SCHEME_NAMES, make_protection
 from repro.errors import (
     ConfigError,
     FaultDetected,
@@ -416,6 +417,7 @@ class Campaign:
         progress=None,
         scheme_name: str = UNSET,
         protected_names: tuple[str, ...] = UNSET,
+        protection: ProtectionSpec | None = None,
     ):
         # Canonical vocabulary is ``scheme``/``protect``; the original
         # ``scheme_name``/``protected_names`` spellings still work but
@@ -425,12 +427,31 @@ class Campaign:
         protect = resolve_renamed(
             "Campaign", "protected_names", "protect",
             protected_names, protect)
+        if protection is not None:
+            # The typed spelling: a ProtectionSpec carries both the
+            # scheme and the object list (mixed per-object schemes
+            # included), so the string kwargs must stay unset.
+            if scheme is not UNSET or protect is not UNSET:
+                raise ConfigError(
+                    "pass either protection= or scheme=/protect=, "
+                    "not both"
+                )
+            scheme = protection.scheme_label
+            protect = protection.objects
         if scheme is UNSET:
             scheme = "baseline"
         if protect is UNSET:
             protect = ()
-        if scheme not in SCHEME_NAMES:
-            raise UnknownSchemeError(scheme, SCHEME_NAMES)
+        if protection is None:
+            if scheme not in SCHEME_NAMES:
+                raise UnknownSchemeError(scheme, SCHEME_NAMES)
+            protection = ProtectionSpec.uniform(scheme, protect)
+        if protection.is_mixed and collect_provenance:
+            raise ConfigError(
+                "provenance collection does not support mixed "
+                "per-object schemes yet (the cause taxonomy is "
+                "defined per uniform scheme)"
+            )
         if clone_mode not in CLONE_MODES:
             raise ConfigError(
                 f"clone_mode {clone_mode!r} not in {CLONE_MODES}"
@@ -445,6 +466,9 @@ class Campaign:
         self.selection = selection
         self.scheme_name = scheme
         self.protected_names = tuple(protect)
+        #: Typed image of the configuration (always set; uniform
+        #: string spellings are wrapped on construction).
+        self.protection = protection
         self.config = config or CampaignConfig()
         self.keep_runs = keep_runs
         self.jobs = jobs
@@ -549,6 +573,12 @@ class Campaign:
             identity["collect_provenance"] = True
         if self.adaptive is not None:
             identity["adaptive"] = self.adaptive.to_dict()
+        if self.protection.is_mixed:
+            # Mixed configurations carry the full per-object scheme
+            # map; uniform ones are fully described by scheme/protect
+            # above, so their digests predate this key and must not
+            # change.
+            identity["protection"] = self.protection.to_dict()
         return identity
 
     def identity_digest(self) -> str:
@@ -667,10 +697,12 @@ class Campaign:
         footprint (every lane COW-cloning the full base image) stays
         under ``max_batch_bytes``, and collapses to 1 whenever the
         batched engine cannot guarantee scalar-identical results
-        (SECDED filtering, ``clone_mode="full"``).
+        (SECDED filtering, ``clone_mode="full"``, mixed per-object
+        schemes — the lane classifier models one uniform scheme).
         """
         if self.batch <= 1 or self.config.secded \
-                or self.clone_mode != "cow":
+                or self.clone_mode != "cow" \
+                or self.protection.is_mixed:
             return 1
         per_lane = max(1, self._pristine.bytes_allocated)
         return max(1, min(self.batch, self.max_batch_bytes // per_lane))
@@ -690,10 +722,11 @@ class Campaign:
         identical to calling :meth:`run_one` per index — the batched
         engine (see :mod:`repro.faults.batch`) is an execution
         strategy, not a semantic variant.  Configurations the engine
-        does not support (SECDED, full clone mode) transparently fall
-        back to the scalar loop.
+        does not support (SECDED, full clone mode, mixed per-object
+        schemes) transparently fall back to the scalar loop.
         """
-        if self.config.secded or self.clone_mode != "cow":
+        if self.config.secded or self.clone_mode != "cow" \
+                or self.protection.is_mixed:
             return [
                 self.run_one(i, metrics=metrics, record_sink=record_sink,
                              provenance_sink=provenance_sink)
@@ -725,17 +758,13 @@ class Campaign:
             # are recreated from scratch inside every run.
             return self._pristine.clone()
         if self._base_memory is None:
-            if self.scheme_name == "baseline" or not self.protected_names:
+            if self.protection.is_baseline:
                 # No replicas to prepare: COW straight off the shared
                 # pristine image.
                 self._base_memory = self._pristine
             else:
                 base = self._pristine.clone()
-                make_scheme(
-                    self.scheme_name,
-                    base,
-                    [base.object(n) for n in self.protected_names],
-                )
+                make_protection(base, self.protection)
                 self._base_memory = base
         return self._base_memory.cow_clone()
 
@@ -765,8 +794,7 @@ class Campaign:
         seed = derive_seed(self.config.seed, run_index)
         rng = RngStream(seed)
         memory = self._run_memory()
-        protected = [memory.object(n) for n in self.protected_names]
-        scheme = make_scheme(self.scheme_name, memory, protected)
+        scheme = make_protection(memory, self.protection)
 
         block_addrs = self.selection.pick(rng, self.config.n_blocks)
         children = rng.child_pool(len(block_addrs))

@@ -18,7 +18,6 @@ from repro.utils.stats import (
     confidence_interval,
     zero_run_interval,
 )
-from repro.utils.tables import TextTable
 
 
 @dataclass
@@ -98,20 +97,30 @@ class TelemetrySummary:
     groups: list[GroupSummary]
 
     def render(self) -> str:
-        """Multi-line human-readable summary table + per-group notes."""
+        """Multi-line human-readable summary table + per-group notes.
+
+        The outcome-count body goes through the canonical
+        :func:`repro.analysis.report.outcome_count_table` (imported
+        lazily to keep obs free of analysis dependencies), so
+        ``repro stats`` and ``repro vuln`` cannot drift apart.
+        """
+        from repro.analysis.report import outcome_count_table
+
         lines = [f"{self.path}: {self.n_records} run record(s), "
                  f"{len(self.groups)} campaign(s)"]
-        table = TextTable(
-            ["app", "scheme", "grid", "runs"]
-            + [o.value for o in Outcome]
-            + ["SDC rate", "distinct blocks"],
+        table = outcome_count_table(
+            ("app", "scheme", "grid"),
+            [
+                (
+                    (g.app, g.scheme, f"{g.n_blocks}x{g.n_bits}b"),
+                    g.runs,
+                    dict(g.outcome_counts),
+                    (len(g.fault_blocks),),
+                )
+                for g in self.groups
+            ],
+            extra_headers=("distinct blocks",),
         )
-        for g in self.groups:
-            table.add_row(
-                [g.app, g.scheme, f"{g.n_blocks}x{g.n_bits}b", g.runs]
-                + [g.outcome_counts[o.value] for o in Outcome]
-                + [f"{g.sdc_rate:.3f}", len(g.fault_blocks)]
-            )
         lines.append(table.render())
         for g in self.groups:
             lines.append(

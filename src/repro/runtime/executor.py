@@ -92,6 +92,9 @@ class CampaignSpec:
     collect_provenance: bool = False
     batch: int = 1
     max_batch_bytes: int = 256 * 1024 * 1024
+    #: Full typed protection (mixed per-object configurations only;
+    #: ``None`` means ``scheme_name``/``protected_names`` say it all).
+    protection: Any = None
 
     @classmethod
     def from_campaign(cls, campaign: "Campaign") -> "CampaignSpec":
@@ -113,6 +116,10 @@ class CampaignSpec:
             collect_provenance=campaign.collect_provenance,
             batch=campaign.batch,
             max_batch_bytes=campaign.max_batch_bytes,
+            protection=(
+                campaign.protection if campaign.protection.is_mixed
+                else None
+            ),
         )
 
 
@@ -142,12 +149,16 @@ def _run_span_spec(
 
         if len(_WORKER_CAMPAIGNS) >= _MAX_WORKER_CAMPAIGNS:
             _WORKER_CAMPAIGNS.clear()
+        if spec.protection is not None:
+            how = {"protection": spec.protection}
+        else:
+            how = {"scheme": spec.scheme_name,
+                   "protect": spec.protected_names}
         campaign = Campaign(
             spec.app,
             spec.selection,
-            scheme=spec.scheme_name,
-            protect=spec.protected_names,
             config=spec.config,
+            **how,
             keep_runs=spec.keep_runs,
             clone_mode=spec.clone_mode,
             collect_records=spec.collect_records,

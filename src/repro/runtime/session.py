@@ -34,6 +34,9 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import Callable, Sequence
 
+from repro import _compat
+from repro.core.protection import ProtectionSpec
+from repro.core.request import EvaluationRequest
 from repro.core.schemes import SCHEME_NAMES
 from repro.errors import (
     CheckpointError,
@@ -81,11 +84,17 @@ def _run_session_span(spec: CampaignSpec, span) -> CampaignResult:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CellSpec:
-    """One (app, scheme, protect) cell of a sweep grid."""
+    """One (app, scheme, protect) cell of a sweep grid.
+
+    ``protect`` is usually the int/str shorthand, but a cell may carry
+    a full :class:`~repro.core.protection.ProtectionSpec` instead
+    (scheme ``"spec"``) — that is how the design-space search drives
+    arbitrary per-object configurations through the session machinery.
+    """
 
     app: str
     scheme: str
-    protect: int | str
+    protect: int | str | ProtectionSpec
     selection: str
     runs: int
     n_blocks: int
@@ -100,26 +109,45 @@ class CellSpec:
     @property
     def key(self) -> str:
         """Human-readable cell label used in logs and summaries."""
+        if isinstance(self.protect, ProtectionSpec):
+            return f"{self.app}~{self.scheme}~{self.protect.to_string()}"
         return f"{self.app}~{self.scheme}~{self.protect}"
 
     def to_dict(self) -> dict:
         """Identity-complete dict image of this cell."""
-        return dataclasses.asdict(self)
+        doc = dataclasses.asdict(self)
+        if isinstance(self.protect, ProtectionSpec):
+            # asdict mangles the nested dataclass into raw tuples;
+            # use the spec's canonical image instead.
+            doc["protect"] = self.protect.to_dict()
+        return doc
 
     def build_campaign(
-        self, metrics: MetricsRegistry | None = None
+        self,
+        metrics: MetricsRegistry | None = None,
+        batch: int = 1,
+        max_batch_bytes: int = 256 * 1024 * 1024,
     ) -> Campaign:
-        """Materialize this cell's campaign (parent-side)."""
+        """Materialize this cell's campaign (parent-side).
+
+        ``batch``/``max_batch_bytes`` are execution knobs (vectorized
+        fault sweeps) — results are identical to ``batch=1``, so they
+        never join the cell or sweep identity.
+        """
         from repro.core.manager import ReliabilityManager
         from repro.kernels.registry import create_app
 
         app = create_app(self.app, scale=self.scale, seed=self.app_seed)
         manager = ReliabilityManager(app)
+        if isinstance(self.protect, ProtectionSpec):
+            how = {"protection": self.protect}
+        else:
+            how = {"scheme": self.scheme,
+                   "protect": manager.protected_names(self.protect)}
         return Campaign(
             app,
             manager.selection(self.selection),
-            scheme=self.scheme,
-            protect=manager.protected_names(self.protect),
+            **how,
             config=CampaignConfig(
                 runs=self.runs, n_blocks=self.n_blocks,
                 n_bits=self.n_bits, seed=self.seed, secded=self.secded,
@@ -127,6 +155,8 @@ class CellSpec:
             keep_runs=self.keep_runs,
             collect_records=self.collect_records,
             metrics=metrics,
+            batch=batch,
+            max_batch_bytes=max_batch_bytes,
         )
 
 
@@ -145,7 +175,7 @@ class SweepSpec:
 
     apps: tuple[str, ...]
     schemes: tuple[str, ...] = ("correction",)
-    protects: tuple[int | str, ...] = ("hot",)
+    protects: tuple[int | str | ProtectionSpec, ...] = ("hot",)
     runs: int = 200
     n_blocks: int = 1
     n_bits: int = 2
@@ -187,10 +217,34 @@ class SweepSpec:
         for app in self.apps:
             if app not in known_apps:
                 raise UnknownAppError(app, sorted(known_apps))
+        n_typed = sum(
+            isinstance(p, ProtectionSpec) for p in self.protects
+        )
+        if "spec" in self.schemes:
+            # The sentinel scheme for fully typed grids: every protect
+            # is a ProtectionSpec that determines its own scheme(s).
+            if self.schemes != ("spec",):
+                raise SpecError(
+                    "scheme 'spec' cannot be combined with named "
+                    "schemes"
+                )
+            if n_typed != len(self.protects):
+                raise SpecError(
+                    "scheme 'spec' requires every protect to be a "
+                    "ProtectionSpec"
+                )
+        elif n_typed:
+            raise SpecError(
+                "ProtectionSpec protects require schemes=('spec',)"
+            )
         for scheme in self.schemes:
+            if scheme == "spec":
+                continue
             if scheme not in SCHEME_NAMES:
                 raise UnknownSchemeError(scheme, SCHEME_NAMES)
         for protect in self.protects:
+            if isinstance(protect, ProtectionSpec):
+                continue
             if isinstance(protect, bool) or not isinstance(
                     protect, (int, str)):
                 raise SpecError(
@@ -255,7 +309,10 @@ class SweepSpec:
         doc = {
             "apps": list(self.apps),
             "schemes": list(self.schemes),
-            "protects": list(self.protects),
+            "protects": [
+                p.to_dict() if isinstance(p, ProtectionSpec) else p
+                for p in self.protects
+            ],
             "runs": self.runs,
             "n_blocks": self.n_blocks,
             "n_bits": self.n_bits,
@@ -273,6 +330,48 @@ class SweepSpec:
         return doc
 
     @classmethod
+    def from_request(cls, request: EvaluationRequest) -> "SweepSpec":
+        """The one-cell sweep an :class:`EvaluationRequest` describes.
+
+        A typed protection (spec value or explicit ``"obj=scheme"``
+        string) becomes a ``("spec",)`` grid; the shorthand spellings
+        keep their named-scheme cell so existing checkpoint digests
+        are unaffected.  Provenance collection is campaign-only, so a
+        request asking for it is rejected here — use
+        :meth:`repro.core.manager.ReliabilityManager.evaluate`.
+        """
+        if request.collect_provenance:
+            raise SpecError(
+                "collect_provenance is not supported by sweep "
+                "sessions; evaluate the request through "
+                "ReliabilityManager.evaluate instead"
+            )
+        protection = request.protection
+        if protection is not None:
+            schemes: tuple[str, ...] = ("spec",)
+            protect: int | str | ProtectionSpec = protection
+        else:
+            schemes = (request.scheme,)
+            protect = request.protect
+        return cls(
+            apps=(request.app,),
+            schemes=schemes,
+            protects=(protect,),
+            runs=request.runs,
+            n_blocks=request.n_blocks,
+            n_bits=request.n_bits,
+            seed=request.seed,
+            selection=request.selection,
+            scale=request.scale,
+            app_seed=request.app_seed,
+            secded=request.secded,
+            keep_runs=request.keep_runs,
+            collect_records=request.collect_records,
+            chunk_runs=request.chunk_runs,
+            target_margin=request.target_margin,
+        )
+
+    @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
         if not isinstance(data, dict):
             raise SpecError("sweep spec must be an object")
@@ -286,6 +385,14 @@ class SweepSpec:
                 if not isinstance(kwargs[name], (list, tuple)):
                     raise SpecError(f"sweep {name} must be a list")
                 kwargs[name] = tuple(kwargs[name])
+        if "protects" in kwargs:
+            # Dict entries are serialized ProtectionSpec images (the
+            # int/str shorthands serialize as themselves).
+            kwargs["protects"] = tuple(
+                ProtectionSpec.from_dict(p) if isinstance(p, dict)
+                else p
+                for p in kwargs["protects"]
+            )
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -317,11 +424,20 @@ class SessionConfig:
     #: Stop (checkpointed, resumable) after this many newly executed
     #: chunks — for schedulers with wall-clock budgets and for tests.
     stop_after_chunks: int | None = None
+    #: Runs swept per vectorized campaign batch (results are identical
+    #: to ``batch=1`` — an execution knob, never sweep identity).
+    batch: int = 1
+    #: Memory clamp on one vectorized batch.
+    max_batch_bytes: int = 256 * 1024 * 1024
 
     def validate(self) -> None:
         """Reject out-of-range knobs with :class:`SpecError`."""
         if self.jobs < 1:
             raise SpecError("session jobs must be >= 1")
+        if self.batch < 1:
+            raise SpecError("session batch must be >= 1")
+        if self.max_batch_bytes < 1:
+            raise SpecError("session max_batch_bytes must be >= 1")
         if self.max_retries < 0:
             raise SpecError("session max_retries must be >= 0")
         if self.retry_backoff_s < 0:
@@ -430,7 +546,8 @@ class SweepResult:
         return [entry.result for entry in self.entries]
 
     def result_for(
-        self, app: str, scheme: str, protect: int | str
+        self, app: str, scheme: str,
+        protect: int | str | ProtectionSpec,
     ) -> CampaignResult:
         """Look up one cell's merged result; :class:`SpecError` if absent."""
         for entry in self.entries:
@@ -483,7 +600,7 @@ class Session:
 
     def __init__(
         self,
-        spec: SweepSpec,
+        spec: SweepSpec | EvaluationRequest,
         store: CheckpointStore | str | None = None,
         config: SessionConfig | None = None,
         metrics: MetricsRegistry | None = None,
@@ -491,6 +608,18 @@ class Session:
         progress=None,
         sleep: Callable[[float], None] = time.sleep,
     ):
+        if isinstance(spec, EvaluationRequest):
+            # The unified request surface: its identity fields become
+            # a one-cell sweep, its execution knobs the session
+            # config (unless an explicit config overrides them), and
+            # its sinks the session's when none were passed.
+            if config is None:
+                config = spec.session_config()
+            if progress is None:
+                progress = spec.progress
+            if metrics is None and spec.metrics is not None:
+                metrics = spec.metrics
+            spec = SweepSpec.from_request(spec)
         self.spec = spec
         if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
             store = CheckpointStore(store)
@@ -539,7 +668,13 @@ class Session:
         wall_begin = time.perf_counter()
         cells = self.spec.cells()
         log.info(f"sweep: {len(cells)} cell(s), building campaigns")
-        campaigns = [cell.build_campaign() for cell in cells]
+        campaigns = [
+            cell.build_campaign(
+                batch=self.config.batch,
+                max_batch_bytes=self.config.max_batch_bytes,
+            )
+            for cell in cells
+        ]
         digests = [campaign.identity_digest() for campaign in campaigns]
 
         if self.store is not None:
@@ -949,16 +1084,29 @@ class _FallBackToSerial(Exception):
 
 def run_sweep(
     spec: SweepSpec,
-    checkpoint_dir: str | None = None,
+    store: CheckpointStore | str | None = None,
     resume: bool = False,
     jobs: int = 1,
     progress=None,
+    checkpoint_dir=_compat.UNSET,
     **config_kwargs,
 ) -> SweepResult:
-    """One-call convenience wrapper around :class:`Session`."""
+    """One-call convenience wrapper around :class:`Session`.
+
+    ``store`` names the durability root (a
+    :class:`~repro.runtime.checkpoint.CheckpointStore` or a directory
+    path), matching the :class:`Session` constructor; the old
+    ``checkpoint_dir`` spelling keeps working with a one-time
+    :class:`DeprecationWarning`.
+    """
+    if checkpoint_dir is not _compat.UNSET:
+        store = _compat.resolve_renamed(
+            "run_sweep", "checkpoint_dir", "store",
+            checkpoint_dir, _compat.UNSET if store is None else store,
+        )
     session = Session(
         spec,
-        store=checkpoint_dir,
+        store=store,
         config=SessionConfig(jobs=jobs, **config_kwargs),
         progress=progress,
     )

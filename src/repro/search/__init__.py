@@ -1,0 +1,67 @@
+"""Protection design-space exploration (`repro optimize`).
+
+The search layer turns the per-configuration evaluation machinery
+into an optimizer: a :class:`~repro.search.space.DesignSpace`
+enumerates which objects get which protection scheme, pluggable
+strategies (:mod:`repro.search.strategies`) propose candidate
+:class:`~repro.search.space.DesignPoint` rounds, the engine
+(:mod:`repro.search.engine`) evaluates each round through the
+checkpointed :class:`~repro.runtime.session.Session` backend, and
+:mod:`repro.search.pareto` extracts the non-dominated front over
+(SDC rate, performance overhead, replica footprint) plus the best
+configuration under an overhead/memory budget.
+"""
+
+from repro.search.engine import (
+    MAX_ROUNDS,
+    OptimizeResult,
+    optimize,
+)
+from repro.search.pareto import (
+    OBJECTIVES,
+    Evaluation,
+    budget_best,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    pareto_front,
+)
+from repro.search.space import (
+    UNPROTECTED,
+    DesignPoint,
+    DesignSpace,
+)
+from repro.search.strategies import (
+    EXHAUSTIVE_LIMIT,
+    STRATEGY_NAMES,
+    EvolutionaryStrategy,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "Evaluation",
+    "EvolutionaryStrategy",
+    "ExhaustiveStrategy",
+    "EXHAUSTIVE_LIMIT",
+    "GreedyStrategy",
+    "MAX_ROUNDS",
+    "OBJECTIVES",
+    "OptimizeResult",
+    "RandomStrategy",
+    "SearchStrategy",
+    "STRATEGY_NAMES",
+    "UNPROTECTED",
+    "budget_best",
+    "crowding_distance",
+    "dominates",
+    "make_strategy",
+    "non_dominated_sort",
+    "optimize",
+    "pareto_front",
+]

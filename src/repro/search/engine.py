@@ -1,0 +1,470 @@
+"""The design-space exploration engine (``repro optimize``).
+
+:func:`optimize` drives a :class:`~repro.search.strategies` round
+generator over a :class:`~repro.search.space.DesignSpace`, evaluating
+each proposed protection configuration on three objectives:
+
+* **SDC rate** — a fault-injection campaign per configuration, driven
+  through the existing :class:`~repro.runtime.session.Session` sweep
+  backend (one ``("spec",)`` grid per round), so evaluations inherit
+  the campaign machinery's guarantees wholesale: chunk-level
+  checkpoints, byte-identical results at any ``jobs``/``batch``, and
+  resumability;
+* **performance overhead** — one parent-side timing simulation per
+  configuration (slowdown minus one versus the unprotected baseline),
+  cached by configuration digest;
+* **replica memory footprint** — pure address arithmetic
+  (:meth:`~repro.core.protection.ProtectionSpec.replica_bytes`).
+
+Durability: under ``store`` the engine keeps a ``SEARCH.json``
+identity manifest plus one checkpoint directory per round
+(``round-0000``, ``round-0001``, ...).  Because strategies are
+deterministic, resuming re-proposes the same candidates and each
+round's sweep replays instantly from its checkpoints — an interrupted
+search (``SessionInterrupted``, exit code 75 in the CLI) continues
+exactly where it stopped, and the replayed search trail is
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.manager import ReliabilityManager
+from repro.core.request import EvaluationRequest
+from repro.errors import (
+    CheckpointError,
+    SessionInterrupted,
+    SpecError,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.search import SearchTrailWriter
+from repro.runtime.session import Session, SessionConfig, SweepSpec
+from repro.search.pareto import Evaluation, budget_best, pareto_front
+from repro.search.space import DesignPoint, DesignSpace
+from repro.search.strategies import make_strategy
+from repro.utils.canonical import canonical_digest, canonical_json
+
+log = get_logger("search")
+
+#: Manifest file stamping a search's durability root.
+SEARCH_MANIFEST = "SEARCH.json"
+
+#: Backstop on runaway strategies (a strategy that never returns an
+#: empty proposal still terminates).
+MAX_ROUNDS = 64
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one design-space exploration."""
+
+    app: str
+    strategy: str
+    space: DesignSpace
+    #: Every committed evaluation, in canonical (objectives, digest)
+    #: order.
+    evaluations: list[Evaluation] = field(default_factory=list)
+    #: The non-dominated subset, canonically ordered.
+    front: list[Evaluation] = field(default_factory=list)
+    #: The budget solver's pick (``None`` when nothing fits or no
+    #: budget was given).
+    best: Evaluation | None = None
+    #: The baseline (unprotected) evaluation, always present.
+    baseline: Evaluation | None = None
+    rounds: int = 0
+    #: Engine bookkeeping: proposals, strategy cache hits, chunk
+    #: execution/resume counts (the bench's cache-hit-rate source).
+    stats: dict = field(default_factory=dict)
+
+    def sdc_reduction(self, evaluation: Evaluation) -> float:
+        """Percent of baseline SDCs the configuration removes."""
+        if self.baseline is None or self.baseline.sdc_count == 0:
+            return 0.0
+        removed = self.baseline.sdc_count - evaluation.sdc_count
+        return 100.0 * removed / self.baseline.sdc_count
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON image of the search outcome."""
+        return {
+            "app": self.app,
+            "strategy": self.strategy,
+            "space": self.space.to_dict(),
+            "rounds": self.rounds,
+            "evaluations": [e.to_dict() for e in self.evaluations],
+            "front": [e.digest for e in self.front],
+            "best": None if self.best is None else self.best.digest,
+            "stats": dict(sorted(self.stats.items())),
+        }
+
+
+def _candidate_objects(manager: ReliabilityManager, objects):
+    """Resolve the ``objects`` knob to candidate object names."""
+    order = tuple(manager.app.object_importance)
+    if objects is None:
+        return order
+    if isinstance(objects, int):
+        if not 1 <= objects <= len(order):
+            raise SpecError(
+                f"objects={objects} outside [1, {len(order)}]"
+            )
+        return order[:objects]
+    names = tuple(objects)
+    for name in names:
+        if name not in order:
+            raise SpecError(
+                f"unknown candidate object {name!r} (choose from "
+                f"{', '.join(order)})"
+            )
+    return names
+
+
+def _vulnerability_ranking(
+    manager: ReliabilityManager, candidates, runs, n_blocks, n_bits,
+    selection, seed, jobs,
+) -> tuple[str, ...]:
+    """Candidate objects ranked by baseline SDC attribution.
+
+    One parent-side baseline campaign with provenance collection
+    seeds the greedy/evolutionary strategies (the paper's
+    protect-what-matters argument).  Campaign results are a pure
+    function of ``(seed, run_index)``, so the ranking — like the
+    search trail built on it — is identical at any ``jobs``.
+    Objects without SDC attributions keep their importance order at
+    the tail.
+    """
+    from repro.obs.provenance import (
+        top_sdc_objects,
+        vulnerability_profiles,
+    )
+
+    result = manager.evaluate(
+        scheme="baseline", protect="none", runs=runs,
+        n_blocks=n_blocks, n_bits=n_bits, selection=selection,
+        seed=seed, collect_provenance=True, jobs=jobs,
+    )
+    profiles = vulnerability_profiles(result.provenance)
+    attributed = [
+        p.object for p in top_sdc_objects(profiles)
+        if p.sdc_count > 0 and p.object in candidates
+    ]
+    tail = [n for n in candidates if n not in attributed]
+    return tuple(attributed + tail)
+
+
+class _SearchStore:
+    """The search's durability root: manifest + per-round dirs."""
+
+    def __init__(self, root: str | None):
+        self.root = root
+
+    def initialize(self, identity: dict, resume: bool) -> None:
+        """Stamp a fresh root or validate an existing one.
+
+        Mirrors :meth:`~repro.runtime.checkpoint.CheckpointStore.
+        initialize`: an existing manifest must digest-match the
+        search identity and requires ``resume=True``.
+        """
+        if self.root is None:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        path = os.path.join(self.root, SEARCH_MANIFEST)
+        digest = canonical_digest(identity)
+        if os.path.isfile(path):
+            import json
+
+            with open(path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("digest") != digest:
+                raise CheckpointError(
+                    f"search directory {self.root} belongs to a "
+                    f"different search (manifest digest "
+                    f"{str(manifest.get('digest'))[:12]}…, this "
+                    f"search {digest[:12]}…); use a fresh directory"
+                )
+            if not resume:
+                raise CheckpointError(
+                    f"search directory {self.root} already holds "
+                    "this search; pass resume=True (--resume) to "
+                    "continue it"
+                )
+            return
+        doc = {"digest": digest, "search": identity}
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(canonical_json(doc) + "\n")
+
+    def round_dir(self, round_index: int) -> str | None:
+        """Checkpoint directory of one round (``None`` when
+        durability is off)."""
+        if self.root is None:
+            return None
+        return os.path.join(self.root, f"round-{round_index:04d}")
+
+
+def optimize(
+    app: str | None = None,
+    strategy: str = "greedy",
+    objects=None,
+    runs: int = 200,
+    n_blocks: int = 1,
+    n_bits: int = 2,
+    selection: str = "access-weighted",
+    seed: int = 20210621,
+    search_seed: int = 1,
+    scale: str = "default",
+    app_seed: int = 1234,
+    population: int = 12,
+    generations: int = 6,
+    max_evals: int | None = None,
+    chunk_runs: int | None = None,
+    store: str | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    batch: int = 1,
+    max_batch_bytes: int = 256 * 1024 * 1024,
+    stop_after_chunks: int | None = None,
+    trail: str | None = None,
+    progress=None,
+    metrics: MetricsRegistry | None = None,
+    max_overhead: float | None = None,
+    max_replica_bytes: int | None = None,
+    request: EvaluationRequest | None = None,
+) -> OptimizeResult:
+    """Explore protection configurations; return the Pareto front.
+
+    ``objects`` restricts the design space to the first N objects of
+    the importance order (int), an explicit name list, or every
+    object (``None``).  ``max_evals`` caps the number of evaluated
+    configurations; ``max_overhead``/``max_replica_bytes`` feed the
+    budget solver whose pick lands in
+    :attr:`OptimizeResult.best`.  ``store`` makes the search durable
+    and resumable; ``stop_after_chunks`` bounds one invocation's
+    newly executed campaign chunks (the search stops checkpointed
+    with :class:`~repro.errors.SessionInterrupted`, CLI exit 75).
+    ``trail`` streams the per-round decision log
+    (:mod:`repro.obs.search`), byte-identical at any
+    ``jobs``/``batch`` and across interrupt/resume.
+
+    The experiment baseline (fault grid, seeds, scale, knobs) may
+    come from an :class:`~repro.core.request.EvaluationRequest` via
+    ``request=`` instead of the individual keywords.
+    """
+    if request is not None:
+        app = app or request.app
+        runs = request.runs
+        n_blocks, n_bits = request.n_blocks, request.n_bits
+        selection, seed = request.selection, request.seed
+        scale, app_seed = request.scale, request.app_seed
+        chunk_runs = request.chunk_runs
+        jobs, batch = request.jobs, request.batch
+        max_batch_bytes = request.max_batch_bytes
+        if progress is None:
+            progress = request.progress
+        if metrics is None and request.metrics is not None:
+            metrics = request.metrics
+    if app is None:
+        raise SpecError("optimize needs an application name")
+    from repro.kernels.registry import create_app
+
+    manager = ReliabilityManager(
+        create_app(app, scale=scale, seed=app_seed))
+    candidates = _candidate_objects(manager, objects)
+    space = DesignSpace(app=app, objects=candidates)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+
+    identity = {
+        "space": space.to_dict(),
+        "strategy": strategy,
+        "search_seed": search_seed,
+        "population": population,
+        "generations": generations,
+        "sweep": {
+            "runs": runs, "n_blocks": n_blocks, "n_bits": n_bits,
+            "seed": seed, "selection": selection, "scale": scale,
+            "app_seed": app_seed,
+            "chunk_runs": chunk_runs,
+        },
+    }
+    if max_evals is not None:
+        identity["max_evals"] = max_evals
+    search_store = _SearchStore(store)
+    search_store.initialize(identity, resume=resume)
+
+    ranking: tuple[str, ...] | None = None
+    if strategy in ("greedy", "evolutionary"):
+        ranking = _vulnerability_ranking(
+            manager, candidates, runs, n_blocks, n_bits, selection,
+            seed, jobs,
+        )
+        log.info(f"search: vulnerability ranking {ranking}")
+    strategy_obj = make_strategy(
+        strategy, space, seed=search_seed, population=population,
+        generations=generations, ranking=ranking,
+    )
+
+    writer = SearchTrailWriter(trail) if trail is not None else None
+    if writer is not None:
+        writer.write_header({
+            "app": app, "space": space.to_dict(),
+            "strategy": strategy, "search_seed": search_seed,
+        })
+
+    baseline_report = manager.simulate_performance("baseline", "none")
+    timing_cache: dict[str, float] = {}
+
+    def overhead_of(point: DesignPoint) -> float:
+        if point.spec.is_baseline:
+            return 0.0
+        cached = timing_cache.get(point.digest)
+        if cached is None:
+            report = manager.simulate_performance(
+                "baseline", point.spec)
+            cached = report.slowdown_vs(baseline_report) - 1.0
+            timing_cache[point.digest] = cached
+        return cached
+
+    evaluated: dict[str, Evaluation] = {}
+    chunk_budget = stop_after_chunks
+    rounds = 0
+    n_proposed = n_cached = 0
+    try:
+        for round_index in range(MAX_ROUNDS):
+            proposals = strategy_obj.propose(round_index, evaluated)
+            if round_index == 0:
+                base = space.baseline()
+                if all(p.digest != base.digest for p in proposals):
+                    proposals = [base] + proposals
+            if not proposals:
+                break
+            rounds += 1
+            unique: list[DesignPoint] = []
+            seen: set[str] = set()
+            for point in proposals:
+                if point.digest not in seen:
+                    seen.add(point.digest)
+                    unique.append(point)
+            new_points = [
+                p for p in unique if p.digest not in evaluated
+            ]
+            n_proposed += len(unique)
+            n_cached += len(unique) - len(new_points)
+            if max_evals is not None:
+                room = max_evals - len(evaluated)
+                new_points = new_points[:max(room, 0)]
+            if new_points:
+                if chunk_budget is not None and chunk_budget < 1:
+                    # The per-invocation chunk budget ran out between
+                    # rounds; every completed round is checkpointed.
+                    raise SessionInterrupted(
+                        0, len(new_points),
+                        reason="stopped (chunk budget)")
+                executed_before = metrics.counter(
+                    "session.chunks.executed").value
+                sweep = _run_round(
+                    app, new_points, search_store, round_index,
+                    runs, n_blocks, n_bits, seed, selection, scale,
+                    app_seed, chunk_runs, jobs, batch,
+                    max_batch_bytes, chunk_budget, metrics, progress,
+                )
+                if chunk_budget is not None:
+                    chunk_budget -= (
+                        metrics.counter("session.chunks.executed")
+                        .value - executed_before
+                    )
+                for point, entry in zip(new_points, sweep.entries):
+                    result = entry.result
+                    evaluated[point.digest] = Evaluation(
+                        point=point,
+                        sdc_count=result.sdc_count,
+                        runs=result.n_runs,
+                        overhead=overhead_of(point),
+                        replica_bytes=point.spec.replica_bytes(
+                            manager.memory),
+                    )
+            front = pareto_front(evaluated.values())
+            log.info(
+                f"search: round {round_index}: {len(unique)} "
+                f"proposed, {len(new_points)} new, front size "
+                f"{len(front)}")
+            if writer is not None:
+                writer.write_round({
+                    "round": round_index,
+                    "proposed": len(unique),
+                    "new": len(new_points),
+                    "cached": len(unique) - len(new_points),
+                    "evaluations": [
+                        evaluated[p.digest].to_dict()
+                        for p in sorted(new_points,
+                                        key=lambda q: q.digest)
+                    ],
+                    "front": [e.digest for e in front],
+                })
+            if max_evals is not None and len(evaluated) >= max_evals:
+                break
+    finally:
+        if writer is not None:
+            writer.close()
+
+    evaluations = sorted(
+        evaluated.values(), key=lambda e: (*e.objectives, e.digest)
+    )
+    front = pareto_front(evaluations)
+    best = None
+    if max_overhead is not None or max_replica_bytes is not None:
+        best = budget_best(front, max_overhead=max_overhead,
+                           max_replica_bytes=max_replica_bytes)
+    baseline_eval = evaluated.get(space.baseline().digest)
+    metrics.counter("search.evaluations").set(len(evaluations))
+    return OptimizeResult(
+        app=app,
+        strategy=strategy,
+        space=space,
+        evaluations=evaluations,
+        front=front,
+        best=best,
+        baseline=baseline_eval,
+        rounds=rounds,
+        stats={
+            "proposed": n_proposed,
+            "cache_hits": n_cached,
+            "evaluations": len(evaluations),
+            "chunks_executed": metrics.counter(
+                "session.chunks.executed").value,
+            "chunks_resumed": metrics.counter(
+                "session.chunks.resumed").value,
+        },
+    )
+
+
+def _run_round(
+    app, new_points, search_store, round_index, runs, n_blocks,
+    n_bits, seed, selection, scale, app_seed, chunk_runs, jobs,
+    batch, max_batch_bytes, chunk_budget, metrics, progress,
+):
+    """Evaluate one round's new configurations as a ``spec`` sweep."""
+    spec = SweepSpec(
+        apps=(app,),
+        schemes=("spec",),
+        protects=tuple(p.spec for p in new_points),
+        runs=runs,
+        n_blocks=n_blocks,
+        n_bits=n_bits,
+        seed=seed,
+        selection=selection,
+        scale=scale,
+        app_seed=app_seed,
+        chunk_runs=chunk_runs,
+    )
+    round_dir = search_store.round_dir(round_index)
+    config = SessionConfig(
+        jobs=jobs, batch=batch, max_batch_bytes=max_batch_bytes,
+        stop_after_chunks=chunk_budget,
+    )
+    session = Session(spec, store=round_dir, config=config,
+                      metrics=metrics, progress=progress)
+    # Round directories are always safe to resume: the manifest
+    # digest pins the round's exact cell set, and chunk payloads are
+    # content-verified on load.
+    return session.run(resume=round_dir is not None)

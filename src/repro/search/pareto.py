@@ -1,0 +1,203 @@
+"""Pareto dominance over protection-configuration evaluations.
+
+The design-space explorer scores every configuration on three
+objectives, all minimized:
+
+* ``sdc_rate`` — silent-data-corruption rate from the fault-injection
+  campaign,
+* ``overhead`` — simulated performance overhead (slowdown minus one
+  versus the unprotected baseline),
+* ``replica_bytes`` — replica memory footprint.
+
+This module provides the dominance relation, NSGA-II-style
+non-dominated sorting with crowding distances (the evolutionary
+strategy's ranking), first-front extraction, and the budget solver
+("best SDC reduction under <= 2% overhead").  All orderings break ties
+on the configuration digest, so every result is deterministic for a
+given evaluation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+from repro.search.space import DesignPoint
+
+#: Objective names, in the order :attr:`Evaluation.objectives` uses.
+OBJECTIVES = ("sdc_rate", "overhead", "replica_bytes")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One design point with its measured objective values."""
+
+    point: DesignPoint
+    sdc_count: int
+    runs: int
+    #: Simulated slowdown minus one versus the unprotected baseline.
+    overhead: float
+    #: Replica memory footprint in bytes (pure address arithmetic).
+    replica_bytes: int
+
+    @property
+    def sdc_rate(self) -> float:
+        """SDC fraction of the campaign's committed runs."""
+        return self.sdc_count / self.runs if self.runs else 0.0
+
+    @property
+    def digest(self) -> str:
+        """The underlying configuration's canonical digest."""
+        return self.point.digest
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """The minimized objective vector."""
+        return (self.sdc_rate, self.overhead, float(self.replica_bytes))
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready image (used by the search trail)."""
+        return {
+            "protection": self.point.spec.to_dict(),
+            "digest": self.digest,
+            "sdc": self.sdc_count,
+            "runs": self.runs,
+            "sdc_rate": self.sdc_rate,
+            "overhead": self.overhead,
+            "replica_bytes": self.replica_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Evaluation":
+        """Rebuild an evaluation from its :meth:`to_dict` image."""
+        from repro.core.protection import ProtectionSpec
+
+        try:
+            return cls(
+                point=DesignPoint(
+                    ProtectionSpec.from_dict(data["protection"])),
+                sdc_count=data["sdc"],
+                runs=data["runs"],
+                overhead=data["overhead"],
+                replica_bytes=data["replica_bytes"],
+            )
+        except (KeyError, TypeError):
+            raise SpecError(
+                f"not an evaluation image: {data!r}"
+            ) from None
+
+
+def dominates(a: Evaluation, b: Evaluation) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (all objectives minimized):
+    no worse everywhere and strictly better somewhere."""
+    ao, bo = a.objectives, b.objectives
+    return all(x <= y for x, y in zip(ao, bo)) and ao != bo
+
+
+def _canonical(evaluations) -> list[Evaluation]:
+    """Dedup by digest and order canonically (objectives, digest)."""
+    by_digest: dict[str, Evaluation] = {}
+    for ev in evaluations:
+        by_digest.setdefault(ev.digest, ev)
+    return sorted(
+        by_digest.values(), key=lambda e: (*e.objectives, e.digest)
+    )
+
+
+def non_dominated_sort(evaluations) -> list[list[Evaluation]]:
+    """NSGA-II fast non-dominated sorting.
+
+    Returns the fronts best-first: front 0 is the Pareto front, front
+    1 the points dominated only by front 0, and so on.  Input is
+    deduplicated by digest; each front keeps the canonical
+    (objectives, digest) order.
+    """
+    pool = _canonical(evaluations)
+    dominated_by: list[int] = [0] * len(pool)
+    dominating: list[list[int]] = [[] for _ in pool]
+    for i, a in enumerate(pool):
+        for j, b in enumerate(pool):
+            if i == j:
+                continue
+            if dominates(a, b):
+                dominating[i].append(j)
+            elif dominates(b, a):
+                dominated_by[i] += 1
+    fronts: list[list[Evaluation]] = []
+    current = [i for i in range(len(pool)) if dominated_by[i] == 0]
+    while current:
+        fronts.append([pool[i] for i in current])
+        following: list[int] = []
+        for i in current:
+            for j in dominating[i]:
+                dominated_by[j] -= 1
+                if dominated_by[j] == 0:
+                    following.append(j)
+        current = sorted(following)
+    return fronts
+
+
+def crowding_distance(front) -> list[float]:
+    """NSGA-II crowding distances, aligned with ``front``'s order.
+
+    Boundary points of every objective get infinite distance so
+    selection preserves the front's extremes.
+    """
+    n = len(front)
+    if n == 0:
+        return []
+    distances = [0.0] * n
+    for axis in range(len(OBJECTIVES)):
+        order = sorted(
+            range(n),
+            key=lambda i: (front[i].objectives[axis], front[i].digest),
+        )
+        low = front[order[0]].objectives[axis]
+        high = front[order[-1]].objectives[axis]
+        distances[order[0]] = distances[order[-1]] = float("inf")
+        span = high - low
+        if span <= 0:
+            continue
+        for rank in range(1, n - 1):
+            gap = (front[order[rank + 1]].objectives[axis]
+                   - front[order[rank - 1]].objectives[axis])
+            distances[order[rank]] += gap / span
+    return distances
+
+
+def pareto_front(evaluations) -> list[Evaluation]:
+    """The non-dominated evaluations, canonically ordered.
+
+    Deduplicates by configuration digest and sorts by
+    ``(sdc_rate, overhead, replica_bytes, digest)``, so the front is
+    byte-identical however (and in whatever order) the evaluations
+    were produced.
+    """
+    pool = _canonical(evaluations)
+    return [
+        ev for ev in pool
+        if not any(dominates(other, ev) for other in pool)
+    ]
+
+
+def budget_best(
+    front,
+    max_overhead: float | None = None,
+    max_replica_bytes: int | None = None,
+) -> Evaluation | None:
+    """The lowest-SDC evaluation satisfying the budget constraints.
+
+    ``max_overhead`` caps the simulated performance overhead (e.g.
+    ``0.02`` for "at most 2% slower"); ``max_replica_bytes`` caps the
+    replica footprint.  Ties break on lower overhead, then smaller
+    footprint, then digest.  Returns ``None`` when nothing fits.
+    """
+    eligible = [
+        ev for ev in front
+        if (max_overhead is None or ev.overhead <= max_overhead)
+        and (max_replica_bytes is None
+             or ev.replica_bytes <= max_replica_bytes)
+    ]
+    if not eligible:
+        return None
+    return min(eligible, key=lambda e: (*e.objectives, e.digest))

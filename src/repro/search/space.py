@@ -1,0 +1,184 @@
+"""The protection design space and its points.
+
+A :class:`DesignSpace` is the set of per-object protection choices the
+explorer may assign: for each candidate data object of one
+application, leave it unprotected or protect it with one of the
+per-object schemes (detection/correction).  A :class:`DesignPoint` is
+one concrete choice — a thin wrapper around the typed
+:class:`~repro.core.protection.ProtectionSpec` that adds the
+gene-vector view the strategies mutate and the canonical digest the
+engine dedupes/caches on.
+
+Everything here is pure data: enumeration order, random sampling (from
+a caller-owned :class:`random.Random`) and digests are all
+deterministic functions of the space definition, which is what makes
+search trails replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Mapping
+
+from repro.core.protection import PROTECTION_SCHEMES, ProtectionSpec
+from repro.errors import SpecError
+from repro.utils.canonical import canonical_digest
+
+#: The per-object gene meaning "leave this object unprotected".
+UNPROTECTED = "none"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One protection configuration inside a design space."""
+
+    spec: ProtectionSpec
+
+    @property
+    def digest(self) -> str:
+        """The wrapped spec's canonical content digest."""
+        return self.spec.digest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable form (the spec's explicit string)."""
+        return self.spec.to_string()
+
+    def genes(self, space: "DesignSpace") -> tuple[str, ...]:
+        """This point as a per-object gene vector over ``space``.
+
+        One gene per space object, in space order:
+        :data:`UNPROTECTED` or the object's assigned scheme.
+        """
+        schemes = self.spec.schemes
+        return tuple(
+            schemes.get(name, UNPROTECTED) for name in space.objects
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready image."""
+        return {"protection": self.spec.to_dict()}
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """All per-object protection assignments for one application.
+
+    ``objects`` are the candidate data objects (importance order);
+    ``schemes`` the per-object choices beyond "unprotected".  The
+    space size is ``(len(schemes) + 1) ** len(objects)``.
+    """
+
+    app: str
+    objects: tuple[str, ...]
+    schemes: tuple[str, ...] = PROTECTION_SCHEMES
+
+    def __post_init__(self):
+        """Normalize tuples and validate the definition."""
+        for name in ("objects", "schemes"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.objects:
+            raise SpecError("design space needs at least one object")
+        if len(set(self.objects)) != len(self.objects):
+            raise SpecError("design space objects must be unique")
+        for scheme in self.schemes:
+            if scheme not in PROTECTION_SCHEMES:
+                raise SpecError(
+                    f"unknown design-space scheme {scheme!r} (choose "
+                    f"from {', '.join(PROTECTION_SCHEMES)})"
+                )
+        if not self.schemes:
+            raise SpecError("design space needs at least one scheme")
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def choices(self) -> tuple[str, ...]:
+        """Per-object gene alphabet (unprotected first)."""
+        return (UNPROTECTED, *self.schemes)
+
+    def size(self) -> int:
+        """Number of distinct points in the space."""
+        return len(self.choices) ** len(self.objects)
+
+    # -- point constructors --------------------------------------------
+    def point(self, genes) -> DesignPoint:
+        """Build the point a gene vector (or mapping) describes."""
+        if isinstance(genes, Mapping):
+            genes = tuple(
+                genes.get(name, UNPROTECTED) for name in self.objects
+            )
+        genes = tuple(genes)
+        if len(genes) != len(self.objects):
+            raise SpecError(
+                f"gene vector has {len(genes)} entries for "
+                f"{len(self.objects)} objects"
+            )
+        for gene in genes:
+            if gene != UNPROTECTED and gene not in self.schemes:
+                raise SpecError(
+                    f"gene {gene!r} outside this space's choices "
+                    f"{self.choices}"
+                )
+        assignments = tuple(
+            (name, gene)
+            for name, gene in zip(self.objects, genes)
+            if gene != UNPROTECTED
+        )
+        return DesignPoint(ProtectionSpec(assignments))
+
+    def baseline(self) -> DesignPoint:
+        """The all-unprotected point."""
+        return DesignPoint(ProtectionSpec.baseline())
+
+    def uniform(self, scheme: str, names=None) -> DesignPoint:
+        """Protect ``names`` (default: every object) with ``scheme``."""
+        names = tuple(self.objects if names is None else names)
+        for name in names:
+            if name not in self.objects:
+                raise SpecError(
+                    f"object {name!r} outside this design space"
+                )
+        return self.point({name: scheme for name in names})
+
+    def enumerate(self) -> Iterator[DesignPoint]:
+        """Every point, in deterministic lexicographic gene order."""
+        for genes in product(self.choices, repeat=len(self.objects)):
+            yield self.point(genes)
+
+    def random_point(self, rng) -> DesignPoint:
+        """Sample one point uniformly from ``rng`` (a
+        :class:`random.Random` owned by the caller, so sampling is
+        reproducible from its seed)."""
+        return self.point(tuple(
+            rng.choice(self.choices) for _name in self.objects
+        ))
+
+    # -- identity ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical identity document of the space."""
+        return {
+            "app": self.app,
+            "objects": list(self.objects),
+            "schemes": list(self.schemes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DesignSpace":
+        """Rebuild a space from its :meth:`to_dict` image."""
+        try:
+            return cls(
+                app=data["app"],
+                objects=tuple(data["objects"]),
+                schemes=tuple(data["schemes"]),
+            )
+        except (KeyError, TypeError):
+            raise SpecError(
+                f"not a design-space image: {data!r}"
+            ) from None
+
+    def digest(self) -> str:
+        """SHA-256 content address of the space definition."""
+        return canonical_digest(self.to_dict())

@@ -28,29 +28,45 @@ from repro.sim.metrics import StallBreakdown
 
 
 @dataclass(frozen=True)
-class ProtectionSpec:
-    """Which objects are replicated and how, for the timing model."""
+class TimingProtection:
+    """Which objects are replicated and how, for the timing model.
 
-    scheme_name: str  # "baseline" | "detection" | "correction"
+    This is the sim-internal protection descriptor (distinct from the
+    public :class:`repro.core.protection.ProtectionSpec`, which it is
+    built from).  ``schemes`` maps protected objects to their scheme
+    when the configuration mixes detection and correction per object;
+    an empty map means every protected object uses ``scheme_name``
+    uniformly.
+    """
+
+    scheme_name: str  # "baseline" | "detection" | "correction" | "mixed"
     lazy: bool
     #: object name -> byte offsets from the primary base to each replica
     offsets: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: object name -> "detection" | "correction" (mixed configs only)
+    schemes: dict[str, str] = field(default_factory=dict)
 
     @property
     def active(self) -> bool:
+        """Whether any object is protected at all."""
         return self.scheme_name != "baseline" and bool(self.offsets)
+
+    def scheme_of(self, obj_name: str) -> str:
+        """The scheme protecting ``obj_name`` (uniform fallback)."""
+        return self.schemes.get(obj_name, self.scheme_name)
 
     @property
     def n_way(self) -> int:
         """Width of the copy comparison (2 for detection, 3 for
-        correction)."""
+        correction) — of the first protected object for mixed specs."""
         if not self.offsets:
             return 1
         any_offsets = next(iter(self.offsets.values()))
         return 1 + len(any_offsets)
 
     @classmethod
-    def baseline(cls) -> "ProtectionSpec":
+    def baseline(cls) -> "TimingProtection":
+        """The no-protection descriptor."""
         return cls("baseline", lazy=True)
 
 
@@ -72,7 +88,7 @@ class LdstUnit:
         self,
         config: GpuConfig,
         subsystem: MemorySubsystem,
-        protection: ProtectionSpec,
+        protection: TimingProtection,
         budget: HardwareBudget,
         stats: SimStats,
         name: str = "ldst",
@@ -94,12 +110,20 @@ class LdstUnit:
         self._pending: dict[int, tuple[int, int]] = {}
         self._fill_heap: list[tuple[int, int]] = []
         self._compare_heap: list[int] = []
+        #: object name -> comparator cycles for that object's n-way read
+        self._compare_cycles: dict[str, int] = {}
+        #: objects whose comparison happens off the critical path
+        self._lazy_detection: frozenset[str] = frozenset()
         if protection.active:
-            self._compare_cycles = budget.compare_cycles(
-                config.line_bytes, n_way=protection.n_way
-            )
-        else:
-            self._compare_cycles = 0
+            for obj_name, offsets in protection.offsets.items():
+                self._compare_cycles[obj_name] = budget.compare_cycles(
+                    config.line_bytes, n_way=1 + len(offsets)
+                )
+            if protection.lazy:
+                self._lazy_detection = frozenset(
+                    obj_name for obj_name in protection.offsets
+                    if protection.scheme_of(obj_name) == "detection"
+                )
 
     # ------------------------------------------------------------------
     def _drain(self, now: int) -> None:
@@ -162,8 +186,7 @@ class LdstUnit:
             self.protection.active
             and obj_name in self.protection.offsets
         )
-        if protected and self.protection.lazy \
-                and self.protection.scheme_name == "detection":
+        if protected and obj_name in self._lazy_detection:
             if len(self._compare_heap) >= \
                     self.config.pending_compare_entries:
                 self.stats.stalls.compare_queue_full += 1
@@ -181,17 +204,19 @@ class LdstUnit:
                 )
                 self.stats.replica_transactions += 1
             all_copies = max(fill, *replica_times)
-            if self.protection.scheme_name == "detection" \
-                    and self.protection.lazy:
+            if obj_name in self._lazy_detection:
                 demand_ready = fill
                 heapq.heappush(
-                    self._compare_heap, all_copies + self._compare_cycles
+                    self._compare_heap,
+                    all_copies + self._compare_cycles[obj_name],
                 )
             else:
                 # Correction, or the eager-detection ablation: stall
                 # the dependency until every copy arrived and the
                 # comparator/vote pass finished.
-                demand_ready = all_copies + self._compare_cycles
+                demand_ready = (
+                    all_copies + self._compare_cycles[obj_name]
+                )
 
         self.mshr.add(addr)
         heapq.heappush(self._fill_heap, (fill, addr))
@@ -267,9 +292,7 @@ class LdstUnit:
         protection = self.protection
         prot_active = protection.active
         prot_offsets = protection.offsets
-        lazy_detection = (
-            protection.lazy and protection.scheme_name == "detection"
-        )
+        lazy_detection = self._lazy_detection
         compare_cycles = self._compare_cycles
         l1_hit_latency = self.config.l1_hit_latency
         compare_entries = self.config.pending_compare_entries
@@ -365,7 +388,7 @@ class LdstUnit:
                 tracer.last_stall_reason = "mshr_full"
                 return 0, stall_until
             protected = prot_active and obj_name in prot_offsets
-            if protected and lazy_detection:
+            if protected and obj_name in lazy_detection:
                 if len(compare_heap) >= compare_entries:
                     stalls.compare_queue_full += 1
                     stall_until = compare_heap[0]
@@ -396,12 +419,14 @@ class LdstUnit:
                     )
                     stats.replica_transactions += 1
                 all_copies = max(fill, *replica_times)
-                if lazy_detection:
+                if obj_name in lazy_detection:
                     demand_ready = fill
                     heappush(compare_heap,
-                             all_copies + compare_cycles)
+                             all_copies + compare_cycles[obj_name])
                 else:
-                    demand_ready = all_copies + compare_cycles
+                    demand_ready = (
+                        all_copies + compare_cycles[obj_name]
+                    )
             tracer.ctx_obj = None
             mshr_add(addr)
             heappush(fill_heap, (fill, addr))

@@ -24,7 +24,7 @@ from repro.kernels.base import GpuApplication
 from repro.kernels.trace import AppTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import PID_TIMELINE, TID_MAIN, TraceSession
-from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
+from repro.sim.ldst import LdstUnit, SimStats, TimingProtection
 from repro.sim.memory_subsystem import MemorySubsystem
 from repro.sim.metrics import SimReport
 from repro.sim.sm import SmCore
@@ -35,7 +35,8 @@ def build_protection(
     scheme_name: str,
     protected_names: tuple[str, ...],
     lazy: bool = True,
-) -> ProtectionSpec:
+    schemes: dict[str, str] | None = None,
+) -> TimingProtection:
     """Allocate replicas in a shadow memory and derive address offsets.
 
     The shadow is a copy-on-write clone and the replica allocation runs
@@ -45,23 +46,44 @@ def build_protection(
     :func:`simulate_app` call just to compute this arithmetic.  The
     simulated address map stays faithful (replicas really occupy
     distinct DRAM regions) and the caller's memory is never mutated.
+
+    ``schemes`` (required for ``scheme_name="mixed"``) maps each
+    protected object to its own scheme, so a mixed configuration
+    allocates one replica for its detection objects and two for its
+    correction objects.
     """
     if scheme_name == "baseline" or not protected_names:
-        return ProtectionSpec.baseline()
-    if scheme_name not in ("detection", "correction"):
+        return TimingProtection.baseline()
+    if scheme_name == "mixed":
+        if not schemes:
+            raise ConfigError(
+                "mixed protection needs a per-object scheme map"
+            )
+        per_object = {
+            name: schemes[name] for name in protected_names
+        }
+    elif scheme_name not in ("detection", "correction"):
         raise ConfigError(f"unknown scheme {scheme_name!r}")
-    extra = 1 if scheme_name == "detection" else 2
+    else:
+        per_object = {name: scheme_name for name in protected_names}
     shadow = memory.cow_clone()
-    objects = [shadow.object(name) for name in protected_names]
-    replica_sets = create_replicas(shadow, objects, extra, populate=False)
-    offsets = {
-        name: tuple(
+    offsets: dict[str, tuple[int, ...]] = {}
+    for name in protected_names:
+        extra = 1 if per_object[name] == "detection" else 2
+        replica_sets = create_replicas(
+            shadow, [shadow.object(name)], extra, populate=False
+        )
+        rs = replica_sets[name]
+        offsets[name] = tuple(
             replica.base_addr - rs.primary.base_addr
             for replica in rs.replicas
         )
-        for name, rs in replica_sets.items()
-    }
-    return ProtectionSpec(scheme_name, lazy=lazy, offsets=offsets)
+    return TimingProtection(
+        scheme_name,
+        lazy=lazy,
+        offsets=offsets,
+        schemes=per_object if scheme_name == "mixed" else {},
+    )
 
 
 def _publish_sim_metrics(
@@ -196,7 +218,7 @@ def _attach_trace_hooks(
 def simulate_trace(
     trace: AppTrace,
     config: GpuConfig = PAPER_CONFIG,
-    protection: ProtectionSpec | None = None,
+    protection: TimingProtection | None = None,
     budget: HardwareBudget | None = None,
     metrics: MetricsRegistry | None = None,
     tracer: TraceSession | None = None,
@@ -211,7 +233,7 @@ def simulate_trace(
     existed (hooks are attached per instance, never installed on the
     classes).
     """
-    protection = protection or ProtectionSpec.baseline()
+    protection = protection or TimingProtection.baseline()
     budget = budget or HardwareBudget.from_config(config)
     stats = SimStats()
     subsystem = MemorySubsystem(config)
@@ -311,8 +333,13 @@ def simulate_app(
     lazy: bool = True,
     metrics: MetricsRegistry | None = None,
     tracer: TraceSession | None = None,
+    schemes: dict[str, str] | None = None,
 ) -> SimReport:
-    """Simulate an application under a protection configuration."""
+    """Simulate an application under a protection configuration.
+
+    ``schemes`` carries the per-object scheme map when
+    ``scheme_name="mixed"`` (see :func:`build_protection`).
+    """
     if memory is None:
         memory = app.fresh_memory()
     if trace is None:
@@ -320,7 +347,8 @@ def simulate_app(
     if tracer is not None:
         tracer.set_object_map(memory)
     protection = build_protection(
-        memory, scheme_name, tuple(protected_names), lazy=lazy
+        memory, scheme_name, tuple(protected_names), lazy=lazy,
+        schemes=schemes,
     )
     return simulate_trace(trace, config, protection, budget,
                           metrics=metrics, tracer=tracer)

@@ -1,0 +1,128 @@
+"""Tests for Pareto dominance, sorting and the budget solver."""
+
+import math
+
+import pytest
+
+from repro.core.protection import ProtectionSpec
+from repro.errors import SpecError
+from repro.search.pareto import (
+    Evaluation,
+    budget_best,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    pareto_front,
+)
+from repro.search.space import DesignPoint
+
+
+def ev(label, sdc, overhead, bytes_, runs=100):
+    spec = (ProtectionSpec.baseline() if label == "none"
+            else ProtectionSpec.parse(label))
+    return Evaluation(point=DesignPoint(spec), sdc_count=sdc,
+                      runs=runs, overhead=overhead,
+                      replica_bytes=bytes_)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(ev("p=detection", 0, 0.01, 10),
+                         ev("none", 5, 0.02, 20))
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = ev("p=detection", 1, 0.01, 10)
+        b = ev("r=detection", 1, 0.01, 10)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_is_incomparable(self):
+        a = ev("p=detection", 0, 0.05, 10)
+        b = ev("none", 5, 0.0, 0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+
+class TestFronts:
+    def test_front_excludes_dominated(self):
+        good = ev("p=correction", 0, 0.01, 10)
+        bad = ev("p=detection", 3, 0.02, 20)
+        free = ev("none", 5, 0.0, 0)
+        front = pareto_front([bad, good, free])
+        assert front == [good, free]
+
+    def test_front_dedupes_by_digest(self):
+        a = ev("p=detection", 1, 0.01, 10)
+        assert pareto_front([a, a, a]) == [a]
+
+    def test_front_order_independent_of_input_order(self):
+        evals = [ev("none", 5, 0.0, 0),
+                 ev("p=detection", 0, 0.01, 10),
+                 ev("r=detection", 0, 0.01, 12)]
+        assert pareto_front(evals) == pareto_front(reversed(evals))
+
+    def test_non_dominated_sort_layers(self):
+        first = ev("p=correction", 0, 0.01, 10)
+        second = ev("p=detection", 1, 0.02, 20)
+        third = ev("r=detection", 2, 0.03, 30)
+        fronts = non_dominated_sort([third, first, second])
+        assert [f[0] for f in fronts] == [first, second, third]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+        assert non_dominated_sort([]) == []
+
+
+class TestCrowding:
+    def test_boundaries_are_infinite(self):
+        front = [ev("none", 0, 0.0, 0),
+                 ev("p=detection", 2, 0.01, 10),
+                 ev("p=correction", 4, 0.02, 20)]
+        distances = crowding_distance(front)
+        assert math.isinf(distances[0])
+        assert math.isinf(distances[2])
+        assert not math.isinf(distances[1])
+
+    def test_empty_front(self):
+        assert crowding_distance([]) == []
+
+
+class TestBudget:
+    FRONT = [
+        # canonical order: best SDC first
+        Evaluation(DesignPoint(ProtectionSpec.parse("p=correction")),
+                   0, 100, 0.05, 1000),
+        Evaluation(DesignPoint(ProtectionSpec.parse("p=detection")),
+                   1, 100, 0.01, 500),
+        Evaluation(DesignPoint(ProtectionSpec.baseline()),
+                   5, 100, 0.0, 0),
+    ]
+
+    def test_unconstrained_picks_lowest_sdc(self):
+        assert budget_best(self.FRONT) == self.FRONT[0]
+
+    def test_overhead_budget_excludes_expensive(self):
+        best = budget_best(self.FRONT, max_overhead=0.02)
+        assert best == self.FRONT[1]
+
+    def test_memory_budget(self):
+        best = budget_best(self.FRONT, max_replica_bytes=0)
+        assert best == self.FRONT[2]
+
+    def test_nothing_fits(self):
+        assert budget_best(self.FRONT[:2], max_overhead=0.001) is None
+
+
+class TestEvaluationSerialization:
+    def test_roundtrip(self):
+        original = ev("p=correction,r=detection", 2, 0.03, 768)
+        again = Evaluation.from_dict(original.to_dict())
+        assert again == original
+        assert again.digest == original.digest
+
+    def test_sdc_rate_zero_runs(self):
+        assert ev("none", 0, 0.0, 0, runs=0).sdc_rate == 0.0
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(SpecError, match="image"):
+            Evaluation.from_dict({"bogus": True})

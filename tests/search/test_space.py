@@ -1,0 +1,103 @@
+"""Tests for the protection design space and its points."""
+
+import random
+
+import pytest
+
+from repro.core.protection import ProtectionSpec
+from repro.errors import SpecError
+from repro.search.space import UNPROTECTED, DesignPoint, DesignSpace
+
+
+def space(objects=("p", "r"), schemes=("detection", "correction")):
+    return DesignSpace(app="P-BICG", objects=objects, schemes=schemes)
+
+
+class TestDesignSpace:
+    def test_size_and_choices(self):
+        s = space()
+        assert s.choices == (UNPROTECTED, "detection", "correction")
+        assert s.size() == 9
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(SpecError, match="at least one object"):
+            space(objects=())
+
+    def test_duplicate_objects_rejected(self):
+        with pytest.raises(SpecError, match="unique"):
+            space(objects=("p", "p"))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SpecError, match="unknown design-space"):
+            space(schemes=("parity",))
+
+    def test_lists_normalized_to_tuples(self):
+        s = DesignSpace(app="A", objects=["p", "r"],
+                        schemes=["detection"])
+        assert s.objects == ("p", "r")
+        assert s.schemes == ("detection",)
+
+    def test_enumerate_covers_the_space_uniquely(self):
+        points = list(space().enumerate())
+        assert len(points) == 9
+        assert len({p.digest for p in points}) == 9
+
+    def test_enumerate_order_is_deterministic(self):
+        a = [p.digest for p in space().enumerate()]
+        b = [p.digest for p in space().enumerate()]
+        assert a == b
+
+    def test_point_from_mapping_and_sequence_agree(self):
+        s = space()
+        from_map = s.point({"r": "correction"})
+        from_seq = s.point((UNPROTECTED, "correction"))
+        assert from_map == from_seq
+
+    def test_point_wrong_length_rejected(self):
+        with pytest.raises(SpecError, match="entries"):
+            space().point(("detection",))
+
+    def test_point_unknown_gene_rejected(self):
+        with pytest.raises(SpecError, match="outside"):
+            space().point(("parity", UNPROTECTED))
+
+    def test_uniform_outside_object_rejected(self):
+        with pytest.raises(SpecError, match="outside"):
+            space().uniform("detection", names=("ghost",))
+
+    def test_random_point_reproducible_from_seed(self):
+        s = space(objects=("p", "r", "A"))
+        a = [s.random_point(random.Random(5)).digest for _ in range(3)]
+        b = [s.random_point(random.Random(5)).digest for _ in range(3)]
+        assert a == b
+
+    def test_roundtrip_preserves_digest(self):
+        s = space()
+        again = DesignSpace.from_dict(s.to_dict())
+        assert again == s
+        assert again.digest() == s.digest()
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(SpecError, match="image"):
+            DesignSpace.from_dict({"nope": 1})
+
+
+class TestDesignPoint:
+    def test_genes_roundtrip_through_point(self):
+        s = space()
+        point = s.point({"p": "correction", "r": "detection"})
+        assert point.genes(s) == ("correction", "detection")
+        assert s.point(point.genes(s)) == point
+
+    def test_baseline_is_empty_spec(self):
+        point = space().baseline()
+        assert point.spec.is_baseline
+        assert point.genes(space()) == (UNPROTECTED, UNPROTECTED)
+
+    def test_digest_matches_wrapped_spec(self):
+        spec = ProtectionSpec.parse("p=correction")
+        assert DesignPoint(spec).digest == spec.digest()
+
+    def test_label_is_spec_string(self):
+        point = space().point({"p": "detection"})
+        assert point.label == "p=detection"

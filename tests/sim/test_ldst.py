@@ -4,14 +4,14 @@ import pytest
 
 from repro.arch.config import fast_config
 from repro.core.hardware import HardwareBudget
-from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
+from repro.sim.ldst import LdstUnit, TimingProtection, SimStats
 from repro.sim.memory_subsystem import MemorySubsystem
 
 CFG = fast_config()
 
 
 def make_unit(protection=None, config=CFG):
-    protection = protection or ProtectionSpec.baseline()
+    protection = protection or TimingProtection.baseline()
     stats = SimStats()
     subsystem = MemorySubsystem(config)
     unit = LdstUnit(config, subsystem, protection,
@@ -20,14 +20,14 @@ def make_unit(protection=None, config=CFG):
 
 
 def detection_spec(offsets=None):
-    return ProtectionSpec(
+    return TimingProtection(
         "detection", lazy=True,
         offsets=offsets or {"hot": (1 << 20,)},
     )
 
 
 def correction_spec():
-    return ProtectionSpec(
+    return TimingProtection(
         "correction", lazy=True,
         offsets={"hot": (1 << 20, 2 << 20)},
     )
@@ -140,7 +140,7 @@ class TestCorrectionReplication:
         assert ready_c > ready_b
 
     def test_eager_detection_also_waits(self):
-        spec = ProtectionSpec("detection", lazy=False,
+        spec = TimingProtection("detection", lazy=False,
                               offsets={"hot": (1 << 20,)})
         unit_e, _s1, _ = make_unit(spec)
         unit_l, _s2, _ = make_unit(detection_spec())
@@ -215,11 +215,11 @@ class TestRetryInvariance:
         assert ready > fill
 
 
-class TestProtectionSpec:
+class TestTimingProtection:
     def test_baseline_inactive(self):
-        assert not ProtectionSpec.baseline().active
+        assert not TimingProtection.baseline().active
 
     def test_n_way(self):
         assert detection_spec().n_way == 2
         assert correction_spec().n_way == 3
-        assert ProtectionSpec.baseline().n_way == 1
+        assert TimingProtection.baseline().n_way == 1

@@ -11,7 +11,7 @@ from repro.kernels.trace import (
     Store,
     WarpTrace,
 )
-from repro.sim.ldst import LdstUnit, ProtectionSpec, SimStats
+from repro.sim.ldst import LdstUnit, TimingProtection, SimStats
 from repro.sim.memory_subsystem import MemorySubsystem
 from repro.sim.sm import SmCore
 
@@ -21,7 +21,7 @@ CFG = fast_config()
 def make_sm(config=CFG):
     stats = SimStats()
     subsystem = MemorySubsystem(config)
-    ldst = LdstUnit(config, subsystem, ProtectionSpec.baseline(),
+    ldst = LdstUnit(config, subsystem, TimingProtection.baseline(),
                     HardwareBudget.from_config(config), stats)
     return SmCore(0, config, ldst, stats), stats
 

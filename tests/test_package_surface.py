@@ -58,6 +58,8 @@ API_SURFACE = [
     "create_app",
     "resilience_apps",
     "ReliabilityManager",
+    "EvaluationRequest",
+    "ProtectionSpec",
     "GpuConfig",
     "PAPER_CONFIG",
     "Campaign",
@@ -84,6 +86,16 @@ API_SURFACE = [
     "run_sweep",
     "summarize_sweep",
     "tradeoff_curve",
+    "optimize",
+    "OptimizeResult",
+    "DesignPoint",
+    "DesignSpace",
+    "Evaluation",
+    "pareto_front",
+    "budget_best",
+    "ParetoPoint",
+    "pareto_front_series",
+    "read_search_trail",
     "MetricsRegistry",
     "RunRecord",
     "TelemetryWriter",
